@@ -1,0 +1,69 @@
+"""Sec. VII-B — MINT area/power overhead (the MINT_b / MINT_m / MINT_mr table).
+
+Paper numbers pinned: 0.95 / 0.41 / 0.23 mm^2; merging saves ~57%, reuse a
+further ~45%; the divide+mod bank is 74% / 65% of MINT_m's area / power;
+MINT_m is 0.5% / 0.4% of the 16384-PE accelerator.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.mint import MintDesign, mint_area, mint_power
+from repro.mint.designs import (
+    CONVERTER_BLOCKS,
+    accelerator_overhead,
+    divmod_fraction,
+)
+
+
+def bench_mint_overhead(once, benchmark):
+    def run():
+        paper_area = {
+            MintDesign.BASELINE: 0.95,
+            MintDesign.MERGED: 0.41,
+            MintDesign.MERGED_REUSE: 0.23,
+        }
+        rows = [
+            [
+                d.value,
+                f"{mint_area(d):.4f}",
+                f"{paper_area[d]:.2f}",
+                f"{mint_power(d):.1f}",
+            ]
+            for d in MintDesign
+        ]
+        print()
+        print(
+            render_table(
+                ["design", "area mm^2 (ours)", "area (paper)", "power mW"],
+                rows,
+                title="MINT design points at 28 nm, 1 GHz",
+            )
+        )
+        print("per-converter block inventories (MINT_b sums these):")
+        for name, inv in CONVERTER_BLOCKS.items():
+            print(f"  {name:>13}: " + ", ".join(f"{k} x{v}" for k, v in inv.items()))
+        af, pf = divmod_fraction()
+        oa, op = accelerator_overhead()
+        print(
+            f"divide+mod share of MINT_m: area {af:.1%} / power {pf:.1%} "
+            f"(paper 74% / 65%)"
+        )
+        print(
+            f"MINT_m vs 16384-MAC accelerator: area {oa:.2%} / power {op:.2%} "
+            f"(paper 0.5% / 0.4%)"
+        )
+        return {
+            "areas": {d: mint_area(d) for d in MintDesign},
+            "divmod": (af, pf),
+            "overhead": (oa, op),
+        }
+
+    out = once(run)
+    areas = out["areas"]
+    assert abs(areas[MintDesign.BASELINE] - 0.95) / 0.95 < 0.05
+    assert abs(areas[MintDesign.MERGED] - 0.41) / 0.41 < 0.05
+    assert abs(areas[MintDesign.MERGED_REUSE] - 0.23) / 0.23 < 0.05
+    benchmark.extra_info["areas_mm2"] = {
+        d.value: round(a, 4) for d, a in areas.items()
+    }

@@ -1,0 +1,45 @@
+"""Tables I & II — the MCF/ACF flexibility taxonomy and evaluated policies.
+
+Not a measurement: regenerates the classification tables from the encoded
+policy objects so the configuration driving Figs. 12-14 is auditable.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.baselines import ALL_POLICIES
+
+
+def bench_tables_1_and_2(once):
+    def run():
+        rows = []
+        for p in ALL_POLICIES:
+            mcfs = {f"{a.value}-{b.value}" for a, b in p.mcf_pairs}
+            acfs = {f"{a.value}-{b.value}" for a, b in p.acf_pairs}
+            rows.append(
+                [
+                    p.name,
+                    p.category,
+                    len(p.mcf_pairs),
+                    len(p.acf_pairs),
+                    len(list(p.candidates())),
+                    p.converter.value,
+                    "yes" if p.zero_skipping else "no",
+                    p.reference,
+                    (sorted(mcfs)[0] + ", ..." if len(mcfs) > 1 else next(iter(mcfs))),
+                    (sorted(acfs)[0] + ", ..." if len(acfs) > 1 else next(iter(acfs))),
+                ]
+            )
+        print()
+        print(
+            render_table(
+                ["design", "class", "#MCF", "#ACF", "#candidates", "conv",
+                 "zero-skip", "exemplar", "MCF e.g.", "ACF e.g."],
+                rows,
+                title="Tables I/II: evaluated accelerator format policies",
+            )
+        )
+        return rows
+
+    rows = once(run)
+    assert len(rows) == 7

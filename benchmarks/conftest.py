@@ -1,0 +1,27 @@
+"""Benchmark-harness helpers.
+
+Every bench regenerates one table or figure of the paper: it computes the
+series, prints a paper-style table (run pytest with ``-s`` to see it, or
+read the captured stdout in the report), records headline values in
+``benchmark.extra_info``, and times the regeneration itself via
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Time *fn* with a single warm run (benches are deterministic models)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn):
+        return run_once(benchmark, fn)
+
+    return _run

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Custom accelerator design-space exploration.
+
+Uses the cycle-level simulator and the analytical model to compare fabric
+configurations (bus width, PE buffer, PE count) on a sparse GEMM — the kind
+of what-if a hardware architect would run before committing a design.  Also
+demonstrates defining a *custom format policy* (an accelerator that only
+speaks COO) and evaluating it against the built-in Table II designs.
+
+Run: ``python examples/custom_accelerator.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AcceleratorConfig,
+    Format,
+    Kernel,
+    MatrixWorkload,
+    WeightStationarySimulator,
+    analytical_gemm_stats,
+    evaluate_all,
+    evaluate_policy,
+    random_sparse_matrix,
+)
+from repro.baselines.policies import AcceleratorPolicy, ConverterKind
+from repro.formats import CooMatrix, CscMatrix
+
+
+def sweep_fabrics() -> None:
+    print("=== Fabric sweep on a 2k x 2k x 1k SpMM at 3% density ===")
+    m, k, n = 2000, 2000, 1000
+    nnz = int(0.03 * m * k)
+    print(f"{'config':>34} | {'total cycles':>12} {'energy J':>10} {'EDP':>10}")
+    for name, cfg in [
+        ("paper default (2048 PE, 512b bus)", AcceleratorConfig.paper_default()),
+        ("half bus (256b)", AcceleratorConfig(bus_bits=256)),
+        ("double buffer (1 KiB/PE)", AcceleratorConfig(pe_buffer_bytes=1024)),
+        ("quarter PEs (512)", AcceleratorConfig(num_pes=512)),
+        ("edge-scale (64 PE, 128b bus)", AcceleratorConfig(
+            num_pes=64, bus_bits=128, pe_buffer_bytes=256)),
+    ]:
+        rep = analytical_gemm_stats(
+            m, k, n, nnz, k * n, Format.CSR, Format.DENSE, cfg
+        )
+        edp = rep.energy.total_j * rep.cycles.total_cycles / cfg.clock_hz
+        print(
+            f"{name:>34} | {rep.cycles.total_cycles:>12,} "
+            f"{rep.energy.total_j:>10.2e} {edp:>10.2e}"
+        )
+
+
+def simulate_small_instance() -> None:
+    print()
+    print("=== Cycle-level check of the winning ACF on a small instance ===")
+    a_dense = random_sparse_matrix(24, 32, 24, rng=5)
+    b_dense = random_sparse_matrix(32, 12, 64, rng=6)
+    cfg = AcceleratorConfig(
+        num_pes=6, vector_lanes=4, pe_buffer_bytes=16 * 4, bus_bits=8 * 32
+    )
+    sim = WeightStationarySimulator(cfg)
+    a = CooMatrix.from_dense(a_dense)
+    b = CscMatrix.from_dense(b_dense)
+    out, rep = sim.run_gemm(a, Format.COO, b, Format.CSC)
+    assert np.allclose(out, a_dense @ b_dense)
+    c = rep.cycles
+    print(
+        f"COO(A)-CSC(B): {c.total_cycles} cycles over {c.k_tiles} k-tiles x "
+        f"{c.rounds} rounds, utilization {c.utilization:.0%}, "
+        f"output verified"
+    )
+
+
+def custom_policy() -> None:
+    print()
+    print("=== A custom COO-only accelerator vs the Table II designs ===")
+    coo_only = AcceleratorPolicy(
+        name="COO_Only",
+        category="Fix Fix None (custom)",
+        mcf_pairs=((Format.COO, Format.COO),),
+        acf_pairs=((Format.COO, Format.CSC),),
+        converter=ConverterKind.HW,  # COO memory, CSC stationary buffers
+        reference="example custom design",
+    )
+    wl = MatrixWorkload(
+        "custom", Kernel.SPGEMM, m=5000, k=5000, n=2500,
+        nnz_a=12_000, nnz_b=6_000,
+    )
+    results = {p: r.edp for p, r in evaluate_all(wl).items()}
+    results["COO_Only"] = evaluate_policy(wl, coo_only).edp
+    ours = results["Flex_Flex_HW"]
+    for name, edp in sorted(results.items(), key=lambda kv: kv[1]):
+        print(f"  {name:>15}: {edp / ours:8.2f}x this work")
+    print(
+        "  (a COO-only design is near-optimal at this extreme sparsity but "
+        "would fall behind on denser workloads — the paper's flexibility "
+        "argument)"
+    )
+
+
+if __name__ == "__main__":
+    sweep_fabrics()
+    simulate_small_instance()
+    custom_policy()

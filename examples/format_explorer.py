@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Format explorer: compactness and compute-efficiency across density.
+
+Interactive-style tour of the paper's Sec. III analysis on a matrix shape
+of your choice: which MCF is most compact where (Fig. 4), where the format
+crossovers fall, and which GPU ACF algorithm wins where (Fig. 5).
+
+Run: ``python examples/format_explorer.py [M] [K]``  (defaults 11000 11000)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Format, GpuModel, MMAlgorithm
+from repro.analysis.compactness import (
+    crossover_density,
+    storage_bits,
+    transfer_energy_sweep,
+)
+
+FORMATS = [Format.DENSE, Format.COO, Format.CSR, Format.CSC, Format.RLC, Format.ZVC]
+DENSITIES = [1e-8, 1e-6, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0]
+
+
+def main() -> None:
+    m = int(sys.argv[1]) if len(sys.argv) > 1 else 11_000
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 11_000
+    dims = (m, k)
+
+    print(f"=== Storage footprint relative to CSR ({m} x {k}, 32-bit) ===")
+    sweep = transfer_energy_sweep(dims, DENSITIES, FORMATS, 32)
+    print(f"{'density':>9} | " + " ".join(f"{f.value:>7}" for f in FORMATS) + " | best")
+    for i, d in enumerate(DENSITIES):
+        vals = {f: sweep[f][i] for f in FORMATS}
+        best = min(vals, key=vals.get)
+        print(
+            f"{d:>9.0e} | "
+            + " ".join(f"{vals[f]:>7.3f}" for f in FORMATS)
+            + f" | {best.value}"
+        )
+
+    print()
+    print("=== Crossover densities ===")
+    for low, high, note in [
+        (Format.COO, Format.CSR, "COO wins below"),
+        (Format.CSR, Format.ZVC, "CSR wins below"),
+        (Format.ZVC, Format.DENSE, "ZVC wins below"),
+    ]:
+        try:
+            x = crossover_density(low, high, dims)
+            print(f"  {low.value:>5} vs {high.value:<5}: {note} {x:.3e}")
+        except ValueError as exc:
+            print(f"  {low.value:>5} vs {high.value:<5}: {exc}")
+
+    print()
+    print("=== Metadata share per format at 10% density ===")
+    nnz = int(0.10 * m * k)
+    for f in FORMATS:
+        total = storage_bits(f, dims, nnz, 32)
+        payload = nnz * 32
+        meta = max(0.0, total - payload)
+        print(f"  {f.value:>5}: {meta / total:>6.1%} metadata "
+              f"({total / 8 / 1e6:,.1f} MB total)")
+
+    print()
+    print(f"=== GPU ACF winner per density (Fig. 5 model, {m}x{k}x{k}) ===")
+    gpu = GpuModel()
+    for d in DENSITIES:
+        times = {a: gpu.mm_time(a, m, k, k, d).seconds for a in MMAlgorithm}
+        best = min(times, key=times.get)
+        print(f"  {d:>9.0e}: {best.value:<28} ({times[best]:.3g} s)")
+
+
+if __name__ == "__main__":
+    main()

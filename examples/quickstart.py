@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Quickstart: the full Fig. 1b pipeline on one sparse workload.
+
+1. Describe a sparse matrix-multiply workload by its statistics.
+2. Ask SAGE for the best Memory/Algorithm Compression Format combination.
+3. Encode real operands in the chosen MCFs, convert with MINT, and run the
+   cycle-level accelerator simulator on the chosen ACFs.
+4. Check the numeric output and inspect the cycle/energy reports.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AcceleratorConfig,
+    Format,
+    Kernel,
+    MatrixWorkload,
+    MintEngine,
+    Sage,
+    WeightStationarySimulator,
+    matrix_class,
+    random_sparse_matrix,
+)
+from repro.formats import CscMatrix, DenseMatrix
+
+
+def main() -> None:
+    # A small fabric so the cycle-level simulation stays instant; swap in
+    # AcceleratorConfig.paper_default() for the 16384-MAC system.
+    config = AcceleratorConfig(
+        num_pes=8, vector_lanes=4, pe_buffer_bytes=32 * 4, bus_bits=8 * 32
+    )
+
+    # --- 1. the workload ----------------------------------------------------
+    m, k, n = 64, 96, 32
+    density = 0.08
+    nnz_a = int(density * m * k)
+    workload = MatrixWorkload(
+        name="quickstart", kernel=Kernel.SPMM, m=m, k=k, n=n,
+        nnz_a=nnz_a, nnz_b=k * n,
+    )
+
+    # --- 2. SAGE picks the formats -------------------------------------------
+    decision = Sage(config=config).predict_matrix(workload)
+    print(decision.summary(top=4))
+    print()
+
+    # --- 3. encode, convert, execute ----------------------------------------
+    a_dense = random_sparse_matrix(m, k, nnz_a, rng=0)
+    b_dense = random_sparse_matrix(k, n, k * n, rng=1)
+
+    engine = MintEngine()
+    a_mem = matrix_class(decision.mcf[0]).from_dense(a_dense)
+    a_acf, conv_a = engine.convert(a_mem, decision.acf[0])
+    b_mem = matrix_class(decision.mcf[1]).from_dense(b_dense)
+    b_acf, conv_b = engine.convert(b_mem, decision.acf[1])
+    print(
+        f"MINT: A {conv_a.source}->{conv_a.target} in {conv_a.cycles} cycles "
+        f"({conv_a.energy_j:.2e} J) via {conv_a.path or ('identity',)}"
+    )
+    print(
+        f"MINT: B {conv_b.source}->{conv_b.target} in {conv_b.cycles} cycles"
+    )
+
+    sim = WeightStationarySimulator(config)
+    b_stationary = (
+        b_acf
+        if decision.acf[1] is Format.CSC
+        else DenseMatrix.from_dense(b_acf.to_dense())
+    )
+    assert isinstance(b_stationary, (DenseMatrix, CscMatrix))
+    out, report = sim.run_gemm(a_acf, decision.acf[0], b_stationary, decision.acf[1])
+
+    # --- 4. verify and report -------------------------------------------------
+    assert np.allclose(out, a_dense @ b_dense), "simulator output mismatch!"
+    c = report.cycles
+    print()
+    print(f"simulator: output verified against numpy ({m}x{n})")
+    print(
+        f"cycles: load={c.load_cycles} stream={c.stream_cycles} "
+        f"drain={c.drain_cycles} compute={c.compute_cycles} "
+        f"-> total={c.total_cycles}"
+    )
+    print(
+        f"MACs: issued={c.issued_macs} matched={c.matched_macs} "
+        f"(utilization {c.utilization:.1%})"
+    )
+    print(f"on-chip energy: {report.energy.total_j:.3e} J, EDP {report.edp:.3e}")
+    print()
+    print(
+        "note: the cycle simulator models the literal Fig. 6 walkthrough —\n"
+        "dense ACFs stream and multiply zeros (hence the low utilization\n"
+        "above), while SAGE's analytical model assumes the Sec. VI flexible\n"
+        "NoC that skips them.  Try Format.CSR as the streamed ACF to see the\n"
+        "sparse path."
+    )
+
+
+if __name__ == "__main__":
+    main()

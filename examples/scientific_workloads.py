@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Scientific-computing tour: SAGE across the Table III suite.
+
+Walks the paper's SuiteSparse/DeepBench/FROSTT/BrainQ workload suite (exact
+published dimensions and nonzero counts), asks SAGE for the optimal format
+combination per workload and scenario, and shows how much a
+fixed-format accelerator would lose on each — the core datacenter argument
+of the paper (Sec. I: a suite of applications spans every sparsity region,
+so fixed formats can't win everywhere).
+
+Run: ``python examples/scientific_workloads.py``
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Kernel,
+    MATRIX_SUITE,
+    Sage,
+    TENSOR_SUITE,
+    evaluate_all,
+)
+
+
+def main() -> None:
+    sage = Sage()
+
+    print("=== SAGE decisions for the Table III suite (SpMM scenario) ===")
+    header = f"{'workload':>14} {'density':>10} | {'MCF(A,B)':>14} {'ACF(A,B)':>14} | EDP"
+    print(header)
+    print("-" * len(header))
+    for entry in MATRIX_SUITE:
+        wl = entry.matrix_workload(Kernel.SPMM)
+        d = sage.predict_matrix(wl)
+        print(
+            f"{entry.name:>14} {entry.density_pct:>9.4g}% | "
+            f"{d.mcf[0].value + ',' + d.mcf[1].value:>14} "
+            f"{d.acf[0].value + ',' + d.acf[1].value:>14} | "
+            f"{d.best.edp:.2e}"
+        )
+
+    print()
+    print("=== Tensor workloads (MTTKRP scenario) ===")
+    for entry in TENSOR_SUITE:
+        wl = entry.tensor_workload(Kernel.MTTKRP)
+        d = sage.predict_tensor(wl)
+        print(
+            f"{entry.name:>14} {entry.density_pct:>9.4g}% | "
+            f"tensor MCF={d.mcf[0].value:<5} ACF={d.acf[0].value:<5} | "
+            f"EDP {d.best.edp:.2e}"
+        )
+
+    print()
+    print("=== What a fixed-format accelerator loses (SpGEMM scenario) ===")
+    for name in ("journals", "speech2", "m3plates"):
+        entry = next(e for e in MATRIX_SUITE if e.name == name)
+        results = evaluate_all(entry.matrix_workload(Kernel.SPGEMM))
+        ours = results["Flex_Flex_HW"].edp
+        print(f"{name} ({entry.density_pct:g}% dense):")
+        for policy, result in sorted(results.items(), key=lambda kv: kv[1].edp):
+            penalty = result.edp / ours
+            bar = "#" * min(60, max(1, int(round(4 * penalty))))
+            print(f"  {policy:>15} {penalty:7.2f}x {bar}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable (``pip install -e .`` or
+``python setup.py develop``) on machines without the ``wheel`` package,
+where PEP 660 editable wheel builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

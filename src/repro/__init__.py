@@ -1,0 +1,186 @@
+"""repro — reproduction of "Extending Sparse Tensor Accelerators to Support
+Multiple Compression Formats" (Qin et al., IPDPS 2021).
+
+The package implements the paper's three contributions plus every substrate
+they depend on:
+
+* **Accelerator extensions** (Sec. IV): a weight-stationary sparse
+  accelerator whose PEs execute multiple Algorithm Compression Formats —
+  :class:`~repro.accelerator.simulator.WeightStationarySimulator` (cycle
+  level) and :mod:`repro.accelerator.perf_model` (analytical).
+* **MINT** (Sec. V): a general-purpose format converter built from shared
+  building blocks — :class:`~repro.mint.engine.MintEngine` and the
+  :mod:`repro.mint.designs` area/power model.
+* **SAGE** (Sec. VI): the MCF/ACF predictor minimizing energy-delay
+  product — :class:`~repro.sage.predictor.Sage`.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Sage, MintEngine, MatrixWorkload, Kernel, Format
+
+    wl = MatrixWorkload("mine", Kernel.SPMM, m=4096, k=4096, n=2048,
+                        nnz_a=800_000, nnz_b=4096 * 2048)
+    decision = Sage().predict_matrix(wl)
+    print(decision.summary())
+
+See ``examples/`` for runnable end-to-end scenarios and ``benchmarks/`` for
+the per-figure reproduction harnesses.
+"""
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    CycleReport,
+    EnergyReport,
+    RunReport,
+    WeightStationarySimulator,
+    analytical_gemm,
+    analytical_gemm_stats,
+    analytical_mttkrp,
+    analytical_spttm,
+)
+from repro.baselines import (
+    ALL_POLICIES,
+    AcceleratorPolicy,
+    CpuModel,
+    GpuModel,
+    MMAlgorithm,
+    evaluate_all,
+    evaluate_policy,
+    policy_by_name,
+)
+from repro.formats import (
+    MATRIX_FORMATS,
+    TENSOR_FORMATS,
+    BsrMatrix,
+    CooMatrix,
+    CooTensor,
+    CscMatrix,
+    CsfTensor,
+    CsrMatrix,
+    DenseMatrix,
+    DenseTensor,
+    DiaMatrix,
+    Format,
+    HicooTensor,
+    MatrixFormat,
+    RlcMatrix,
+    RlcTensor,
+    StorageBreakdown,
+    TensorFormat,
+    ZvcMatrix,
+    ZvcTensor,
+    convert_matrix,
+    convert_tensor,
+    matrix_class,
+    tensor_class,
+)
+from repro.hardware import AreaModel, DramChannel, EnergyModel
+from repro.mint import (
+    ConversionCost,
+    ConversionReport,
+    MintDesign,
+    MintEngine,
+    estimate_conversion_cost,
+    mint_area,
+    mint_power,
+)
+from repro.sage import (
+    CostBreakdown,
+    PipelinePlan,
+    Sage,
+    SageDecision,
+    plan_chain,
+)
+from repro.workloads import (
+    CONV_LAYERS,
+    MATRIX_SUITE,
+    TENSOR_SUITE,
+    Kernel,
+    MatrixWorkload,
+    PruningStrategy,
+    TensorWorkload,
+    layer_gemm,
+    random_sparse_matrix,
+    random_sparse_tensor,
+    suite_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # formats
+    "Format",
+    "MATRIX_FORMATS",
+    "TENSOR_FORMATS",
+    "MatrixFormat",
+    "TensorFormat",
+    "StorageBreakdown",
+    "DenseMatrix",
+    "CooMatrix",
+    "CsrMatrix",
+    "CscMatrix",
+    "RlcMatrix",
+    "ZvcMatrix",
+    "BsrMatrix",
+    "DiaMatrix",
+    "DenseTensor",
+    "CooTensor",
+    "CsfTensor",
+    "HicooTensor",
+    "RlcTensor",
+    "ZvcTensor",
+    "matrix_class",
+    "tensor_class",
+    "convert_matrix",
+    "convert_tensor",
+    # accelerator
+    "AcceleratorConfig",
+    "WeightStationarySimulator",
+    "CycleReport",
+    "EnergyReport",
+    "RunReport",
+    "analytical_gemm",
+    "analytical_gemm_stats",
+    "analytical_spttm",
+    "analytical_mttkrp",
+    # mint
+    "MintEngine",
+    "MintDesign",
+    "ConversionReport",
+    "ConversionCost",
+    "mint_area",
+    "mint_power",
+    "estimate_conversion_cost",
+    # sage
+    "Sage",
+    "SageDecision",
+    "CostBreakdown",
+    "PipelinePlan",
+    "plan_chain",
+    # baselines
+    "ALL_POLICIES",
+    "AcceleratorPolicy",
+    "policy_by_name",
+    "evaluate_all",
+    "evaluate_policy",
+    "CpuModel",
+    "GpuModel",
+    "MMAlgorithm",
+    # hardware
+    "EnergyModel",
+    "DramChannel",
+    "AreaModel",
+    # workloads
+    "Kernel",
+    "MatrixWorkload",
+    "TensorWorkload",
+    "MATRIX_SUITE",
+    "TENSOR_SUITE",
+    "suite_by_name",
+    "CONV_LAYERS",
+    "PruningStrategy",
+    "layer_gemm",
+    "random_sparse_matrix",
+    "random_sparse_tensor",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` dispatch."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

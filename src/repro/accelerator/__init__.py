@@ -1,0 +1,42 @@
+"""Weight-stationary sparse-accelerator model (paper Sec. IV).
+
+Two coordinated implementations:
+
+* :mod:`repro.accelerator.simulator` — a cycle-level functional simulator
+  that actually packs bus beats, performs metadata matching in each PE and
+  accumulates outputs.  It reproduces the Fig. 6 walkthrough cycle-exactly
+  and its output equals ``A @ B``.
+* :mod:`repro.accelerator.perf_model` — the closed-form analytical model
+  SAGE uses (Sec. VI), exact when given concrete operands and
+  expectation-based when given only summary statistics.
+
+Both share the beat-packing rules of :mod:`repro.accelerator.stream` and the
+tiling rules of :mod:`repro.accelerator.scheduler`, and are cross-checked in
+the test suite.
+"""
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.perf_model import (
+    analytical_gemm,
+    analytical_gemm_stats,
+    analytical_mttkrp,
+    analytical_spttm,
+)
+from repro.accelerator.report import CycleReport, EnergyReport, RunReport
+from repro.accelerator.simulator import WeightStationarySimulator
+from repro.accelerator.stream import StreamSpec, stream_beats, stream_spec_for
+
+__all__ = [
+    "AcceleratorConfig",
+    "CycleReport",
+    "EnergyReport",
+    "RunReport",
+    "StreamSpec",
+    "stream_beats",
+    "stream_spec_for",
+    "WeightStationarySimulator",
+    "analytical_gemm",
+    "analytical_gemm_stats",
+    "analytical_spttm",
+    "analytical_mttkrp",
+]

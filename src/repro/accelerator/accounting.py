@@ -1,0 +1,42 @@
+"""Shared energy accounting for the simulator and the analytical model.
+
+Both paths reduce a run to the same five event totals; charging them through
+one function guarantees the cross-check in the test suite compares cycle
+models, not bookkeeping differences.
+"""
+
+from __future__ import annotations
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.report import EnergyReport
+from repro.hardware.energy import DEFAULT_ENERGY, EnergyModel
+
+
+def energy_report(
+    config: AcceleratorConfig,
+    *,
+    beat_cycles: int,
+    entries_loaded: int,
+    issued_macs: int,
+    compares: int,
+    spills: int,
+    energy: EnergyModel = DEFAULT_ENERGY,
+) -> EnergyReport:
+    """Charge the five on-chip event totals of one kernel execution.
+
+    Parameters mirror what both execution models count: bus-occupied cycles,
+    stationary buffer entries written, MACs issued, metadata comparator
+    evaluations, and output-register spills (read-modify-write against the
+    global output buffer).
+    """
+    bits = config.dtype_bits
+    return EnergyReport(
+        noc_j=energy.noc_bits(beat_cycles * config.bus_bits),
+        load_j=entries_loaded
+        * bits
+        * (energy.sram_global_bit + energy.noc_bit + energy.sram_pe_bit),
+        buffer_j=issued_macs * bits * energy.sram_pe_bit,
+        compare_j=compares * energy.compare,
+        mac_j=energy.macs(issued_macs),
+        output_j=spills * bits * (energy.reg_bit + 2.0 * energy.sram_global_bit),
+    )

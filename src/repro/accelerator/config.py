@@ -1,0 +1,88 @@
+"""Accelerator configuration (paper Sec. VII-A).
+
+The evaluation gives *all* accelerators the same fabric: "16384 total MAC
+units (similar to Google TPU), 512B of buffer storage per PE, 512-bit input
+bus per cycle, and 32-bit datatype."  With the paper's 8-wide vector PEs
+(Fig. 7) that is 2048 PEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Parameters of the weight-stationary accelerator template.
+
+    Attributes
+    ----------
+    num_pes:
+        Processing elements; each holds one stationary column at a time.
+    vector_lanes:
+        MAC lanes per PE (the paper's PEs have "a vector size of eight
+        32-bit compute units").
+    pe_buffer_bytes:
+        Per-PE scratchpad, flexibly partitioned between stationary data and
+        metadata (the Sec. IV extension).
+    bus_bits:
+        Distribution bus width per cycle; metadata and data elements consume
+        identical slots (Sec. IV-B walkthrough assumption).
+    dtype_bits:
+        Element width for both data and metadata slots.
+    clock_hz:
+        Core clock (1 GHz, matching the MINT synthesis target).
+    """
+
+    num_pes: int = 2048
+    vector_lanes: int = 8
+    pe_buffer_bytes: int = 512
+    bus_bits: int = 512
+    dtype_bits: int = 32
+    clock_hz: float = 1.0e9
+
+    def __post_init__(self) -> None:
+        for name in ("num_pes", "vector_lanes", "pe_buffer_bytes", "bus_bits"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        if self.dtype_bits not in (8, 16, 32, 64):
+            raise ConfigError(f"dtype_bits must be 8/16/32/64, got {self.dtype_bits}")
+        if self.bus_bits < self.dtype_bits:
+            raise ConfigError("bus must carry at least one element per cycle")
+        if self.clock_hz <= 0:
+            raise ConfigError("clock_hz must be positive")
+
+    # ---------------------------------------------------------------- derived
+    @property
+    def bus_slots(self) -> int:
+        """Bus elements per cycle (the walkthrough's W, e.g. 5 in Fig. 6)."""
+        return self.bus_bits // self.dtype_bits
+
+    @property
+    def pe_buffer_entries(self) -> int:
+        """Per-PE buffer capacity in (data-or-metadata) elements."""
+        return self.pe_buffer_bytes * 8 // self.dtype_bits
+
+    @property
+    def total_macs(self) -> int:
+        """Total MAC lanes across the array."""
+        return self.num_pes * self.vector_lanes
+
+    # ------------------------------------------------------------- presets --
+    @classmethod
+    def paper_default(cls) -> "AcceleratorConfig":
+        """Sec. VII-A system: 16384 MACs, 512 B/PE, 512-bit bus, 32-bit."""
+        return cls()
+
+    @classmethod
+    def walkthrough(cls) -> "AcceleratorConfig":
+        """Fig. 6 setup: 4 PEs, 5-element bus, 8-entry weight buffers."""
+        return cls(
+            num_pes=4,
+            vector_lanes=8,
+            pe_buffer_bytes=8 * 4,  # 8 x 32-bit entries
+            bus_bits=5 * 32,  # 5 elements per cycle
+            dtype_bits=32,
+        )

@@ -1,0 +1,114 @@
+"""Processing-element model with the Sec. IV flexible-ACF extensions.
+
+Each PE holds one stationary column (Dense: all K values, zeros included;
+CSC: value + row-id metadata pairs in the flexibly partitioned buffer),
+matches incoming streamed elements against it — by direct index for Dense,
+by metadata comparison for CSC — and accumulates one output register (Oreg)
+that spills to the global output buffer whenever the output row (Rreg)
+changes, exactly as in the Fig. 6 walkthrough.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.formats.registry import Format
+
+
+class PE:
+    """One processing element of the weight-stationary array."""
+
+    def __init__(self, col_index: int) -> None:
+        self.col_index = col_index
+        self.stationary_format: Format | None = None
+        self._dense_values: np.ndarray | None = None
+        self._k_lo = 0
+        self._csc_lookup: dict[int, float] | None = None
+        self._meta_entries = 0
+        # Output state registers (Rreg / Oreg of Fig. 6).
+        self._current_row: int | None = None
+        self._acc = 0.0
+        # Statistics.
+        self.issued_macs = 0
+        self.matched_macs = 0
+        self.compares = 0
+        self.spills = 0
+        self.contributions: list[tuple[int, float]] = []
+
+    # ------------------------------------------------------------- loading --
+    def load_dense(self, values: np.ndarray, k_lo: int) -> None:
+        """Pin a dense column slice: buffer holds every value, zeros too."""
+        self.stationary_format = Format.DENSE
+        self._dense_values = np.asarray(values, dtype=np.float64)
+        self._k_lo = k_lo
+        self._csc_lookup = None
+        self._meta_entries = 0
+
+    def load_csc(self, row_ids: np.ndarray, values: np.ndarray) -> None:
+        """Pin a CSC column slice: nonzeros plus row-id metadata."""
+        self.stationary_format = Format.CSC
+        self._csc_lookup = {
+            int(r): float(v) for r, v in zip(row_ids, values)
+        }
+        self._meta_entries = len(self._csc_lookup)
+        self._dense_values = None
+
+    @property
+    def footprint_entries(self) -> int:
+        """Buffer entries consumed by the current stationary slice."""
+        if self.stationary_format is Format.DENSE:
+            assert self._dense_values is not None
+            return len(self._dense_values)
+        if self.stationary_format is Format.CSC:
+            return 2 * self._meta_entries
+        return 0
+
+    # ------------------------------------------------------------ matching --
+    def process(self, i: int, k: int, value: float) -> None:
+        """Consume one streamed element (output row i, reduction index k)."""
+        if self.stationary_format is Format.DENSE:
+            assert self._dense_values is not None
+            stationary = float(self._dense_values[k - self._k_lo])
+            # Dense buffers answer every index: a MAC is always issued, even
+            # on zero operands — that is the utilization loss of dense ACFs.
+            self._accumulate(i, value * stationary)
+            self.issued_macs += 1
+            if value != 0.0 and stationary != 0.0:
+                self.matched_macs += 1
+        elif self.stationary_format is Format.CSC:
+            assert self._csc_lookup is not None
+            # The metadata comparators check the incoming k against every
+            # stored row id in parallel (CAM-style).
+            self.compares += self._meta_entries
+            stationary = self._csc_lookup.get(int(k))
+            if stationary is not None:
+                self._accumulate(i, value * stationary)
+                self.issued_macs += 1
+                if value != 0.0:
+                    self.matched_macs += 1
+        else:
+            raise SimulationError("PE has no stationary operand loaded")
+
+    def _accumulate(self, i: int, product: float) -> None:
+        if self._current_row is None:
+            self._current_row = i
+            self._acc = product
+        elif i == self._current_row:
+            self._acc += product
+        else:
+            self._spill()
+            self._current_row = i
+            self._acc = product
+
+    def _spill(self) -> None:
+        assert self._current_row is not None
+        self.contributions.append((self._current_row, self._acc))
+        self.spills += 1
+
+    def flush(self) -> None:
+        """End-of-round: write back the open output register, if any."""
+        if self._current_row is not None:
+            self._spill()
+        self._current_row = None
+        self._acc = 0.0

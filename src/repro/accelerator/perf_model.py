@@ -1,0 +1,457 @@
+"""Closed-form analytical performance model (SAGE's perf model, Sec. VI).
+
+Two entry points per kernel family:
+
+* ``analytical_gemm`` — *exact* mode: given the concrete operands, computes
+  the identical cycle/energy totals the cycle simulator produces, but in
+  closed form from nonzero histograms and boolean pattern products.  The
+  test suite asserts equality with :class:`WeightStationarySimulator` over
+  randomized cases for every row-grouped streamed ACF.
+* ``analytical_gemm_stats`` — *statistics* mode: given only (M, K, N,
+  nnz_A, nnz_B), uses the paper's uniform-random-placement assumption
+  ("we assume a uniform random distribution of the dense values") to
+  produce expected-value estimates.  This is what SAGE evaluates for the
+  large Table III workloads.
+
+3-D tensor kernels (SpTTM / MTTKRP) are handled by matricizing the tensor
+and re-using the same streaming/tiling machinery with tensor stream specs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerator.accounting import energy_report
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.report import CycleReport, RunReport
+from repro.accelerator.scheduler import (
+    CSC_ENTRY_COST,
+    build_schedule,
+)
+from repro.accelerator.stream import (
+    stream_cycle_count,
+    stream_cycles_estimate,
+    stream_spec_for,
+)
+from repro.errors import SimulationError
+from repro.formats.base import MatrixFormat
+from repro.formats.csc import CscMatrix
+from repro.formats.registry import Format
+from repro.util.bits import ceil_div
+
+# --------------------------------------------------------------------------
+# exact mode
+# --------------------------------------------------------------------------
+
+
+def _streamed_pattern(a: MatrixFormat) -> np.ndarray:
+    """Boolean nonzero pattern of the streamed operand."""
+    return a.to_dense() != 0.0
+
+
+def _group_sizes_for_tile(
+    pattern: np.ndarray, acf_a: Format, k_lo: int, k_hi: int, m: int
+) -> np.ndarray:
+    """Per-group streamed entry counts within one reduction tile."""
+    tile = pattern[:, k_lo:k_hi]
+    if acf_a is Format.DENSE:
+        return np.full(m, k_hi - k_lo, dtype=np.int64)
+    if acf_a in (Format.CSR, Format.COO):
+        counts = tile.sum(axis=1).astype(np.int64)
+        if acf_a is Format.COO:
+            return np.asarray([int(counts.sum())], dtype=np.int64)
+        return counts
+    if acf_a is Format.CSC:
+        return tile.sum(axis=0).astype(np.int64)
+    raise SimulationError(f"{acf_a} is not a streamable ACF")
+
+
+def _csc_stream_spill_runs(pa_tile: np.ndarray, pb_col: np.ndarray | None) -> int:
+    """Row-run count of the column-major matched sequence (CSC streaming).
+
+    ``pb_col`` restricts the matched reduction indices (CSC stationary); pass
+    ``None`` for a dense stationary buffer (everything matches).
+    """
+    m, kt = pa_tile.shape
+    seq: list[int] = []
+    for k in range(kt):
+        if pb_col is not None and not pb_col[k]:
+            continue
+        rows = np.flatnonzero(pa_tile[:, k])
+        seq.extend(int(r) for r in rows)
+    if not seq:
+        return 0
+    arr = np.asarray(seq)
+    return 1 + int(np.count_nonzero(arr[1:] != arr[:-1]))
+
+
+def analytical_gemm(
+    a: MatrixFormat,
+    acf_a: Format,
+    b: MatrixFormat,
+    acf_b: Format,
+    config: AcceleratorConfig | None = None,
+) -> RunReport:
+    """Exact closed-form model of ``O = A @ B`` on the WS accelerator."""
+    cfg = config or AcceleratorConfig.paper_default()
+    if a.ncols != b.nrows:
+        raise SimulationError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    if acf_b not in (Format.DENSE, Format.CSC):
+        raise SimulationError(f"{acf_b} is not a stationary ACF")
+    m, k, n = a.nrows, a.ncols, b.ncols
+    spec = stream_spec_for(acf_a)
+    pa = _streamed_pattern(a)
+    pb = b.to_dense() != 0.0
+
+    sched_operand: MatrixFormat = (
+        b
+        if (acf_b is Format.DENSE or isinstance(b, CscMatrix))
+        else CscMatrix.from_dense(b.to_dense())
+    )
+    schedule = build_schedule(
+        sched_operand, acf_b, cfg.pe_buffer_entries, cfg.num_pes
+    )
+    w = cfg.bus_slots
+    rounds = schedule.rounds
+
+    load_cycles = stream_cycles = 0
+    issued = matched = compares = spills = 0
+    entries_loaded_total = 0
+
+    for k_lo, k_hi in schedule.k_tiles:
+        pa_tile = pa[:, k_lo:k_hi]
+        pb_tile = pb[k_lo:k_hi, :]
+        a_col_counts = pa_tile.sum(axis=0).astype(np.int64)  # nnz per k
+        b_row_counts = pb_tile.sum(axis=1).astype(np.int64)  # nnz per k
+        nnz_a_tile = int(a_col_counts.sum())
+        nnz_b_tile = int(pb_tile.sum())
+
+        sizes = _group_sizes_for_tile(pa, acf_a, k_lo, k_hi, m)
+        tile_stream = stream_cycle_count(sizes, spec, w)
+        stream_cycles += tile_stream * len(rounds)
+
+        streamed_entries = (
+            m * (k_hi - k_lo) if acf_a is Format.DENSE else nnz_a_tile
+        )
+        # Per-k streamed-element counts (dense ACFs stream zeros too).
+        streamed_per_k = (
+            np.full(k_hi - k_lo, m, dtype=np.int64)
+            if acf_a is Format.DENSE
+            else a_col_counts
+        )
+        matched += int(np.dot(a_col_counts, b_row_counts))
+
+        if acf_b is Format.DENSE:
+            issued += streamed_entries * n
+            # Spills: every streamed group that reaches a PE opens runs.
+            if acf_a is Format.DENSE:
+                spills += m * n
+            elif acf_a in (Format.CSR, Format.COO):
+                nonempty_rows = int((pa_tile.any(axis=1)).sum())
+                spills += nonempty_rows * n
+            else:  # CSC streaming: column-major row runs, same for every PE
+                spills += _csc_stream_spill_runs(pa_tile, None) * n
+        else:  # CSC stationary
+            issued += int(np.dot(streamed_per_k, b_row_counts))
+            compares += streamed_entries * nnz_b_tile
+            if acf_a is Format.DENSE:
+                nonempty_cols = int((pb_tile.any(axis=0)).sum())
+                spills += m * nonempty_cols
+            elif acf_a in (Format.CSR, Format.COO):
+                # Rows with >= 1 match per PE: boolean pattern product.
+                product = pa_tile @ pb_tile  # int matmul of booleans
+                spills += int(np.count_nonzero(product))
+            else:  # CSC streaming against CSC stationary: per-PE sequences
+                for j in range(n):
+                    spills += _csc_stream_spill_runs(pa_tile, pb_tile[:, j])
+
+        # Loading: one ceil() per (tile, round), as the simulator charges.
+        for col_lo, col_hi in rounds:
+            if acf_b is Format.DENSE:
+                entries = (col_hi - col_lo) * (k_hi - k_lo)
+            else:
+                entries = CSC_ENTRY_COST * int(
+                    pb_tile[:, col_lo:col_hi].sum()
+                )
+            if entries:
+                load_cycles += ceil_div(entries, w)
+            entries_loaded_total += entries
+
+    drain_cycles = ceil_div(spills, w) if spills else 0
+    compute_cycles = ceil_div(issued, cfg.total_macs) if issued else 0
+    cycles = CycleReport(
+        load_cycles=load_cycles,
+        stream_cycles=stream_cycles,
+        drain_cycles=drain_cycles,
+        compute_cycles=compute_cycles,
+        rounds=schedule.num_rounds,
+        k_tiles=schedule.num_tiles,
+        issued_macs=issued,
+        matched_macs=matched,
+        output_spills=spills,
+    )
+    energy = energy_report(
+        cfg,
+        beat_cycles=stream_cycles,
+        entries_loaded=entries_loaded_total,
+        issued_macs=issued,
+        compares=compares,
+        spills=spills,
+    )
+    return RunReport(cycles=cycles, energy=energy)
+
+
+# --------------------------------------------------------------------------
+# statistics mode
+# --------------------------------------------------------------------------
+
+
+#: Occupancy-sideband compression of the flexible NoC: one bit per logical
+#: position, packed 32 positions per bus slot.
+_SIDEBAND_PACK = 32
+
+
+def analytical_gemm_stats(
+    m: int,
+    k: int,
+    n: int,
+    nnz_a: int,
+    nnz_b: int,
+    acf_a: Format,
+    acf_b: Format,
+    config: AcceleratorConfig | None = None,
+    *,
+    flexible_noc: bool = True,
+) -> RunReport:
+    """Expected-value model from summary statistics (uniform placement).
+
+    ``flexible_noc=True`` applies the Sec. VI assumption — "a flexible NoC
+    to deliver non-zeros from the streaming tensor [5], [19]" — to Dense
+    streamed ACFs: zeros are skipped at the source and position information
+    travels as a 1-bit-per-position occupancy sideband (packed
+    ``_SIDEBAND_PACK`` per slot).  This is what places the Dense/CSR ACF
+    crossover near ~1.5% density, matching Table III's decisions (Dense ACF
+    down to nd3k's 4.1%, CSR from cavity14's 1.1%).  The cycle-exact
+    walkthrough mode (Fig. 6 and :func:`analytical_gemm`) streams zeros
+    literally, as the microarchitecture walkthrough does.
+    """
+    cfg = config or AcceleratorConfig.paper_default()
+    if acf_b not in (Format.DENSE, Format.CSC):
+        raise SimulationError(f"{acf_b} is not a stationary ACF")
+    spec = stream_spec_for(acf_a)
+    w = cfg.bus_slots
+    cap = cfg.pe_buffer_entries
+    d_a = nnz_a / (m * k) if m * k else 0.0
+    d_b = nnz_b / (k * n) if k * n else 0.0
+
+    # --- tiling & rounds ----------------------------------------------------
+    if acf_b is Format.DENSE:
+        k_tiles = max(1, ceil_div(k, cap))
+        stationary_entries = float(k) * n
+    else:
+        mean_col = nnz_b / n if n else 0.0
+        k_tiles = max(1, ceil_div(int(np.ceil(CSC_ENTRY_COST * mean_col)), cap))
+        stationary_entries = float(CSC_ENTRY_COST) * nnz_b
+    rounds = max(1, ceil_div(n, cfg.num_pes))
+    k_tile = k / k_tiles
+
+    # --- streaming ----------------------------------------------------------
+    dense_streams_zeros = acf_a is Format.DENSE and not flexible_noc
+    nnz_tile = nnz_a / k_tiles
+    if acf_a is Format.DENSE and flexible_noc:
+        # Nonzeros plus the packed occupancy sideband, row-grouped; the
+        # sideband exists for every row, so every row is a nonempty group.
+        per_tile = stream_cycles_estimate(
+            nnz_tile + m * k_tile / _SIDEBAND_PACK, float(m), spec, w
+        )
+        streamed_entries = float(nnz_a)
+    elif dense_streams_zeros:
+        per_tile = stream_cycles_estimate(m * k_tile, float(m), spec, w)
+        streamed_entries = float(m) * k
+    elif acf_a is Format.CSR:
+        nonempty_rows = m * (1.0 - (1.0 - d_a) ** k_tile)
+        per_tile = stream_cycles_estimate(nnz_tile, nonempty_rows, spec, w)
+        streamed_entries = float(nnz_a)
+    elif acf_a is Format.COO:
+        per_tile = stream_cycles_estimate(nnz_tile, 1.0, spec, w)
+        streamed_entries = float(nnz_a)
+    elif acf_a is Format.CSC:
+        nonempty_cols = k_tile * (1.0 - (1.0 - d_a) ** m)
+        per_tile = stream_cycles_estimate(nnz_tile, nonempty_cols, spec, w)
+        streamed_entries = float(nnz_a)
+    else:
+        raise SimulationError(f"{acf_a} is not a streamable ACF")
+    stream_cycles = float(per_tile) * k_tiles * rounds
+
+    # --- MACs, compares, spills ----------------------------------------------
+    useful = nnz_a * nnz_b / k if k else 0.0
+    if acf_b is Format.DENSE:
+        issued = streamed_entries * n
+        compares = 0.0
+        if dense_streams_zeros:
+            spills = float(m) * n * k_tiles
+        elif acf_a in (Format.DENSE, Format.CSR, Format.COO):
+            nonempty_rows = m * (1.0 - (1.0 - d_a) ** k_tile)
+            spills = nonempty_rows * n * k_tiles
+        else:
+            spills = streamed_entries * n  # CSC streaming thrashes Oreg
+    else:
+        if dense_streams_zeros:
+            issued = float(m) * nnz_b
+            nonempty_cols = n * (1.0 - (1.0 - d_b) ** k_tile)
+            spills = float(m) * nonempty_cols * k_tiles
+        else:
+            issued = useful
+            p_hit = 1.0 - (1.0 - d_a * d_b) ** k_tile
+            spills = float(m) * n * p_hit * k_tiles
+            if acf_a is Format.CSC:
+                spills = max(spills, useful)  # run-per-match pessimism
+        compares = streamed_entries * nnz_b
+
+    # --- loading -------------------------------------------------------------
+    load_cycles = stationary_entries / w + k_tiles * rounds * 0.5
+
+    drain_cycles = spills / w
+    compute_cycles = issued / cfg.total_macs
+    cycles = CycleReport(
+        load_cycles=int(np.ceil(load_cycles)),
+        stream_cycles=int(np.ceil(stream_cycles)),
+        drain_cycles=int(np.ceil(drain_cycles)),
+        compute_cycles=int(np.ceil(compute_cycles)),
+        rounds=rounds,
+        k_tiles=k_tiles,
+        issued_macs=int(np.ceil(issued)),
+        matched_macs=int(np.ceil(useful)),
+        output_spills=int(np.ceil(spills)),
+    )
+    energy = energy_report(
+        cfg,
+        beat_cycles=cycles.stream_cycles,
+        entries_loaded=int(np.ceil(stationary_entries)),
+        issued_macs=cycles.issued_macs,
+        compares=int(np.ceil(compares)),
+        spills=cycles.output_spills,
+    )
+    return RunReport(cycles=cycles, energy=energy)
+
+
+# --------------------------------------------------------------------------
+# 3-D tensor kernels (matricized)
+# --------------------------------------------------------------------------
+
+
+def analytical_spttm(
+    shape: tuple[int, int, int],
+    nnz: int,
+    rank: int,
+    acf_t: Format,
+    config: AcceleratorConfig | None = None,
+) -> RunReport:
+    """SpTTM ``Y[i,j,r] = sum_k X[i,j,k] U[k,r]`` with a dense factor.
+
+    The tensor is streamed matricized ((I*J) x K); each PE pins one dense
+    factor column (rank-parallel mapping), so stationary footprint is K.
+    Output rows are the (i, j) fibers.
+    """
+    return _tensor_kernel(shape, nnz, rank, acf_t, config, macs_per_nnz=1,
+                          gather_b=False)
+
+
+def analytical_mttkrp(
+    shape: tuple[int, int, int],
+    nnz: int,
+    rank: int,
+    acf_t: Format,
+    config: AcceleratorConfig | None = None,
+) -> RunReport:
+    """MTTKRP ``M[i,r] = sum_{j,k} X[i,j,k] B[j,r] C[k,r]``.
+
+    Rank-parallel: PE r pins C[:, r] (footprint K, like SpTTM); the B[j, r]
+    coefficients are broadcast per fiber over the bus (a row of B serves
+    every PE), charged as gather traffic.  Every nonzero issues two MACs
+    (multiply by C, then by B).  Output rows are the roots (i).
+    """
+    return _tensor_kernel(shape, nnz, rank, acf_t, config, macs_per_nnz=2,
+                          gather_b=True)
+
+
+def _tensor_kernel(
+    shape: tuple[int, int, int],
+    nnz: int,
+    rank: int,
+    acf_t: Format,
+    config: AcceleratorConfig | None,
+    *,
+    macs_per_nnz: int,
+    gather_b: bool,
+) -> RunReport:
+    cfg = config or AcceleratorConfig.paper_default()
+    i_dim, j_dim, k_dim = (int(s) for s in shape)
+    size = i_dim * j_dim * k_dim
+    density = nnz / size if size else 0.0
+    spec = stream_spec_for(acf_t, tensor=True)
+    w = cfg.bus_slots
+    cap = cfg.pe_buffer_entries
+
+    k_tiles = max(1, ceil_div(k_dim, cap))
+    k_tile = k_dim / k_tiles
+    rounds = max(1, ceil_div(rank, cfg.num_pes))
+
+    n_fibers = i_dim * j_dim * (1.0 - (1.0 - density) ** k_dim)
+    # Fibers occupied within one k-tile (what CSF streaming groups by).
+    fibers_per_tile = i_dim * j_dim * (1.0 - (1.0 - density) ** k_tile)
+    if acf_t is Format.DENSE:
+        # Flexible NoC (Sec. VI): nonzeros + packed occupancy sideband.
+        per_stream = stream_cycles_estimate(
+            (nnz + size / _SIDEBAND_PACK) / k_tiles,
+            float(i_dim * j_dim),
+            spec,
+            w,
+        )
+        streamed_entries = float(nnz)
+    elif acf_t is Format.COO:
+        per_stream = stream_cycles_estimate(nnz / k_tiles, 1.0, spec, w)
+        streamed_entries = float(nnz)
+    elif acf_t is Format.CSF:
+        per_stream = stream_cycles_estimate(
+            nnz / k_tiles, fibers_per_tile, spec, w
+        )
+        streamed_entries = float(nnz)
+    else:
+        raise SimulationError(f"{acf_t} is not a tensor streaming ACF")
+    stream_cycles = float(per_stream) * k_tiles * rounds
+
+    issued = float(macs_per_nnz) * nnz * rank
+    useful = float(macs_per_nnz) * nnz * rank
+    spills = (
+        i_dim * (1.0 - (1.0 - density) ** (j_dim * k_dim))
+        if gather_b
+        else n_fibers
+    ) * rank * k_tiles
+    stationary_entries = float(k_dim) * min(rank, cfg.num_pes) * rounds
+    if gather_b:
+        # One B row (rank wide) broadcast per occupied fiber per tile.
+        stationary_entries += fibers_per_tile * k_tiles * min(
+            rank, cfg.num_pes
+        ) * rounds
+
+    cycles = CycleReport(
+        load_cycles=int(np.ceil(stationary_entries / w)),
+        stream_cycles=int(np.ceil(stream_cycles)),
+        drain_cycles=int(np.ceil(spills / w)),
+        compute_cycles=int(np.ceil(issued / cfg.total_macs)),
+        rounds=rounds,
+        k_tiles=k_tiles,
+        issued_macs=int(np.ceil(issued)),
+        matched_macs=int(np.ceil(useful)),
+        output_spills=int(np.ceil(spills)),
+    )
+    energy = energy_report(
+        cfg,
+        beat_cycles=cycles.stream_cycles,
+        entries_loaded=int(np.ceil(stationary_entries)),
+        issued_macs=cycles.issued_macs,
+        compares=0,
+        spills=cycles.output_spills,
+    )
+    return RunReport(cycles=cycles, energy=energy)

@@ -1,0 +1,87 @@
+"""Result dataclasses shared by the simulator and the analytical model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """Cycle accounting for one kernel execution.
+
+    The I/O pipeline (load stationary -> stream -> drain) and the MAC
+    pipeline overlap; the run is bound by whichever is longer, mirroring the
+    walkthrough where data streaming latency is the reported cost.
+    """
+
+    load_cycles: int
+    stream_cycles: int
+    drain_cycles: int
+    compute_cycles: int
+    rounds: int
+    k_tiles: int
+    issued_macs: int
+    matched_macs: int
+    output_spills: int
+
+    @property
+    def io_cycles(self) -> int:
+        """Cycles on the data-movement path."""
+        return self.load_cycles + self.stream_cycles + self.drain_cycles
+
+    @property
+    def total_cycles(self) -> int:
+        """Overall latency: max of the overlapped I/O and compute pipelines."""
+        return max(self.io_cycles, self.compute_cycles)
+
+    @property
+    def utilization(self) -> float:
+        """Matched (useful) MACs / issued MACs (1.0 when nothing issued)."""
+        return self.matched_macs / self.issued_macs if self.issued_macs else 1.0
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting (joules) for one kernel execution on the array."""
+
+    noc_j: float
+    load_j: float
+    buffer_j: float
+    compare_j: float
+    mac_j: float
+    output_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Sum of all on-chip components (DRAM is accounted by SAGE)."""
+        return (
+            self.noc_j
+            + self.load_j
+            + self.buffer_j
+            + self.compare_j
+            + self.mac_j
+            + self.output_j
+        )
+
+    def __add__(self, other: "EnergyReport") -> "EnergyReport":
+        return EnergyReport(
+            self.noc_j + other.noc_j,
+            self.load_j + other.load_j,
+            self.buffer_j + other.buffer_j,
+            self.compare_j + other.compare_j,
+            self.mac_j + other.mac_j,
+            self.output_j + other.output_j,
+        )
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Combined cycle + energy result of a kernel execution."""
+
+    cycles: CycleReport
+    energy: EnergyReport
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-cycles (the paper's Fig. 12 metric)."""
+        return self.energy.total_j * self.cycles.total_cycles

@@ -1,0 +1,137 @@
+"""Mapping a GEMM onto the PE array: column rounds and reduction tiling.
+
+The weight-stationary dataflow pins one column of the stationary operand B
+(K x N) per PE.  Two mapping dimensions arise:
+
+* **rounds** — with N columns and P PEs, ``ceil(N / P)`` batches of columns,
+  each requiring the streamed operand A to be re-broadcast;
+* **K-tiles** — when one column's stationary footprint (values + metadata)
+  exceeds the PE buffer, the reduction dimension is split into uniform
+  tiles, and A is streamed once per tile (restricted to that tile's
+  k-range).
+
+Footprints follow Fig. 6: a Dense column occupies ``k_hi - k_lo`` buffer
+entries (zeros included, "to maintain correct buffer indexing"); a CSC
+column occupies ``2 * nnz`` entries (value + row-id metadata, the flexible
+buffer partition of Sec. IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchedulingError, SimulationError
+from repro.formats.base import MatrixFormat
+from repro.formats.csc import CscMatrix
+from repro.formats.registry import Format
+from repro.util.bits import ceil_div
+
+#: Buffer entries consumed per stationary nonzero in CSC (value + row id).
+CSC_ENTRY_COST = 2
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """The (k-tile x round) execution grid for one GEMM."""
+
+    k_tiles: tuple[tuple[int, int], ...]
+    rounds: tuple[tuple[int, int], ...]  # [col_lo, col_hi) per round
+
+    @property
+    def num_tiles(self) -> int:
+        """Reduction-dimension tile count."""
+        return len(self.k_tiles)
+
+    @property
+    def num_rounds(self) -> int:
+        """Column-batch count."""
+        return len(self.rounds)
+
+
+def _uniform_tiles(k: int, num_tiles: int) -> tuple[tuple[int, int], ...]:
+    """Split [0, k) into *num_tiles* near-equal contiguous ranges."""
+    bounds = np.linspace(0, k, num_tiles + 1, dtype=np.int64)
+    return tuple((int(bounds[t]), int(bounds[t + 1])) for t in range(num_tiles))
+
+
+def _csc_tile_footprints(
+    b: CscMatrix, tiles: tuple[tuple[int, int], ...]
+) -> np.ndarray:
+    """Max per-column CSC footprint within each tile, vectorized.
+
+    Returns an array of shape (num_tiles,) with the worst-column footprint.
+    """
+    # 2-D histogram of nonzeros over (tile, column).
+    edges = np.asarray([lo for lo, _ in tiles] + [tiles[-1][1]], dtype=np.int64)
+    tile_of_entry = np.searchsorted(edges, b.row_ids, side="right") - 1
+    cols = np.repeat(np.arange(b.ncols), b.col_lengths())
+    counts = np.zeros((len(tiles), b.ncols), dtype=np.int64)
+    np.add.at(counts, (tile_of_entry, cols), 1)
+    return CSC_ENTRY_COST * counts.max(axis=1)
+
+
+def compute_k_tiles(
+    b: MatrixFormat, acf_b: Format, capacity_entries: int
+) -> tuple[tuple[int, int], ...]:
+    """Minimal uniform K-tiling so every (column, tile) footprint fits."""
+    k = b.nrows
+    if acf_b is Format.DENSE:
+        num = ceil_div(k, capacity_entries)
+        return _uniform_tiles(k, max(1, num))
+    if acf_b is Format.CSC:
+        if not isinstance(b, CscMatrix):
+            raise SimulationError("CSC stationary operand must be a CscMatrix")
+        max_footprint = (
+            CSC_ENTRY_COST * int(b.col_lengths().max()) if b.stored else 0
+        )
+        num = max(1, ceil_div(max(1, max_footprint), capacity_entries))
+        while num <= k:
+            tiles = _uniform_tiles(k, num)
+            if max_footprint == 0 or _csc_tile_footprints(b, tiles).max() <= (
+                capacity_entries
+            ):
+                return tiles
+            num += 1
+        raise SchedulingError(
+            f"PE buffer of {capacity_entries} entries cannot hold even a "
+            f"single-k CSC column slice"
+        )
+    raise SimulationError(f"{acf_b} is not a supported stationary ACF")
+
+
+def compute_rounds(n_cols: int, num_pes: int) -> tuple[tuple[int, int], ...]:
+    """Column batches of at most *num_pes* columns."""
+    return tuple(
+        (lo, min(lo + num_pes, n_cols)) for lo in range(0, max(n_cols, 1), num_pes)
+    )
+
+
+def build_schedule(
+    b: MatrixFormat, acf_b: Format, capacity_entries: int, num_pes: int
+) -> Schedule:
+    """Full (tiles x rounds) schedule for stationary operand *b*."""
+    if capacity_entries < 1:
+        raise SchedulingError("PE buffer must hold at least one entry")
+    return Schedule(
+        k_tiles=compute_k_tiles(b, acf_b, capacity_entries),
+        rounds=compute_rounds(b.ncols, num_pes),
+    )
+
+
+def stationary_entries_loaded(
+    b: MatrixFormat, acf_b: Format, tiles: tuple[tuple[int, int], ...]
+) -> int:
+    """Total buffer entries written while loading B across all tiles/rounds.
+
+    Every column is loaded exactly once per tile that intersects it, so the
+    total is independent of the round structure.
+    """
+    if acf_b is Format.DENSE:
+        return b.ncols * b.nrows  # zeros stored too
+    if acf_b is Format.CSC:
+        if not isinstance(b, CscMatrix):
+            raise SimulationError("CSC stationary operand must be a CscMatrix")
+        return CSC_ENTRY_COST * b.stored
+    raise SimulationError(f"{acf_b} is not a supported stationary ACF")

@@ -1,0 +1,265 @@
+"""Bus beat packing per Algorithm Compression Format.
+
+Sec. IV-B's walkthrough fixes the streaming rules this module implements.
+The bus carries ``W`` element slots per cycle (metadata and data slots are
+interchangeable, selected by the Sec. IV flag extension).  Each ACF defines
+the slot cost of one streamed entry and of a per-group shared header:
+
+* **Dense** — 1 slot per value (zeros included, Fig. 6a) + 1 shared row id
+  per row per beat;
+* **CSR**   — 2 slots per (value, col id) + 1 shared row id per row per
+  beat; Fig. 6b: "if the row id is not common among both data, it must be
+  broken up" — i.e. a beat may carry several rows only if every row's
+  header fits, which at W=5 it cannot;
+* **CSC**   — CSR mirrored column-wise;
+* **COO**   — 3 slots per (value, col id, row id), no shared header;
+* **CSF**   — (matricized 3-D tensors) 2 shared fiber coordinates + 2 slots
+  per (value, leaf id);
+* **COO3**  — 4 slots per (value, x, y, z).
+
+Packing is greedy and order-preserving: entries fill the current beat as
+long as their slots (plus their group's header, if the group is not yet
+present in the beat) fit; otherwise a new beat starts.  A group spanning
+several beats pays its header in each.  On the Fig. 6 operands (W=5) this
+yields exactly 8 / 3 / 4 cycles for Dense / CSR / COO, which the test
+suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.formats.base import MatrixFormat
+from repro.formats.coo import CooMatrix
+from repro.formats.csc import CscMatrix
+from repro.formats.csr import CsrMatrix
+from repro.formats.dense import DenseMatrix
+from repro.formats.registry import Format
+from repro.util.bits import ceil_div
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Slot cost of one streamed entry and of its per-group shared header."""
+
+    entry_slots: int
+    shared_slots: int
+    grouped: bool
+
+    def entries_per_beat(self, bus_slots: int) -> int:
+        """Entries fitting an empty beat (0 = one entry spans many beats)."""
+        return max(0, (bus_slots - self.shared_slots) // self.entry_slots)
+
+    def span_cycles(self, bus_slots: int) -> int:
+        """Beats one over-wide entry occupies."""
+        return ceil_div(self.entry_slots + self.shared_slots, bus_slots)
+
+
+#: Matrix streaming specs (streamed operand A of the WS dataflow).
+_MATRIX_SPECS: dict[Format, StreamSpec] = {
+    Format.DENSE: StreamSpec(entry_slots=1, shared_slots=1, grouped=True),
+    Format.CSR: StreamSpec(entry_slots=2, shared_slots=1, grouped=True),
+    Format.CSC: StreamSpec(entry_slots=2, shared_slots=1, grouped=True),
+    Format.COO: StreamSpec(entry_slots=3, shared_slots=0, grouped=False),
+}
+
+#: Matricized 3-D tensor streaming specs.
+_TENSOR_SPECS: dict[Format, StreamSpec] = {
+    Format.DENSE: StreamSpec(entry_slots=1, shared_slots=1, grouped=True),
+    Format.COO: StreamSpec(entry_slots=4, shared_slots=0, grouped=False),
+    Format.CSF: StreamSpec(entry_slots=2, shared_slots=2, grouped=True),
+}
+
+
+def stream_spec_for(fmt: Format, *, tensor: bool = False) -> StreamSpec:
+    """Return the streaming spec for an ACF (matrix by default)."""
+    table = _TENSOR_SPECS if tensor else _MATRIX_SPECS
+    try:
+        return table[fmt]
+    except KeyError:
+        raise SimulationError(
+            f"{fmt} is not a supported streaming ACF "
+            f"({'tensor' if tensor else 'matrix'})"
+        ) from None
+
+
+# --------------------------------------------------------------------------
+# greedy packer (single source of truth for beat boundaries)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Span:
+    """A contiguous run of one group's entries placed in one beat."""
+
+    group_index: int
+    lo: int
+    hi: int
+
+
+def _pack_spans(
+    sizes: Sequence[int], spec: StreamSpec, bus_slots: int
+) -> Iterator[tuple[list[_Span], int]]:
+    """Greedily pack per-group entry counts into beats.
+
+    Yields (spans, cycles) per beat; ``cycles`` exceeds 1 only in the
+    degenerate case where a single entry plus header is wider than the bus.
+    """
+    es, ss = spec.entry_slots, spec.shared_slots
+    if es + ss > bus_slots:
+        span_cycles = spec.span_cycles(bus_slots)
+        for gi, n in enumerate(sizes):
+            for t in range(int(n)):
+                yield [_Span(gi, t, t + 1)], span_cycles
+        return
+    current: list[_Span] = []
+    free = bus_slots
+    for gi, n in enumerate(sizes):
+        placed = 0
+        n = int(n)
+        while placed < n:
+            if free >= ss + es:
+                take = min(n - placed, (free - ss) // es)
+                current.append(_Span(gi, placed, placed + take))
+                free -= ss + take * es
+                placed += take
+            if placed < n:
+                yield current, 1
+                current = []
+                free = bus_slots
+    if current:
+        yield current, 1
+
+
+def stream_cycle_count(
+    group_sizes: Sequence[int] | np.ndarray,
+    spec: StreamSpec,
+    bus_slots: int,
+) -> int:
+    """Beat count for the given per-group entry counts.
+
+    Runs the same greedy packer the simulator streams with, so the
+    analytical exact mode and the simulator agree beat-for-beat.  For
+    ungrouped specs (COO) pass a single total as ``[total]``.
+    """
+    sizes = np.asarray(group_sizes, dtype=np.int64)
+    sizes = sizes[sizes > 0]
+    return sum(cycles for _spans, cycles in _pack_spans(sizes, spec, bus_slots))
+
+
+def stream_cycles_estimate(
+    total_entries: float,
+    nonempty_groups: float,
+    spec: StreamSpec,
+    bus_slots: int,
+) -> float:
+    """Closed-form expectation of the greedy packer's beat count.
+
+    Slots consumed are ``entry_slots * entries`` plus one header per
+    (group, beat) incidence: at least one per nonempty group, and at least
+    one per beat when groups are long.  Hence the max of the two regimes:
+
+    * long groups: every beat carries one header ->
+      ``entries * entry_slots / (W - shared)``;
+    * short groups: one header each ->
+      ``(entries * entry_slots + groups * shared) / W``.
+    """
+    es, ss = spec.entry_slots, spec.shared_slots
+    if es + ss > bus_slots:
+        return total_entries * spec.span_cycles(bus_slots)
+    slots = total_entries * es
+    long_regime = slots / max(1, bus_slots - ss)
+    short_regime = (slots + nonempty_groups * ss) / bus_slots
+    return max(long_regime, short_regime)
+
+
+# --------------------------------------------------------------------------
+# payload streaming for the simulator
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Beat:
+    """One bus cycle's worth of streamed entries.
+
+    ``entries`` holds (i, k, value) triples: output-row coordinate,
+    reduction coordinate and data value of each element on the bus.
+    ``cycles`` > 1 models a single wide entry spanning several bus beats.
+    """
+
+    entries: tuple[tuple[int, int, float], ...]
+    cycles: int = 1
+
+
+def _matrix_groups(
+    a: MatrixFormat, fmt: Format, k_range: tuple[int, int]
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Per-group (i, k, value) arrays for the streamed operand, in order."""
+    lo, hi = k_range
+    groups: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    if fmt is Format.DENSE:
+        dense = a.values if isinstance(a, DenseMatrix) else a.to_dense()
+        ks = np.arange(lo, hi, dtype=np.int64)
+        for i in range(dense.shape[0]):
+            groups.append(
+                (np.full(hi - lo, i, dtype=np.int64), ks, dense[i, lo:hi])
+            )
+    elif fmt is Format.CSR:
+        if not isinstance(a, CsrMatrix):
+            raise SimulationError("CSR streaming requires a CsrMatrix operand")
+        for i in range(a.nrows):
+            cols, vals = a.row_slice(i)
+            sel = (cols >= lo) & (cols < hi)
+            if sel.any():
+                count = int(sel.sum())
+                groups.append(
+                    (np.full(count, i, dtype=np.int64), cols[sel], vals[sel])
+                )
+    elif fmt is Format.CSC:
+        if not isinstance(a, CscMatrix):
+            raise SimulationError("CSC streaming requires a CscMatrix operand")
+        for k in range(lo, hi):
+            rows, vals = a.col_slice(k)
+            if len(rows):
+                groups.append(
+                    (rows, np.full(len(rows), k, dtype=np.int64), vals)
+                )
+    elif fmt is Format.COO:
+        if not isinstance(a, CooMatrix):
+            raise SimulationError("COO streaming requires a CooMatrix operand")
+        coo = a.sorted_row_major()
+        sel = (coo.col_ids >= lo) & (coo.col_ids < hi)
+        if sel.any():
+            groups.append((coo.row_ids[sel], coo.col_ids[sel], coo.values[sel]))
+    else:  # pragma: no cover - guarded by stream_spec_for
+        raise SimulationError(f"unsupported streaming ACF {fmt}")
+    return groups
+
+
+def stream_beats(
+    a: MatrixFormat,
+    fmt: Format,
+    bus_slots: int,
+    k_range: tuple[int, int] | None = None,
+) -> Iterator[Beat]:
+    """Pack the streamed operand *a* (in ACF *fmt*) into bus beats.
+
+    ``k_range`` restricts streaming to a reduction-dimension tile, as the
+    scheduler requires when the stationary operand is K-tiled.
+    """
+    spec = stream_spec_for(fmt)
+    if k_range is None:
+        k_range = (0, a.ncols)
+    groups = _matrix_groups(a, fmt, k_range)
+    sizes = [len(g[2]) for g in groups]
+    for spans, cycles in _pack_spans(sizes, spec, bus_slots):
+        entries: list[tuple[int, int, float]] = []
+        for span in spans:
+            i_arr, k_arr, v_arr = groups[span.group_index]
+            for t in range(span.lo, span.hi):
+                entries.append((int(i_arr[t]), int(k_arr[t]), float(v_arr[t])))
+        yield Beat(entries=tuple(entries), cycles=cycles)

@@ -1,0 +1,66 @@
+"""Energy-delay-product aggregation for the Fig. 12/13/14 result tables."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.util.stats import geomean
+
+
+def normalized_edp(
+    edps: Mapping[str, float], reference: str
+) -> dict[str, float]:
+    """Each system's EDP divided by *reference*'s (Fig. 13's y-axis)."""
+    if reference not in edps:
+        raise KeyError(f"reference system {reference!r} missing from table")
+    ref = edps[reference]
+    if ref <= 0:
+        raise ValueError("reference EDP must be positive")
+    return {name: edp / ref for name, edp in edps.items()}
+
+
+def reduction_percent(baseline_edp: float, ours_edp: float) -> float:
+    """EDP 'reduction' as the paper quotes it (can exceed 100%).
+
+    Fig. 13 reports e.g. a "369% reduction", which is the relative excess
+    of the baseline over this work: ``(baseline - ours) / ours * 100``.
+    """
+    if ours_edp <= 0:
+        raise ValueError("ours_edp must be positive")
+    return (baseline_edp - ours_edp) / ours_edp * 100.0
+
+
+def geomean_reduction(
+    per_workload: Sequence[Mapping[str, float]], baseline: str, ours: str
+) -> float:
+    """Geomean across workloads of the baseline/ours EDP ratio, as percent."""
+    ratios = []
+    for table in per_workload:
+        if table[ours] <= 0:
+            raise ValueError("ours EDP must be positive")
+        ratios.append(table[baseline] / table[ours])
+    return (geomean(ratios) - 1.0) * 100.0
+
+
+def edp_table(
+    per_workload: Mapping[str, Mapping[str, float]], ours: str
+) -> dict[str, dict[str, float]]:
+    """Summary of geomean and max reductions per baseline (Fig. 13 captions)."""
+    systems = {
+        name
+        for table in per_workload.values()
+        for name in table
+        if name != ours
+    }
+    out: dict[str, dict[str, float]] = {}
+    for system in sorted(systems):
+        ratios = [
+            table[system] / table[ours]
+            for table in per_workload.values()
+            if system in table
+        ]
+        out[system] = {
+            "geomean_reduction_pct": (geomean(ratios) - 1.0) * 100.0,
+            "max_reduction_pct": (max(ratios) - 1.0) * 100.0,
+        }
+    return out

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+The benches print paper-style rows next to measured rows; this keeps the
+formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt_sci(value: float, digits: int = 3) -> str:
+    """Scientific notation with a fixed significand width."""
+    return f"{value:.{digits}e}"
+
+
+def fmt_pct(value: float, digits: int = 1) -> str:
+    """Percentage with a trailing %."""
+    return f"{value:.{digits}f}%"

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``sage``
+    Run SAGE on a workload described by its statistics and print the
+    decision ranking.
+``sweep``
+    Print the Fig. 4-style compactness sweep for a matrix shape.
+``walkthrough``
+    Render the Fig. 6 bus traces (Dense / CSR / COO) cycle by cycle.
+``suite``
+    Run the Table II policy comparison on one Table III workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+
+def _cmd_sage(args: argparse.Namespace) -> int:
+    from repro.sage import Sage
+    from repro.workloads.spec import Kernel, MatrixWorkload
+
+    nnz_a = int(args.density * args.m * args.k)
+    nnz_b = (
+        args.k * args.n
+        if args.kernel == "spmm"
+        else max(1, int(args.density * args.k * args.n))
+    )
+    wl = MatrixWorkload(
+        name="cli",
+        kernel=Kernel.SPMM if args.kernel == "spmm" else Kernel.SPGEMM,
+        m=args.m,
+        k=args.k,
+        n=args.n,
+        nnz_a=max(1, nnz_a),
+        nnz_b=nnz_b,
+    )
+    decision = Sage().predict_matrix(wl)
+    print(decision.summary(top=args.top))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.compactness import transfer_energy_sweep
+    from repro.formats.registry import Format
+
+    fmts = [Format.DENSE, Format.COO, Format.CSR, Format.CSC, Format.RLC,
+            Format.ZVC]
+    densities = [10.0 ** e for e in range(-8, 0)] + [0.25, 0.5, 0.75, 1.0]
+    sweep = transfer_energy_sweep(
+        (args.m, args.k), densities, fmts, args.bits
+    )
+    print(f"{'density':>9} | " + " ".join(f"{f.value:>7}" for f in fmts) + " | best")
+    for i, d in enumerate(densities):
+        vals = {f: sweep[f][i] for f in fmts}
+        best = min(vals, key=vals.get)
+        print(
+            f"{d:>9.0e} | "
+            + " ".join(f"{vals[f]:>7.3f}" for f in fmts)
+            + f" | {best.value}"
+        )
+    return 0
+
+
+def _cmd_walkthrough(args: argparse.Namespace) -> int:
+    from repro.accelerator.trace import render_stream_trace
+    from repro.formats import CooMatrix, CsrMatrix, DenseMatrix
+    from repro.formats.registry import Format
+
+    a = np.zeros((4, 8))
+    a[0, 0], a[0, 2], a[0, 4], a[3, 5] = 1.0, 2.0, 3.0, 4.0
+    for fmt, cls in [
+        (Format.DENSE, DenseMatrix),
+        (Format.CSR, CsrMatrix),
+        (Format.COO, CooMatrix),
+    ]:
+        print(render_stream_trace(cls.from_dense(a), fmt, args.bus))
+        print()
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.baselines import evaluate_all
+    from repro.workloads import Kernel, suite_by_name
+
+    entry = suite_by_name(args.workload)
+    kernel = Kernel.SPMM if args.kernel == "spmm" else Kernel.SPGEMM
+    results = evaluate_all(entry.matrix_workload(kernel))
+    ours = results["Flex_Flex_HW"].edp
+    print(f"{entry.name} ({entry.density_pct:g}% dense, {kernel.value}):")
+    for name, result in sorted(results.items(), key=lambda kv: kv[1].edp):
+        b = result.best
+        print(
+            f"  {name:>15}: {result.edp / ours:9.2f}x  "
+            f"MCF=({b.mcf[0].value},{b.mcf[1].value}) "
+            f"ACF=({b.acf[0].value},{b.acf[1].value})"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-format sparse tensor accelerator reproduction "
+        "(Qin et al., IPDPS 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sage", help="run the SAGE format predictor")
+    p.add_argument("--m", type=int, default=4096)
+    p.add_argument("--k", type=int, default=4096)
+    p.add_argument("--n", type=int, default=2048)
+    p.add_argument("--density", type=float, default=0.05)
+    p.add_argument("--kernel", choices=["spmm", "spgemm"], default="spmm")
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(fn=_cmd_sage)
+
+    p = sub.add_parser("sweep", help="Fig. 4-style compactness sweep")
+    p.add_argument("--m", type=int, default=11_000)
+    p.add_argument("--k", type=int, default=11_000)
+    p.add_argument("--bits", type=int, default=32)
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("walkthrough", help="render the Fig. 6 bus traces")
+    p.add_argument("--bus", type=int, default=5, help="bus slots per cycle")
+    p.set_defaults(fn=_cmd_walkthrough)
+
+    p = sub.add_parser("suite", help="Table II policies on a Table III workload")
+    p.add_argument("workload", help="e.g. speech2, m3plates, journals")
+    p.add_argument("--kernel", choices=["spmm", "spgemm"], default="spgemm")
+    p.set_defaults(fn=_cmd_suite)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

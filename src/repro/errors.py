@@ -1,0 +1,47 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised errors derive from :class:`ReproError` so callers can catch
+everything from this package with a single ``except`` clause while still being
+able to discriminate the failure domain (format encoding, conversion,
+simulation, prediction, configuration).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class FormatError(ReproError):
+    """A compression-format payload is malformed or inconsistent.
+
+    Raised when decoding a format whose field arrays disagree (e.g. a CSR
+    ``row_ptr`` that is not monotonically non-decreasing) or when an encoding
+    request cannot be represented (e.g. a BSR block size that does not divide
+    into the matrix shape and padding is disabled).
+    """
+
+
+class ConversionError(ReproError):
+    """A format conversion was requested that the engine cannot perform."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level accelerator simulator reached an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """A workload cannot be mapped onto the configured accelerator.
+
+    Typically the per-PE buffer is too small to hold even a single stationary
+    element group and no further tiling is possible.
+    """
+
+
+class PredictionError(ReproError):
+    """SAGE could not produce a decision (e.g. empty candidate space)."""
+
+
+class ConfigError(ReproError):
+    """An invalid hardware or model configuration was supplied."""

@@ -1,0 +1,88 @@
+"""Shared run-length machinery for RLC on flattened arrays.
+
+RLC (Fig. 3) alternates a zero-run count with the following nonzero value:
+``0 a 0 b 2 c ...``.  The run field has a fixed hardware width ``run_bits``
+(Eyeriss uses 5-bit runs; we default to 4 and make it an ablation knob).
+A gap longer than ``2**run_bits - 1`` is encoded by inserting *padding
+entries* — a maximal run followed by an explicit zero value — exactly as
+fixed-width RLC hardware does.  This is what makes RLC collapse at extreme
+sparsity in Fig. 4a: each padding entry burns ``run_bits + dtype_bits``.
+
+Trailing zeros after the final nonzero are implicit: the decoder knows the
+logical size from the stored dimension metadata (Fig. 3 stores ``m_dim``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+
+
+def encode_runs(flat: np.ndarray, run_bits: int) -> tuple[np.ndarray, np.ndarray]:
+    """Encode a flat array into (runs, levels) entry pairs.
+
+    Returns
+    -------
+    runs:
+        Zero-run length preceding each stored level, each < 2**run_bits.
+    levels:
+        The stored values; padding entries store an explicit 0.0 level.
+    """
+    if run_bits < 1:
+        raise FormatError(f"run_bits must be >= 1, got {run_bits}")
+    flat = np.asarray(flat, dtype=np.float64).ravel()
+    max_run = (1 << run_bits) - 1
+    positions = np.nonzero(flat)[0]
+    runs: list[int] = []
+    levels: list[float] = []
+    prev_end = -1  # index of the previously consumed position
+    for pos in positions:
+        gap = int(pos) - prev_end - 1
+        # Each padding entry covers max_run zeros plus its own zero level.
+        while gap > max_run:
+            runs.append(max_run)
+            levels.append(0.0)
+            gap -= max_run + 1
+        runs.append(gap)
+        levels.append(float(flat[pos]))
+        prev_end = int(pos)
+    return np.asarray(runs, dtype=np.int64), np.asarray(levels, dtype=np.float64)
+
+
+def decode_runs(
+    runs: np.ndarray, levels: np.ndarray, size: int
+) -> np.ndarray:
+    """Decode (runs, levels) pairs back into a flat array of *size*."""
+    runs = np.asarray(runs, dtype=np.int64).ravel()
+    levels = np.asarray(levels, dtype=np.float64).ravel()
+    if len(runs) != len(levels):
+        raise FormatError("RLC runs/levels length mismatch")
+    out = np.zeros(size, dtype=np.float64)
+    if len(runs) == 0:
+        return out
+    # Position of entry i = sum(runs[:i+1]) + i  (each entry consumes its
+    # preceding zeros plus one slot for itself).
+    positions = np.cumsum(runs) + np.arange(len(runs))
+    if len(positions) and positions[-1] >= size:
+        raise FormatError(
+            f"RLC stream overruns logical size {size} (last position "
+            f"{int(positions[-1])})"
+        )
+    out[positions] = levels
+    return out
+
+
+def entry_count_expected(size: int, nnz: int, run_bits: int) -> float:
+    """Expected RLC entry count for *nnz* uniform-random nonzeros.
+
+    Used by SAGE's fast path when only summary statistics are available.
+    Under uniform placement the mean gap is ``(size - nnz) / (nnz + 1)``;
+    padding inflates entries by roughly ``gap / (2**run_bits)`` per nonzero.
+    """
+    if nnz <= 0:
+        return 0.0
+    max_span = float(1 << run_bits)
+    mean_gap = (size - nnz) / (nnz + 1.0)
+    pads_per_entry = max(0.0, mean_gap - (max_span - 1.0)) / max_span
+    return nnz * (1.0 + pads_per_entry)

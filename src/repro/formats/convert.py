@@ -1,0 +1,53 @@
+"""Reference (software) format conversions.
+
+These are the *semantic oracle* for MINT: convert through a dense
+intermediate, which is trivially correct.  The hardware-path conversions in
+:mod:`repro.mint.conversions` never materialize dense unless the paper's own
+conversion does (Dense->CSF), and are verified element-exact against these.
+
+This module also stands in for the paper's "Flex Flex SW" baseline semantics
+(conversion performed by a host library); the *cost* of that path is modelled
+by :mod:`repro.baselines.cpu` / :mod:`repro.baselines.gpu`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConversionError
+from repro.formats.base import MatrixFormat, TensorFormat
+from repro.formats.registry import (
+    Format,
+    MATRIX_FORMATS,
+    TENSOR_FORMATS,
+    matrix_class,
+    tensor_class,
+)
+
+
+def convert_matrix(
+    source: MatrixFormat, target: Format, **encode_kwargs: Any
+) -> MatrixFormat:
+    """Convert a matrix encoding to *target* via the dense oracle path.
+
+    Encoding keyword arguments (``run_bits``, ``block_shape``) are forwarded
+    to formats that accept them.
+    """
+    if target not in MATRIX_FORMATS:
+        raise ConversionError(f"{target} is not a matrix format")
+    cls = matrix_class(target)
+    return cls.from_dense(
+        source.to_dense(), dtype_bits=source.dtype_bits, **encode_kwargs
+    )
+
+
+def convert_tensor(
+    source: TensorFormat, target: Format, **encode_kwargs: Any
+) -> TensorFormat:
+    """Convert a 3-D tensor encoding to *target* via the dense oracle path."""
+    if target not in TENSOR_FORMATS:
+        raise ConversionError(f"{target} is not a 3-D tensor format")
+    cls = tensor_class(target)
+    return cls.from_dense(
+        source.to_dense(), dtype_bits=source.dtype_bits, **encode_kwargs
+    )

@@ -1,0 +1,109 @@
+"""Coordinate (COO) 3-D tensor encoding.
+
+Stores every nonzero with (x, y, z) coordinates (Fig. 3b).  The paper's MCF
+choice for the extremely sparse Uber tensor (Table III) and the hub format
+MINT routes conversions through ("COO enables fast translation to other
+formats", Sec. V-B2).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import StorageBreakdown, TensorFormat
+from repro.formats.registry import Format
+from repro.util.bits import bits_for_index
+from repro.util.validation import check_dense_tensor
+
+
+class CooTensor(TensorFormat):
+    """COO encoding: parallel ``values`` / ``x_ids`` / ``y_ids`` / ``z_ids``."""
+
+    format = Format.COO
+
+    def __init__(
+        self,
+        shape: tuple[int, int, int],
+        values: np.ndarray,
+        x_ids: np.ndarray,
+        y_ids: np.ndarray,
+        z_ids: np.ndarray,
+        *,
+        dtype_bits: int = 32,
+    ) -> None:
+        self.shape = tuple(int(s) for s in shape)  # type: ignore[assignment]
+        self.values = np.asarray(values, dtype=np.float64).ravel()
+        self.x_ids = np.asarray(x_ids, dtype=np.int64).ravel()
+        self.y_ids = np.asarray(y_ids, dtype=np.int64).ravel()
+        self.z_ids = np.asarray(z_ids, dtype=np.int64).ravel()
+        self.dtype_bits = dtype_bits
+        self._check_dtype_bits()
+        self._validate()
+
+    def _validate(self) -> None:
+        n = len(self.values)
+        for name, ids, dim in (
+            ("x_ids", self.x_ids, self.shape[0]),
+            ("y_ids", self.y_ids, self.shape[1]),
+            ("z_ids", self.z_ids, self.shape[2]),
+        ):
+            if len(ids) != n:
+                raise FormatError(f"COO tensor {name} length mismatch")
+            if n and (ids.min() < 0 or ids.max() >= dim):
+                raise FormatError(f"COO tensor {name} out of range")
+        if n:
+            linear = (
+                self.x_ids * self.shape[1] + self.y_ids
+            ) * self.shape[2] + self.z_ids
+            if len(np.unique(linear)) != n:
+                raise FormatError("COO tensor contains duplicate coordinates")
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, *, dtype_bits: int = 32) -> "CooTensor":
+        dense = check_dense_tensor(dense)
+        xs, ys, zs = np.nonzero(dense)
+        return cls(dense.shape, dense[xs, ys, zs], xs, ys, zs, dtype_bits=dtype_bits)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float64)
+        out[self.x_ids, self.y_ids, self.z_ids] = self.values
+        return out
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.values))
+
+    @property
+    def stored(self) -> int:
+        """Stored entries (may include explicit zeros)."""
+        return len(self.values)
+
+    def storage(self) -> StorageBreakdown:
+        meta = sum(bits_for_index(d) for d in self.shape)
+        return StorageBreakdown(
+            data_bits=self.stored * self.dtype_bits,
+            metadata_bits=self.stored * meta,
+        )
+
+    def fields(self) -> Mapping[str, np.ndarray]:
+        return {
+            "values": self.values,
+            "x_ids": self.x_ids,
+            "y_ids": self.y_ids,
+            "z_ids": self.z_ids,
+        }
+
+    def sorted_lexicographic(self) -> "CooTensor":
+        """Entries sorted by (x, y, z) — the order CSF construction expects."""
+        order = np.lexsort((self.z_ids, self.y_ids, self.x_ids))
+        return CooTensor(
+            self.shape,
+            self.values[order],
+            self.x_ids[order],
+            self.y_ids[order],
+            self.z_ids[order],
+            dtype_bits=self.dtype_bits,
+        )

@@ -1,0 +1,41 @@
+"""Dense (uncompressed) 3-D tensor encoding."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.formats.base import StorageBreakdown, TensorFormat
+from repro.formats.registry import Format
+from repro.util.validation import check_dense_tensor
+
+
+class DenseTensor(TensorFormat):
+    """Row-major dense storage of an X x Y x Z tensor."""
+
+    format = Format.DENSE
+
+    def __init__(self, values: np.ndarray, *, dtype_bits: int = 32) -> None:
+        self.values = check_dense_tensor(values, "values")
+        self.shape = tuple(int(s) for s in self.values.shape)  # type: ignore[assignment]
+        self.dtype_bits = dtype_bits
+        self._check_dtype_bits()
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, *, dtype_bits: int = 32) -> "DenseTensor":
+        dense = check_dense_tensor(dense)
+        return cls(dense.copy(), dtype_bits=dtype_bits)
+
+    def to_dense(self) -> np.ndarray:
+        return self.values.copy()
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.values))
+
+    def storage(self) -> StorageBreakdown:
+        return StorageBreakdown(data_bits=self.size * self.dtype_bits, metadata_bits=0)
+
+    def fields(self) -> Mapping[str, np.ndarray]:
+        return {"values": self.values.ravel()}

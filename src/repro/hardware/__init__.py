@@ -1,0 +1,20 @@
+"""Hardware cost substrate: energy, DRAM, and area/power models.
+
+These modules replace the paper's physical measurement apparatus (28 nm RTL
+synthesis, DRAM datasheets) with parametric analytical models whose default
+constants are calibrated to the aggregate numbers the paper publishes.  Every
+constant is a dataclass field, so experiments can re-run under different
+technology assumptions.
+"""
+
+from repro.hardware.area import AreaModel, PEAreaBreakdown, PrefixSumOverlay
+from repro.hardware.dram import DramChannel
+from repro.hardware.energy import EnergyModel
+
+__all__ = [
+    "AreaModel",
+    "DramChannel",
+    "EnergyModel",
+    "PEAreaBreakdown",
+    "PrefixSumOverlay",
+]

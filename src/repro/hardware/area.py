@@ -1,0 +1,177 @@
+"""Area and power model at a 28 nm-class node.
+
+The paper implements MINT's building blocks in RTL and reports post
+place-and-route aggregates (Sec. VII-B).  We replace synthesis with a
+parametric component model whose default constants are **calibrated so the
+composed aggregates land on the published numbers**:
+
+* MINT_b / MINT_m / MINT_mr ~= 0.95 / 0.41 / 0.23 mm^2,
+* divide+mod units ~= 74% of MINT_m area and ~= 65% of its power,
+* MINT_m ~= 0.5% area / 0.4% power of a 16384-PE accelerator,
+* extended PE ~= +10% area over a base PE with a 128 B buffer (Fig. 7b),
+* prefix-sum overlays: serial chain +2% area / +3% power on a 16x16 int32
+  array; highly-parallel 32-input +20% area / +27% power.
+
+The calibration targets are aggregates, so individual block constants are
+*model parameters*, not measurements; they are chosen to be mutually
+consistent and of plausible magnitude for 28 nm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class PrefixSumDesign(Enum):
+    """The three prefix-sum implementations of Fig. 9."""
+
+    SERIAL_CHAIN = "serial_chain"
+    WORK_EFFICIENT = "work_efficient"
+    HIGHLY_PARALLEL = "highly_parallel"
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Component areas (mm^2) and powers (mW @ 1 GHz) for MINT + accelerator.
+
+    ``*_area`` fields are per-instance areas; ``*_power`` per-instance powers.
+    """
+
+    # --- MINT building blocks ------------------------------------------------
+    divider_area: float = 0.0220
+    divider_power: float = 5.0
+    mod_area: float = 0.0159
+    mod_power: float = 3.125
+    multiplier_area: float = 0.0030
+    multiplier_power: float = 1.5
+    prefix_sum_area: float = 0.0160  # 32-input pipelined scan unit
+    prefix_sum_power: float = 4.0
+    sorter_area: float = 0.0200  # pipelined sorting network
+    sorter_power: float = 6.0
+    cluster_counter_area: float = 0.0080
+    cluster_counter_power: float = 2.5
+    comparator_bank_area: float = 0.0060
+    comparator_bank_power: float = 2.0
+    mem_controller_area: float = 0.0328  # address generators + FIFOs + crossbar
+    mem_controller_power: float = 8.0
+    block_flags_area: float = 0.0020
+    block_flags_power: float = 0.5
+    # Muxes / controller / datapaths added when MINT_mr borrows accelerator
+    # compute units (Sec. V-A: "Reusing the dividers in the activation units
+    # require a mux, controller, and dedicated data paths").
+    reuse_glue_area: float = 0.0340
+    reuse_glue_power: float = 6.0
+
+    # --- PE microarchitecture (Fig. 7) ---------------------------------------
+    pe_mac_lane_area: float = 0.00208  # fp32 multiplier + adder, one lane
+    pe_buffer_area_per_byte: float = 4.7e-6
+    pe_control_area: float = 0.00220  # registers + state machine
+    pe_comparator_area: float = 0.00012  # one metadata comparator
+    pe_encoder_area: float = 0.00030  # one-hot-to-binary encoder
+    pe_addr_gen_area: float = 0.00040  # valid-data address generator
+    pe_flag_area: float = 0.00020  # bus data/metadata flag handling
+
+    # --- whole-accelerator nominals (Sec. VII-B comparison point) ------------
+    accelerator_area: float = 82.0  # 16384 MACs, int16/int32 & bfp16/fp32
+    accelerator_power: float = 25_000.0  # mW nominal
+
+    # ------------------------------------------------------------------ PEs --
+    def pe_base_area(self, buffer_bytes: int = 128, lanes: int = 8) -> float:
+        """Area of a base (non-extended) PE."""
+        return (
+            lanes * self.pe_mac_lane_area
+            + buffer_bytes * self.pe_buffer_area_per_byte
+            + self.pe_control_area
+        )
+
+    def pe_extension_area(self, lanes: int = 8) -> float:
+        """Area added by the multi-ACF extensions of Sec. IV."""
+        return (
+            lanes * self.pe_comparator_area
+            + self.pe_encoder_area
+            + self.pe_addr_gen_area
+            + self.pe_flag_area
+        )
+
+    def pe_extended_area(self, buffer_bytes: int = 128, lanes: int = 8) -> float:
+        """Area of an extended PE (base + flexible-ACF support)."""
+        return self.pe_base_area(buffer_bytes, lanes) + self.pe_extension_area(lanes)
+
+    def pe_overhead_fraction(self, buffer_bytes: int = 128, lanes: int = 8) -> float:
+        """Fractional area overhead of the extension (Fig. 7b reports ~10%)."""
+        return self.pe_extension_area(lanes) / self.pe_base_area(buffer_bytes, lanes)
+
+
+@dataclass(frozen=True)
+class PEAreaBreakdown:
+    """Itemized PE area report for rendering Fig. 7b-style tables."""
+
+    mac_lanes: float
+    buffer: float
+    control: float
+    comparators: float
+    encoder: float
+    addr_gen: float
+    flags: float
+
+    @property
+    def base(self) -> float:
+        """Base-PE subtotal."""
+        return self.mac_lanes + self.buffer + self.control
+
+    @property
+    def extension(self) -> float:
+        """Extension subtotal."""
+        return self.comparators + self.encoder + self.addr_gen + self.flags
+
+    @property
+    def total(self) -> float:
+        """Extended-PE total."""
+        return self.base + self.extension
+
+
+def pe_breakdown(
+    model: AreaModel, buffer_bytes: int = 128, lanes: int = 8
+) -> PEAreaBreakdown:
+    """Compute the itemized PE area breakdown under *model*."""
+    return PEAreaBreakdown(
+        mac_lanes=lanes * model.pe_mac_lane_area,
+        buffer=buffer_bytes * model.pe_buffer_area_per_byte,
+        control=model.pe_control_area,
+        comparators=lanes * model.pe_comparator_area,
+        encoder=model.pe_encoder_area,
+        addr_gen=model.pe_addr_gen_area,
+        flags=model.pe_flag_area,
+    )
+
+
+@dataclass(frozen=True)
+class PrefixSumOverlay:
+    """Cost of overlaying a prefix-sum capability on an existing PE array.
+
+    Sec. V-A/VII-B publish two synthesis points; the work-efficient design's
+    overhead is not published and is interpolated.  Fractions are relative to
+    the host PE array's area/power.
+    """
+
+    design: PrefixSumDesign
+    area_fraction: float
+    power_fraction: float
+
+
+_OVERLAYS = {
+    PrefixSumDesign.SERIAL_CHAIN: (0.02, 0.03),
+    PrefixSumDesign.WORK_EFFICIENT: (0.08, 0.11),  # interpolated (not published)
+    PrefixSumDesign.HIGHLY_PARALLEL: (0.20, 0.27),
+}
+
+
+def prefix_sum_overlay(design: PrefixSumDesign) -> PrefixSumOverlay:
+    """Look up the overlay cost of a prefix-sum design (Fig. 9 / Sec. VII-B)."""
+    area, power = _OVERLAYS[design]
+    return PrefixSumOverlay(design=design, area_fraction=area, power_fraction=power)
+
+
+DEFAULT_AREA = AreaModel()
+"""Module-level default instance."""

@@ -1,0 +1,67 @@
+"""DRAM channel model: transfer cycles and energy for a compressed tensor.
+
+SAGE's cost model (Sec. VI) charges each MCF its *compressed size* worth of
+DRAM traffic: "The cost model first predicts the DRAM energy consumption and
+transfer cycles cost.  This is directly proportional to the compression size
+of the MCF."  This module is that proportionality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.energy import DEFAULT_ENERGY, EnergyModel
+from repro.util.bits import ceil_div
+
+
+@dataclass(frozen=True)
+class DramChannel:
+    """A DRAM interface clocked against the accelerator core clock.
+
+    Parameters
+    ----------
+    bandwidth_bytes_per_s:
+        Sustained bandwidth.  Default 64 GB/s = 512 bits/cycle at 1 GHz,
+        matched to the accelerator's 512-bit input bus (Sec. VII-A) so the
+        memory system and the distribution fabric are rate-balanced; the
+        paper does not publish a DRAM bandwidth.
+    clock_hz:
+        Accelerator core clock used to express transfers in cycles.  The
+        paper's MINT synthesis targets 1 GHz (Sec. VII-B).
+    energy:
+        Per-event energy model supplying the per-bit DRAM energy.
+    """
+
+    bandwidth_bytes_per_s: float = 64.0e9
+    clock_hz: float = 1.0e9
+    energy: EnergyModel = DEFAULT_ENERGY
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigError("DRAM bandwidth must be positive")
+        if self.clock_hz <= 0:
+            raise ConfigError("clock frequency must be positive")
+
+    @property
+    def bits_per_cycle(self) -> float:
+        """Bits deliverable per accelerator clock cycle."""
+        return self.bandwidth_bytes_per_s * 8.0 / self.clock_hz
+
+    def transfer_cycles(self, bits: int) -> int:
+        """Cycles to move *bits* (rounded up to whole cycles)."""
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits}")
+        if bits == 0:
+            return 0
+        return ceil_div(bits, int(self.bits_per_cycle))
+
+    def transfer_seconds(self, bits: int) -> float:
+        """Wall time to move *bits*."""
+        return self.transfer_cycles(bits) / self.clock_hz
+
+    def transfer_energy(self, bits: int) -> float:
+        """Joules to move *bits*."""
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits}")
+        return self.energy.dram_bits(bits)

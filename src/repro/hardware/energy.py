@@ -1,0 +1,91 @@
+"""Per-event energy model.
+
+Defaults follow the scaling relationships of Horowitz, "Computing's energy
+problem (and what we can do about it)", ISSCC 2014 — the same source the paper
+cites for its claim that *"a data transfer from DRAM can cost 6400x more
+energy than an add operation"* (Sec. I).  We anchor the model on that ratio:
+
+* 32-bit integer add               : 0.1 pJ
+* 32-bit DRAM word transfer        : 640 pJ  (= 6400 x add, i.e. 20 pJ/bit)
+* 32-bit fp multiply-accumulate    : 4.6 pJ  (3.7 pJ mul + 0.9 pJ add)
+* on-chip SRAM / register / wire events scaled accordingly
+
+Absolute joules are not expected to match the authors' testbed; the
+*relationships* (DRAM >> SRAM >> compute) that drive every conclusion in the
+paper are preserved.  All fields are overridable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy (joules) charged per hardware event.
+
+    Attributes
+    ----------
+    dram_bit:
+        DRAM transfer energy per bit (read or write).
+    sram_global_bit:
+        Global shared scratchpad access per bit.
+    sram_pe_bit:
+        PE-local buffer access per bit.
+    reg_bit:
+        Pipeline/output register access per bit.
+    noc_bit:
+        One bus/NoC hop per bit (broadcast counted once per source word).
+    mac_fp32:
+        One 32-bit floating multiply-accumulate.
+    add_int32:
+        One 32-bit integer add (metadata arithmetic, prefix sums).
+    mult_int32:
+        One 32-bit integer multiply.
+    div_int32:
+        One 32-bit integer divide (MINT position calculations).
+    mod_int32:
+        One 32-bit integer modulo.
+    compare:
+        One metadata comparator evaluation.
+    """
+
+    dram_bit: float = 20.0e-12
+    sram_global_bit: float = 0.625e-12
+    sram_pe_bit: float = 0.156e-12
+    reg_bit: float = 0.03e-12
+    noc_bit: float = 0.30e-12
+    mac_fp32: float = 4.6e-12
+    add_int32: float = 0.1e-12
+    mult_int32: float = 3.1e-12
+    div_int32: float = 8.0e-12
+    mod_int32: float = 6.0e-12
+    compare: float = 0.05e-12
+
+    def dram_bits(self, bits: float) -> float:
+        """Energy to move *bits* across the DRAM interface."""
+        return bits * self.dram_bit
+
+    def sram_global_bits(self, bits: float) -> float:
+        """Energy for *bits* of global scratchpad traffic."""
+        return bits * self.sram_global_bit
+
+    def sram_pe_bits(self, bits: float) -> float:
+        """Energy for *bits* of PE-local buffer traffic."""
+        return bits * self.sram_pe_bit
+
+    def noc_bits(self, bits: float) -> float:
+        """Energy for *bits* broadcast over the distribution bus."""
+        return bits * self.noc_bit
+
+    def macs(self, count: float) -> float:
+        """Energy for *count* fp32 multiply-accumulates."""
+        return count * self.mac_fp32
+
+    def dram_to_add_ratio(self) -> float:
+        """The headline Horowitz ratio: 32-bit DRAM word vs one int add."""
+        return (self.dram_bit * 32.0) / self.add_int32
+
+
+DEFAULT_ENERGY = EnergyModel()
+"""Module-level default instance shared by models that take no override."""

@@ -1,0 +1,54 @@
+"""Functional tensor-algebra kernels, one per ACF access pattern.
+
+These implement the algorithms of Sec. II / Fig. 2 (GEMM, SpMM, SpGEMM,
+SpMV, SpTTM, MTTKRP) the way each Algorithm Compression Format walks its
+operands — e.g. Alg. 1's COO(A)-Dense(B)-Dense(O) loop.  They are the
+functional ground truth for the cycle simulator and the operation-count
+source for the roofline device models.
+"""
+
+from repro.kernels.gemm import gemm_dense
+from repro.kernels.matricize import (
+    fold_mode3,
+    khatri_rao,
+    matricize_mode1,
+    matricize_mode3,
+)
+from repro.kernels.mttkrp import mttkrp_coo, mttkrp_csf, mttkrp_dense
+from repro.kernels.ops import (
+    OpCounts,
+    gemm_ops,
+    spgemm_ops,
+    spmm_ops,
+    spmv_ops,
+)
+from repro.kernels.spgemm import spgemm_csr_csc, spgemm_csr_csr
+from repro.kernels.spmm import spmm_coo_dense, spmm_csr_dense, spmm_dense_csc
+from repro.kernels.spmv import spmv_coo, spmv_csr
+from repro.kernels.spttm import spttm_coo, spttm_csf, spttm_dense
+
+__all__ = [
+    "OpCounts",
+    "gemm_dense",
+    "gemm_ops",
+    "spmv_csr",
+    "spmv_coo",
+    "spmv_ops",
+    "spmm_coo_dense",
+    "spmm_csr_dense",
+    "spmm_dense_csc",
+    "spmm_ops",
+    "spgemm_csr_csr",
+    "spgemm_csr_csc",
+    "spgemm_ops",
+    "spttm_csf",
+    "spttm_coo",
+    "spttm_dense",
+    "matricize_mode1",
+    "matricize_mode3",
+    "fold_mode3",
+    "khatri_rao",
+    "mttkrp_coo",
+    "mttkrp_csf",
+    "mttkrp_dense",
+]

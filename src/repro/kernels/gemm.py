@@ -1,0 +1,21 @@
+"""Dense GEMM: the Dense(A)-Dense(B)-Dense(O) ACF."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_dense_matrix
+
+
+def gemm_dense(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Compute ``O = A @ B`` with dense operands.
+
+    The baseline ACF of TPU-class accelerators (Table II): every position,
+    zero or not, is multiplied — which is exactly why dense ACFs waste PE
+    utilization on sparse inputs (Sec. III-B).
+    """
+    a = check_dense_matrix(a, "a")
+    b = check_dense_matrix(b, "b")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    return a @ b

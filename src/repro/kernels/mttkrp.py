@@ -1,0 +1,67 @@
+"""Matricized Tensor Times Khatri-Rao Product (MTTKRP).
+
+The CP-decomposition bottleneck (Sec. II): for a sparse X (I x J x K) and
+dense factors B (J x R), C (K x R),
+
+    M[i, r] = sum_{j,k} X[i, j, k] * B[j, r] * C[k, r].
+
+The paper evaluates MTTKRP on BrainQ / Crime / Uber (Table III, yellow
+combos), with the tensor sparse and both factor matrices dense.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csf import CsfTensor
+from repro.formats.tensor_coo import CooTensor
+from repro.util.validation import check_dense_matrix, check_dense_tensor
+
+
+def _check_factors(
+    shape: tuple[int, int, int], b: np.ndarray, c: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    b = check_dense_matrix(b, "b")
+    c = check_dense_matrix(c, "c")
+    if b.shape[0] != shape[1]:
+        raise ValueError(f"B rows {b.shape[0]} must equal mode-2 size {shape[1]}")
+    if c.shape[0] != shape[2]:
+        raise ValueError(f"C rows {c.shape[0]} must equal mode-3 size {shape[2]}")
+    if b.shape[1] != c.shape[1]:
+        raise ValueError("factor ranks disagree")
+    return b, c
+
+
+def mttkrp_dense(x: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Dense reference: ``einsum('ijk,jr,kr->ir')``."""
+    x = check_dense_tensor(x, "x")
+    b, c = _check_factors(x.shape, b, c)
+    return np.einsum("ijk,jr,kr->ir", x, b, c)
+
+
+def mttkrp_coo(x: CooTensor, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """COO walk: each nonzero contributes ``val * B[y,:] * C[z,:]`` to M[x,:]."""
+    b, c = _check_factors(x.shape, b, c)
+    out = np.zeros((x.shape[0], b.shape[1]), dtype=np.float64)
+    np.add.at(out, x.x_ids, x.values[:, None] * b[x.y_ids, :] * c[x.z_ids, :])
+    return out
+
+
+def mttkrp_csf(x: CsfTensor, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """CSF walk: per-fiber partial sums reuse the shared B[y, :] factor.
+
+    This is the operation-saving CSF traversal (Smith & Karypis): the inner
+    reduction over z happens once per fiber before the multiply by B[y, :].
+    """
+    b, c = _check_factors(x.shape, b, c)
+    out = np.zeros((x.shape[0], b.shape[1]), dtype=np.float64)
+    for root_idx in range(x.nroots):
+        xi = int(x.x_ids[root_idx])
+        acc = np.zeros(b.shape[1], dtype=np.float64)
+        for fiber_idx in range(int(x.x_ptr[root_idx]), int(x.x_ptr[root_idx + 1])):
+            yi = int(x.y_ids[fiber_idx])
+            lo, hi = int(x.y_ptr[fiber_idx]), int(x.y_ptr[fiber_idx + 1])
+            inner = x.values[lo:hi] @ c[x.z_ids[lo:hi], :]
+            acc += inner * b[yi, :]
+        out[xi, :] += acc
+    return out

@@ -1,0 +1,139 @@
+"""Closed-form operation/traffic counts for the device cost models.
+
+The roofline CPU/GPU stand-ins (Fig. 5 / 10 / 11) and SAGE's conversion
+complexity argument (Sec. VII-C: conversion is O(MK + KN) while compute is
+O(MNK)) consume these counts rather than timing the Python kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.csc import CscMatrix
+from repro.formats.csr import CsrMatrix
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Arithmetic and traffic accounting for one kernel invocation.
+
+    Attributes
+    ----------
+    macs:
+        Multiply-accumulates actually issued by the algorithm (zero-valued
+        operands included for dense ACFs — that is the utilization story of
+        Fig. 5b).
+    useful_macs:
+        MACs whose both operands are nonzero.
+    metadata_ops:
+        Integer/compare operations spent walking format metadata.
+    bits_read / bits_written:
+        Memory traffic at the device's last level (operand footprints).
+    """
+
+    macs: float
+    useful_macs: float
+    metadata_ops: float
+    bits_read: float
+    bits_written: float
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of issued MACs doing useful work (Fig. 5b's SM story)."""
+        return self.useful_macs / self.macs if self.macs else 0.0
+
+
+def gemm_ops(m: int, k: int, n: int, nnz_a: int, nnz_b: int, dtype_bits: int) -> OpCounts:
+    """Dense(A)-Dense(B)-Dense(O): all M*K*N MACs issued."""
+    density_a = nnz_a / (m * k) if m * k else 0.0
+    density_b = nnz_b / (k * n) if k * n else 0.0
+    return OpCounts(
+        macs=float(m) * k * n,
+        useful_macs=float(m) * k * n * density_a * density_b,
+        metadata_ops=0.0,
+        bits_read=float(m * k + k * n) * dtype_bits,
+        bits_written=float(m * n) * dtype_bits,
+    )
+
+
+def spmm_ops(
+    nnz_a: int,
+    a_bits: int,
+    k: int,
+    n: int,
+    m: int,
+    dtype_bits: int,
+    useful_fraction: float = 1.0,
+) -> OpCounts:
+    """Sparse(A) x Dense(B): one MAC row (N lanes) per stored nonzero of A."""
+    macs = float(nnz_a) * n
+    return OpCounts(
+        macs=macs,
+        useful_macs=macs * useful_fraction,
+        metadata_ops=float(nnz_a),  # one index dereference per nonzero
+        bits_read=float(a_bits) + float(min(nnz_a, k)) * n * dtype_bits,
+        bits_written=float(m * n) * dtype_bits,
+    )
+
+
+def matching_macs(a: CsrMatrix, b: CscMatrix | CsrMatrix) -> int:
+    """Exact useful-MAC count of A @ B: sum_k nnz_col_A(k) * nnz_row_B(k)."""
+    col_counts_a = np.bincount(a.col_ids, minlength=a.ncols)
+    if isinstance(b, CsrMatrix):
+        row_counts_b = b.row_lengths()
+    else:
+        row_counts_b = np.bincount(b.row_ids, minlength=b.nrows)
+    return int(np.dot(col_counts_a.astype(np.int64), row_counts_b.astype(np.int64)))
+
+
+def expected_output_nnz(m: int, n: int, k: int, nnz_a: int, nnz_b: int) -> float:
+    """Expected nnz of A @ B under uniform-random placement.
+
+    P[O[i,j] != 0] = 1 - (1 - dA*dB)^K with dA, dB the operand densities —
+    the same uniform-random assumption as the paper's performance model.
+    """
+    if m * k == 0 or k * n == 0:
+        return 0.0
+    pa, pb = nnz_a / (m * k), nnz_b / (k * n)
+    return float(m) * n * (1.0 - (1.0 - pa * pb) ** k)
+
+
+def spgemm_ops(
+    m: int,
+    k: int,
+    n: int,
+    nnz_a: int,
+    nnz_b: int,
+    a_bits: int,
+    b_bits: int,
+    dtype_bits: int,
+    useful_macs: float | None = None,
+) -> OpCounts:
+    """Sparse(A) x Sparse(B): only matching pairs reach the MACs.
+
+    When *useful_macs* is not supplied (SAGE's statistics-only fast path) the
+    uniform-random expectation ``nnz_a * nnz_b / K`` is used.
+    """
+    if useful_macs is None:
+        useful_macs = float(nnz_a) * nnz_b / k if k else 0.0
+    out_nnz = expected_output_nnz(m, n, k, nnz_a, nnz_b)
+    return OpCounts(
+        macs=useful_macs,
+        useful_macs=useful_macs,
+        metadata_ops=float(nnz_a + nnz_b),  # every index participates in matching
+        bits_read=float(a_bits + b_bits),
+        bits_written=out_nnz * dtype_bits,
+    )
+
+
+def spmv_ops(nnz_a: int, a_bits: int, m: int, k: int, dtype_bits: int) -> OpCounts:
+    """Sparse(A) x dense vector."""
+    return OpCounts(
+        macs=float(nnz_a),
+        useful_macs=float(nnz_a),
+        metadata_ops=float(nnz_a),
+        bits_read=float(a_bits) + float(k) * dtype_bits,
+        bits_written=float(m) * dtype_bits,
+    )

@@ -1,0 +1,32 @@
+"""Independent numpy/scipy oracles used by the test suite.
+
+Kept separate from the kernels so tests compare two *different*
+implementations of each operation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def ref_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense matmul oracle."""
+    return np.asarray(a, dtype=np.float64) @ np.asarray(b, dtype=np.float64)
+
+
+def ref_spgemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sparse-sparse product oracle via scipy CSR."""
+    return np.asarray(
+        (sp.csr_matrix(a) @ sp.csr_matrix(b)).todense(), dtype=np.float64
+    )
+
+
+def ref_spttm(x: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Mode-3 tensor-times-matrix oracle."""
+    return np.einsum("ijk,kr->ijr", x, u)
+
+
+def ref_mttkrp(x: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Mode-1 MTTKRP oracle."""
+    return np.einsum("ijk,jr,kr->ir", x, b, c)

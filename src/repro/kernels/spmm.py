@@ -1,0 +1,61 @@
+"""Sparse matrix - dense matrix products (SpMM), one function per ACF.
+
+Each function walks its operands exactly the way the named ACF's hardware
+or library algorithm would, so downstream op accounting (and the cycle
+simulator cross-checks) see the right access pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.coo import CooMatrix
+from repro.formats.csc import CscMatrix
+from repro.formats.csr import CsrMatrix
+from repro.util.validation import check_dense_matrix
+
+
+def spmm_coo_dense(a: CooMatrix, b: np.ndarray) -> np.ndarray:
+    """Alg. 1 of the paper: COO(A) - Dense(B) - Dense(O).
+
+    Iterates A's nonzeros; each contributes ``val * B[col, :]`` into row
+    ``row`` of the output.
+    """
+    b = check_dense_matrix(b, "b")
+    if a.ncols != b.shape[0]:
+        raise ValueError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    out = np.zeros((a.nrows, b.shape[1]), dtype=np.float64)
+    # Vectorized equivalent of the Alg. 1 double loop: scatter-add of scaled
+    # B rows, one per nonzero of A.
+    np.add.at(out, a.row_ids, a.values[:, None] * b[a.col_ids, :])
+    return out
+
+
+def spmm_csr_dense(a: CsrMatrix, b: np.ndarray) -> np.ndarray:
+    """CSR(A) - Dense(B) - Dense(O): row-wise gather of B rows."""
+    b = check_dense_matrix(b, "b")
+    if a.ncols != b.shape[0]:
+        raise ValueError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    out = np.zeros((a.nrows, b.shape[1]), dtype=np.float64)
+    for i in range(a.nrows):
+        cols, vals = a.row_slice(i)
+        if len(cols):
+            out[i, :] = vals @ b[cols, :]
+    return out
+
+
+def spmm_dense_csc(a: np.ndarray, b: CscMatrix) -> np.ndarray:
+    """Dense(A) - CSC(B) - Dense(O): column-wise gather of A columns.
+
+    EIE's second operating mode and the ACF the paper's CNN case study
+    prefers for heavily pruned weight matrices (Sec. VII-D).
+    """
+    a = check_dense_matrix(a, "a")
+    if a.shape[1] != b.nrows:
+        raise ValueError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    out = np.zeros((a.shape[0], b.ncols), dtype=np.float64)
+    for j in range(b.ncols):
+        rows, vals = b.col_slice(j)
+        if len(rows):
+            out[:, j] = a[:, rows] @ vals
+    return out

@@ -1,0 +1,34 @@
+"""Sparse matrix - dense vector products (SpMV)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.coo import CooMatrix
+from repro.formats.csr import CsrMatrix
+
+
+def spmv_csr(a: CsrMatrix, x: np.ndarray) -> np.ndarray:
+    """``y = A @ x`` walking A row-by-row in CSR order.
+
+    The key iterative-solver kernel the paper motivates (Sec. II).
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    if len(x) != a.ncols:
+        raise ValueError(f"vector length {len(x)} != ncols {a.ncols}")
+    y = np.zeros(a.nrows, dtype=np.float64)
+    for i in range(a.nrows):
+        cols, vals = a.row_slice(i)
+        if len(cols):
+            y[i] = np.dot(vals, x[cols])
+    return y
+
+
+def spmv_coo(a: CooMatrix, x: np.ndarray) -> np.ndarray:
+    """``y = A @ x`` iterating A's nonzeros in COO order (Alg. 1, N=1)."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    if len(x) != a.ncols:
+        raise ValueError(f"vector length {len(x)} != ncols {a.ncols}")
+    y = np.zeros(a.nrows, dtype=np.float64)
+    np.add.at(y, a.row_ids, a.values * x[a.col_ids])
+    return y

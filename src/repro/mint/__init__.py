@@ -1,0 +1,41 @@
+"""MINT: Microarchitecture for Interchangeable compressioN formats for Tensors.
+
+The paper's contribution 2 (Sec. V): a general-purpose hardware format
+converter built from reusable building blocks (prefix sum, parallel
+divide/mod, sorting network, cluster counter, comparators, memory
+controller) instead of one dedicated converter per format pair.
+
+* :mod:`repro.mint.blocks` — the building blocks, functional + cost-counted;
+* :mod:`repro.mint.conversions` — the Fig. 8 conversions (CSR->CSC,
+  RLC->COO, CSR->BSR, Dense->CSF) and the generalizations, each verified
+  element-exact against the software oracle;
+* :mod:`repro.mint.engine` — dispatch + COO-hub composition + cost reports;
+* :mod:`repro.mint.designs` — MINT_b / MINT_m / MINT_mr area & power;
+* :mod:`repro.mint.cost` — closed-form conversion cost estimates for SAGE.
+"""
+
+from repro.mint.blocks import (
+    ClusterCounter,
+    MemoryController,
+    ParallelDivMod,
+    PrefixSumUnit,
+    SortingNetwork,
+)
+from repro.mint.cost import ConversionCost, estimate_conversion_cost
+from repro.mint.designs import MintDesign, mint_area, mint_power
+from repro.mint.engine import ConversionReport, MintEngine
+
+__all__ = [
+    "ClusterCounter",
+    "ConversionCost",
+    "ConversionReport",
+    "MemoryController",
+    "MintDesign",
+    "MintEngine",
+    "ParallelDivMod",
+    "PrefixSumUnit",
+    "SortingNetwork",
+    "estimate_conversion_cost",
+    "mint_area",
+    "mint_power",
+]

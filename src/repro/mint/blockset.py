@@ -1,0 +1,57 @@
+"""The shared block complement of a merged MINT instance.
+
+MINT_m "generalizes overlapping building blocks and merges them together"
+(Sec. V-A): one sorter, one cluster counter, one (time-multiplexed) prefix
+sum unit, one divide/mod bank and one memory controller serve every
+conversion.  All conversion routines draw from one :class:`BlockSet`, so
+operation counts accumulate in one place for energy reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.area import PrefixSumDesign
+from repro.hardware.energy import DEFAULT_ENERGY, EnergyModel
+from repro.mint.blocks import (
+    BlockStats,
+    ClusterCounter,
+    MemoryController,
+    ParallelDivMod,
+    PrefixSumUnit,
+    SortingNetwork,
+)
+
+
+@dataclass
+class BlockSet:
+    """One merged-MINT complement of building blocks."""
+
+    prefix: PrefixSumUnit = field(
+        default_factory=lambda: PrefixSumUnit(PrefixSumDesign.HIGHLY_PARALLEL, 32)
+    )
+    divmod: ParallelDivMod = field(default_factory=lambda: ParallelDivMod(8))
+    sorter: SortingNetwork = field(default_factory=lambda: SortingNetwork(16))
+    cluster: ClusterCounter = field(default_factory=lambda: ClusterCounter(16))
+    memctrl: MemoryController = field(default_factory=lambda: MemoryController(16))
+
+    def total_stats(self) -> BlockStats:
+        """Aggregate operation counters across all blocks."""
+        total = BlockStats()
+        for block in (self.prefix, self.divmod, self.sorter, self.cluster, self.memctrl):
+            total += block.stats
+        return total
+
+    def energy_joules(
+        self, dtype_bits: int = 32, energy: EnergyModel = DEFAULT_ENERGY
+    ) -> float:
+        """Convert accumulated operation counts to joules."""
+        s = self.total_stats()
+        return (
+            s.int_adds * energy.add_int32
+            + s.int_mults * energy.mult_int32
+            + s.divides * energy.div_int32
+            + s.mods * energy.mod_int32
+            + s.compares * energy.compare
+            + s.elements_moved * dtype_bits * energy.sram_global_bit
+        )

@@ -1,0 +1,156 @@
+"""MINT design points: baseline, merged, merged + reuse (Sec. V-A, VII-B).
+
+* **MINT_b** — one dedicated converter per representative conversion
+  (Fig. 8c-f), each instantiating its own blocks.
+* **MINT_m** — the union of building blocks, shared by all conversions
+  ("merging building blocks to one general-purpose converter").  The single
+  prefix-sum unit is time-multiplexed across a conversion's sequential
+  phases, so the union carries one even though Dense->CSF's pipeline drawing
+  shows two.
+* **MINT_mr** — MINT_m minus the blocks borrowed from the accelerator
+  (prefix sums on the MAC reduction network, divides on the activation
+  unit, multiplies on the MACs) plus the mux/controller/datapath glue that
+  borrowing requires.
+
+With the default :class:`~repro.hardware.area.AreaModel` calibration these
+compose to ~0.95 / 0.41 / 0.23 mm^2 with divide+mod at ~74% / ~65% of
+MINT_m's area / power — the published aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.hardware.area import DEFAULT_AREA, AreaModel
+
+
+class MintDesign(Enum):
+    """The three MINT implementations of Fig. 8a."""
+
+    BASELINE = "MINT_b"
+    MERGED = "MINT_m"
+    MERGED_REUSE = "MINT_mr"
+
+
+#: Block inventory of each dedicated converter (MINT_b sums these).
+CONVERTER_BLOCKS: dict[str, dict[str, int]] = {
+    "csr_to_csc": {
+        "sorter": 1,
+        "cluster_counter": 1,
+        "prefix_sum": 1,
+        "comparator_bank": 1,
+        "mem_controller": 1,
+    },
+    "rlc_to_coo": {
+        "prefix_sum": 1,
+        "divider": 8,
+        "mod": 8,
+        "mem_controller": 1,
+    },
+    # The BSR block-position path only mods row/col ids by the block size, so
+    # the dedicated converter provisions a half-width mod bank.
+    "csr_to_bsr": {
+        "mod": 4,
+        "comparator_bank": 1,
+        "prefix_sum": 1,
+        "mem_controller": 1,
+        "block_flags": 1,
+    },
+    "dense_to_csf": {
+        "prefix_sum": 2,
+        "divider": 8,
+        "mod": 8,
+        "comparator_bank": 1,
+        "multiplier": 8,
+        "mem_controller": 1,
+    },
+}
+
+#: The merged complement (union across converters; one prefix unit).
+MERGED_BLOCKS: dict[str, int] = {
+    "sorter": 1,
+    "cluster_counter": 1,
+    "prefix_sum": 1,
+    "comparator_bank": 1,
+    "mem_controller": 1,
+    "divider": 8,
+    "mod": 8,
+    "multiplier": 8,
+    "block_flags": 1,
+}
+
+#: Blocks MINT_mr borrows from the host accelerator instead of owning.
+REUSED_BLOCKS: tuple[str, ...] = ("prefix_sum", "divider", "multiplier")
+
+
+def _block_cost(model: AreaModel, name: str) -> tuple[float, float]:
+    """(area mm^2, power mW) of one instance of *name*."""
+    return (
+        getattr(model, f"{name}_area"),
+        getattr(model, f"{name}_power"),
+    )
+
+
+def _inventory_cost(
+    model: AreaModel, inventory: dict[str, int]
+) -> tuple[float, float]:
+    area = power = 0.0
+    for name, count in inventory.items():
+        a, p = _block_cost(model, name)
+        area += count * a
+        power += count * p
+    return area, power
+
+
+def mint_area(design: MintDesign, model: AreaModel = DEFAULT_AREA) -> float:
+    """Total area (mm^2) of a MINT design point."""
+    return _area_power(design, model)[0]
+
+
+def mint_power(design: MintDesign, model: AreaModel = DEFAULT_AREA) -> float:
+    """Total power (mW @ 1 GHz) of a MINT design point."""
+    return _area_power(design, model)[1]
+
+
+def _area_power(design: MintDesign, model: AreaModel) -> tuple[float, float]:
+    if design is MintDesign.BASELINE:
+        area = power = 0.0
+        for inventory in CONVERTER_BLOCKS.values():
+            a, p = _inventory_cost(model, inventory)
+            area += a
+            power += p
+        return area, power
+    area, power = _inventory_cost(model, MERGED_BLOCKS)
+    if design is MintDesign.MERGED:
+        return area, power
+    # MERGED_REUSE: drop borrowed blocks, add the reuse glue.
+    for name in REUSED_BLOCKS:
+        a, p = _block_cost(model, name)
+        count = MERGED_BLOCKS[name]
+        area -= count * a
+        power -= count * p
+    return area + model.reuse_glue_area, power + model.reuse_glue_power
+
+
+def divmod_fraction(model: AreaModel = DEFAULT_AREA) -> tuple[float, float]:
+    """(area, power) share of the divide+mod bank within MINT_m.
+
+    Sec. VII-B: "Together, they consume 74% and 65% of MINT_m's area and
+    power respectively."
+    """
+    total_area, total_power = _area_power(MintDesign.MERGED, model)
+    dm_area = 8 * (model.divider_area + model.mod_area)
+    dm_power = 8 * (model.divider_power + model.mod_power)
+    return dm_area / total_area, dm_power / total_power
+
+
+def accelerator_overhead(
+    model: AreaModel = DEFAULT_AREA,
+) -> tuple[float, float]:
+    """MINT_m's (area, power) fraction of the 16384-MAC accelerator.
+
+    Sec. VII-B: "MINT_m consumes 0.5% of its area and 0.4% of its power."
+    """
+    area, power = _area_power(MintDesign.MERGED, model)
+    return area / model.accelerator_area, power / model.accelerator_power

@@ -1,0 +1,41 @@
+"""SAGE: Sparsity formAt Generation Engine (paper Sec. VI).
+
+Given a workload's summary statistics, the accelerator configuration and
+MINT's conversion costs, SAGE enumerates MCF/ACF combinations, prices each
+with a cost model (DRAM traffic + conversion) plus the performance model
+(compute cycles on the WS accelerator), and returns the combination with
+the lowest energy-delay product.
+"""
+
+from repro.sage.cost_model import CostBreakdown, evaluate_matrix_combo, evaluate_tensor_combo
+from repro.sage.pipeline import PipelinePlan, PipelineStage, plan_chain
+from repro.sage.predictor import Sage, SageDecision
+from repro.sage.spaces import (
+    MATRIX_ACF_STATIONARY,
+    MATRIX_ACF_STREAMED,
+    MATRIX_MCF,
+    OUTPUT_MCF,
+    TENSOR_ACF,
+    TENSOR_MCF,
+    matrix_combos,
+    tensor_combos,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "Sage",
+    "SageDecision",
+    "PipelinePlan",
+    "PipelineStage",
+    "plan_chain",
+    "evaluate_matrix_combo",
+    "evaluate_tensor_combo",
+    "MATRIX_MCF",
+    "MATRIX_ACF_STREAMED",
+    "MATRIX_ACF_STATIONARY",
+    "TENSOR_MCF",
+    "TENSOR_ACF",
+    "OUTPUT_MCF",
+    "matrix_combos",
+    "tensor_combos",
+]

@@ -1,0 +1,117 @@
+"""Multi-stage pipeline planning: chained kernels with carried formats.
+
+The paper motivates datacenter accelerators running *suites* of kernels
+(Sec. I) and notes the output-side format concern explicitly (Sec. III-C:
+accelerators "may require compression before storing back to memory", and
+DL backprop transposes weights between layers).  This module extends SAGE
+from single kernels to a chain: the tensor a stage writes to DRAM is the
+streamed operand the next stage reads, so
+
+* stage i's *output MCF* becomes stage i+1's *input MCF* (no re-encoding in
+  DRAM — the whole point of choosing the output format wisely), and
+* SAGE plans the chain greedily left-to-right, constraining each stage's
+  streamed-operand search space to its predecessor's output format.
+
+A greedy plan is optimal here because the carried state between stages is
+exactly one format and the per-stage cost model already folds the
+conversion cost of *consuming* that format into the stage it burdens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PredictionError
+from repro.formats.registry import Format
+from repro.sage.predictor import Sage, SageDecision
+from repro.workloads.spec import MatrixWorkload
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One planned stage: the workload and SAGE's constrained decision."""
+
+    workload: MatrixWorkload
+    decision: SageDecision
+    inherited_mcf: Format | None  # streamed-operand format carried in
+
+    @property
+    def carried_out(self) -> Format:
+        """The output MCF this stage hands to its successor."""
+        return self.decision.best.mcf_out
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """A fully planned chain."""
+
+    stages: tuple[PipelineStage, ...]
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum of per-stage latencies (stages execute back to back)."""
+        return sum(s.decision.best.total_cycles for s in self.stages)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Sum of per-stage energies."""
+        return sum(s.decision.best.total_energy_j for s in self.stages)
+
+    @property
+    def edp(self) -> float:
+        """Chain EDP in joule-seconds."""
+        seconds = sum(s.decision.best.seconds for s in self.stages)
+        return self.total_energy_j * seconds
+
+    def summary(self) -> str:
+        """One line per stage: inherited format -> chosen combo -> output."""
+        lines = ["Pipeline plan:"]
+        for i, s in enumerate(self.stages):
+            inherited = s.inherited_mcf.value if s.inherited_mcf else "free"
+            b = s.decision.best
+            lines.append(
+                f"  stage {i} ({s.workload.name}): in[{inherited}] "
+                f"MCF=({b.mcf[0].value},{b.mcf[1].value}) "
+                f"ACF=({b.acf[0].value},{b.acf[1].value}) "
+                f"out[{b.mcf_out.value}] EDP={b.edp:.3e}"
+            )
+        lines.append(
+            f"  total: {self.total_cycles:,} cycles, "
+            f"{self.total_energy_j:.3e} J, EDP {self.edp:.3e}"
+        )
+        return "\n".join(lines)
+
+
+def plan_chain(
+    workloads: Sequence[MatrixWorkload],
+    sage: Sage | None = None,
+    *,
+    first_input_mcf: Format | None = None,
+) -> PipelinePlan:
+    """Plan a chain of matrix kernels with carried inter-stage formats.
+
+    Parameters
+    ----------
+    workloads:
+        Stage i+1's streamed operand is assumed to be stage i's output
+        (shapes are the caller's responsibility — e.g. im2col re-layout
+        between conv layers preserves the stored format).
+    first_input_mcf:
+        Optional pre-committed format of the very first input (e.g. the
+        dataset is stored in CSR on disk).
+    """
+    if not workloads:
+        raise PredictionError("cannot plan an empty pipeline")
+    sage = sage or Sage()
+    stages: list[PipelineStage] = []
+    carried: Format | None = first_input_mcf
+    for wl in workloads:
+        decision = sage.predict_matrix(
+            wl, mcf_a_space=(carried,) if carried is not None else None
+        )
+        stages.append(
+            PipelineStage(workload=wl, decision=decision, inherited_mcf=carried)
+        )
+        carried = decision.best.mcf_out
+    return PipelinePlan(stages=tuple(stages))

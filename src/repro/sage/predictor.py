@@ -1,0 +1,136 @@
+"""The SAGE predictor: search the MCF/ACF space for minimum EDP.
+
+"SAGE predicts which MCF and ACF combination results in the lowest
+energy-delay product (EDP).  The inputs to SAGE are workload size,
+datatype, density region, MINT format conversion cost, and accelerator
+hardware parameters.  The outputs are the ideal MCF and ACF combinations."
+(Sec. VI)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.errors import PredictionError
+from repro.formats.registry import Format
+from repro.hardware.dram import DramChannel
+from repro.sage.cost_model import (
+    ConversionProvider,
+    CostBreakdown,
+    evaluate_matrix_combo,
+    evaluate_tensor_combo,
+    mint_provider,
+)
+from repro.sage.spaces import matrix_combos, tensor_combos
+from repro.workloads.spec import MatrixWorkload, TensorWorkload
+
+
+@dataclass(frozen=True)
+class SageDecision:
+    """SAGE's output: the chosen combination plus the full ranking."""
+
+    workload_name: str
+    best: CostBreakdown
+    ranking: tuple[CostBreakdown, ...]
+
+    @property
+    def mcf(self) -> tuple[Format, Format]:
+        """Chosen memory compression formats (per operand)."""
+        return self.best.mcf
+
+    @property
+    def acf(self) -> tuple[Format, Format]:
+        """Chosen algorithm compression formats (per operand)."""
+        return self.best.acf
+
+    def summary(self, top: int = 5) -> str:
+        """Human-readable ranking of the best candidates."""
+        lines = [f"SAGE decision for {self.workload_name}:"]
+        for i, cand in enumerate(self.ranking[:top]):
+            marker = "*" if i == 0 else " "
+            lines.append(
+                f" {marker} MCF=({cand.mcf[0]},{cand.mcf[1]}) "
+                f"ACF=({cand.acf[0]},{cand.acf[1]}) "
+                f"EDP={cand.edp:.3e} J*s "
+                f"(dram {cand.dram_in_cycles + cand.dram_out_cycles} cyc, "
+                f"conv {cand.conv_cycles} cyc, compute {cand.compute_cycles} cyc)"
+            )
+        return "\n".join(lines)
+
+
+class Sage:
+    """The format predictor, bound to one accelerator + DRAM configuration."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig | None = None,
+        dram: DramChannel | None = None,
+        provider: ConversionProvider | None = mint_provider,
+    ) -> None:
+        self.config = config or AcceleratorConfig.paper_default()
+        self.dram = dram or DramChannel(clock_hz=self.config.clock_hz)
+        self.provider = provider
+
+    def predict_matrix(
+        self,
+        workload: MatrixWorkload,
+        *,
+        fixed_mcf: tuple[Format, Format] | None = None,
+        mcf_a_space: tuple[Format, ...] | None = None,
+        mcf_b_space: tuple[Format, ...] | None = None,
+    ) -> SageDecision:
+        """Search the matrix MCF/ACF space for *workload*.
+
+        ``fixed_mcf`` restricts the search to ACFs (and the conversion plan)
+        when the programmer has already committed a storage format;
+        ``mcf_a_space`` / ``mcf_b_space`` restrict single operands (used by
+        the pipeline planner, where a stage inherits its predecessor's
+        output format).
+        """
+        combo_kwargs: dict = {"fixed_mcf": fixed_mcf}
+        if mcf_a_space is not None:
+            combo_kwargs["mcf_a"] = mcf_a_space
+        if mcf_b_space is not None:
+            combo_kwargs["mcf_b"] = mcf_b_space
+        candidates: list[CostBreakdown] = []
+        for mcf, acf in matrix_combos(**combo_kwargs):
+            cost = evaluate_matrix_combo(
+                workload,
+                mcf,
+                acf,
+                config=self.config,
+                dram=self.dram,
+                provider=self.provider,
+            )
+            if cost is not None:
+                candidates.append(cost)
+        return self._decide(workload.name, candidates)
+
+    def predict_tensor(
+        self,
+        workload: TensorWorkload,
+        *,
+        fixed_mcf: tuple[Format, Format] | None = None,
+    ) -> SageDecision:
+        """Search the 3-D tensor MCF/ACF space for *workload*."""
+        candidates: list[CostBreakdown] = []
+        for mcf, acf in tensor_combos(fixed_mcf=fixed_mcf):
+            cost = evaluate_tensor_combo(
+                workload,
+                mcf,
+                acf,
+                config=self.config,
+                dram=self.dram,
+                provider=self.provider,
+            )
+            if cost is not None:
+                candidates.append(cost)
+        return self._decide(workload.name, candidates)
+
+    @staticmethod
+    def _decide(name: str, candidates: list[CostBreakdown]) -> SageDecision:
+        if not candidates:
+            raise PredictionError(f"no feasible MCF/ACF candidate for {name}")
+        ranking = tuple(sorted(candidates, key=lambda c: c.edp))
+        return SageDecision(workload_name=name, best=ranking[0], ranking=ranking)

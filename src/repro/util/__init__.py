@@ -1,0 +1,31 @@
+"""Shared low-level utilities: bit accounting, validation, statistics."""
+
+from repro.util.bits import (
+    bits_for_count,
+    bits_for_index,
+    bits_to_bytes,
+    ceil_div,
+    ceil_log2,
+)
+from repro.util.stats import geomean, normalized, summarize
+from repro.util.validation import (
+    check_dense_matrix,
+    check_dense_tensor,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "bits_for_count",
+    "bits_for_index",
+    "bits_to_bytes",
+    "ceil_div",
+    "ceil_log2",
+    "geomean",
+    "normalized",
+    "summarize",
+    "check_dense_matrix",
+    "check_dense_tensor",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,36 @@
+"""Small statistics helpers used by the evaluation harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    The paper reports geomean EDP reductions (Fig. 13); this is the single
+    place that computes them.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of an empty sequence is undefined")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def normalized(values: Sequence[float], reference: float) -> list[float]:
+    """Normalize a sequence by a positive reference value."""
+    if reference <= 0:
+        raise ValueError(f"reference must be positive, got {reference}")
+    return [v / reference for v in values]
+
+
+def summarize(values: Mapping[str, float]) -> str:
+    """Render a ``name: value`` mapping as an aligned multi-line string."""
+    if not values:
+        return "(empty)"
+    width = max(len(k) for k in values)
+    return "\n".join(f"{k.ljust(width)} : {v:.6g}" for k, v in values.items())

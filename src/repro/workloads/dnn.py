@@ -1,0 +1,108 @@
+"""The Fig. 14 CNN case study: ResNet-50/CIFAR-10 convolution layers.
+
+Fig. 14a publishes, for eight selected convolution layers, the layer shapes
+and the input-activation / weight sparsities under three regimes: no
+pruning, 50% per-layer L1 pruning (0.29% accuracy loss) and 70% global L1
+pruning (0.74% loss).  We encode that table verbatim — it fully determines
+the GEMM workloads the EDP evaluation consumes — instead of re-training the
+network (see DESIGN.md substitution table).
+
+Convolutions are lowered to GEMM with im2col, as the paper does ("Like TPU,
+we use im2col"), with stride 1 and batch size 64.  On the weight-stationary
+accelerator the *weights are the stationary operand B* — Sec. VII-D: "the
+weight matrix (B) is much sparser, and will utilize less PE buffer space
+when stored as CSC":
+
+    A = im2col activations:  (H*W*batch) x (C*R*S)   (sparse after ReLU)
+    B = pruned weights:      (C*R*S) x K_out         (sparse after pruning)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.workloads.spec import Kernel, MatrixWorkload
+
+BATCH_SIZE = 64
+"""Sec. VII-D: "For our evaluations, we use a batch size of 64."""
+
+
+class PruningStrategy(Enum):
+    """The three Fig. 14 sparsity regimes."""
+
+    NORMAL = "normal"
+    LAYER_50 = "50% prune (layer)"
+    GLOBAL_70 = "70% prune (global)"
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One Fig. 14a row.
+
+    Sparsities are stored as *fractions of zeros* per regime, in the order
+    (NORMAL, LAYER_50, GLOBAL_70).
+    """
+
+    layer_id: int
+    in_channels: int  # C
+    out_channels: int  # K
+    spatial: tuple[int, int]  # (H, W)
+    filter_shape: tuple[int, int]  # (R, S)
+    act_sparsity: tuple[float, float, float]
+    weight_sparsity: tuple[float, float, float]
+
+    def sparsities(self, strategy: PruningStrategy) -> tuple[float, float]:
+        """(activation, weight) zero fractions under *strategy*."""
+        idx = list(PruningStrategy).index(strategy)
+        return self.act_sparsity[idx], self.weight_sparsity[idx]
+
+
+#: Fig. 14a, verbatim (percentages converted to fractions).
+CONV_LAYERS: tuple[ConvLayer, ...] = (
+    ConvLayer(1, 3, 64, (32, 32), (3, 3),
+              (0.0, 0.0, 0.0), (0.0, 0.500, 0.454)),
+    ConvLayer(2, 64, 256, (32, 32), (1, 1),
+              (0.566, 0.555, 0.550), (0.0, 0.500, 0.748)),
+    ConvLayer(3, 128, 512, (16, 16), (1, 1),
+              (0.631, 0.592, 0.604), (0.0, 0.500, 0.634)),
+    ConvLayer(4, 128, 128, (16, 16), (3, 3),
+              (0.526, 0.520, 0.523), (0.0, 0.500, 0.353)),
+    ConvLayer(5, 1024, 256, (8, 8), (1, 1),
+              (0.602, 0.570, 0.598), (0.0, 0.500, 0.499)),
+    ConvLayer(6, 256, 256, (8, 8), (3, 3),
+              (0.594, 0.565, 0.570), (0.0, 0.500, 0.383)),
+    ConvLayer(7, 512, 2048, (4, 4), (1, 1),
+              (0.640, 0.610, 0.410), (0.0, 0.500, 0.882)),
+    ConvLayer(8, 512, 512, (4, 4), (3, 3),
+              (0.492, 0.478, 0.436), (0.0, 0.500, 0.984)),
+)
+
+
+def layer_gemm(
+    layer: ConvLayer,
+    strategy: PruningStrategy,
+    batch: int = BATCH_SIZE,
+) -> MatrixWorkload:
+    """Lower one convolution layer to its im2col GEMM workload.
+
+    A = im2col activations (H*W*batch x C*R*S), B = pruned weights
+    (C*R*S x K_out).  With stride 1 and same padding the output spatial
+    size equals the input's.
+    """
+    act_sp, w_sp = layer.sparsities(strategy)
+    m = layer.spatial[0] * layer.spatial[1] * batch
+    k = layer.in_channels * layer.filter_shape[0] * layer.filter_shape[1]
+    n = layer.out_channels
+    nnz_a = round((1.0 - act_sp) * m * k)
+    nnz_b = round((1.0 - w_sp) * k * n)
+    kernel = Kernel.SPGEMM if (w_sp > 0 and act_sp > 0) else Kernel.SPMM
+    return MatrixWorkload(
+        name=f"conv{layer.layer_id}-{strategy.name.lower()}",
+        kernel=kernel,
+        m=m,
+        k=k,
+        n=n,
+        nnz_a=max(1, nnz_a),
+        nnz_b=max(1, nnz_b),
+    )

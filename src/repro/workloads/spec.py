@@ -1,0 +1,101 @@
+"""Workload descriptors: what SAGE and the policy evaluator consume.
+
+A workload is summary statistics only — dimensions, nonzero counts,
+datatype — matching the paper's cost/performance model inputs ("workload
+size, datatype, density region", Sec. VI).  Concrete operands are sampled
+separately by :mod:`repro.workloads.synthetic` when the cycle simulator or
+a functional kernel needs real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Kernel(Enum):
+    """Tensor kernels of Fig. 2."""
+
+    GEMM = "GEMM"
+    SPMV = "SpMV"
+    SPMM = "SpMM"
+    SPGEMM = "SpGEMM"
+    SPTTM = "SpTTM"
+    MTTKRP = "MTTKRP"
+
+
+@dataclass(frozen=True)
+class MatrixWorkload:
+    """A (sparse) matrix x matrix workload: A is M x K, B is K x N.
+
+    ``nnz_b`` equal to ``k * n`` makes B dense (SpMM); smaller makes the
+    kernel SpGEMM.
+    """
+
+    name: str
+    kernel: Kernel
+    m: int
+    k: int
+    n: int
+    nnz_a: int
+    nnz_b: int
+    dtype_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) < 1:
+            raise ValueError(f"{self.name}: dimensions must be positive")
+        if not 0 <= self.nnz_a <= self.m * self.k:
+            raise ValueError(f"{self.name}: nnz_a out of range")
+        if not 0 <= self.nnz_b <= self.k * self.n:
+            raise ValueError(f"{self.name}: nnz_b out of range")
+
+    @property
+    def density_a(self) -> float:
+        """Density of operand A."""
+        return self.nnz_a / (self.m * self.k)
+
+    @property
+    def density_b(self) -> float:
+        """Density of operand B."""
+        return self.nnz_b / (self.k * self.n)
+
+    @property
+    def b_is_dense(self) -> bool:
+        """True when operand B has no zeros (SpMM-style workloads)."""
+        return self.nnz_b == self.k * self.n
+
+
+@dataclass(frozen=True)
+class TensorWorkload:
+    """A sparse 3-D tensor kernel with dense factor matrices.
+
+    Following Sec. VII-A, "the factorizing matrices that are multiplied with
+    the tensors are generalized to have dimensions of K by (M/2)" — i.e.
+    rank = first mode / 2.
+    """
+
+    name: str
+    kernel: Kernel
+    shape: tuple[int, int, int]
+    nnz: int
+    rank: int
+    dtype_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if min(self.shape) < 1:
+            raise ValueError(f"{self.name}: dimensions must be positive")
+        size = self.shape[0] * self.shape[1] * self.shape[2]
+        if not 0 <= self.nnz <= size:
+            raise ValueError(f"{self.name}: nnz out of range")
+        if self.rank < 1:
+            raise ValueError(f"{self.name}: rank must be positive")
+
+    @property
+    def size(self) -> int:
+        """Logical element count."""
+        return self.shape[0] * self.shape[1] * self.shape[2]
+
+    @property
+    def density(self) -> float:
+        """Tensor density."""
+        return self.nnz / self.size

@@ -1,0 +1,159 @@
+"""The Table III evaluation suite, dimensions and nonzero counts verbatim.
+
+Each entry also records the MCF/ACF combinations SAGE chose in the paper
+(left block = SpGEMM for matrices / SpTTM for tensors; right block = SpMM /
+MTTKRP), so the Table III reproduction bench can print paper-vs-ours side
+by side.
+
+Factor operands follow Sec. VII-A: "The factorizing matrices that are
+multiplied with the tensors are generalized to have dimensions of
+K by (M/2)" — the second operand is K x (M/2); it shares A's density for
+the SpGEMM scenario and is dense for the SpMM scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.formats.registry import Format
+from repro.workloads.spec import Kernel, MatrixWorkload, TensorWorkload
+
+
+@dataclass(frozen=True)
+class PaperChoice:
+    """One MCF/ACF quadruple as printed in Table III."""
+
+    mcf_t: Format
+    mcf_f: Format
+    acf_t: Format
+    acf_f: Format
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """A Table III row: workload stats plus the paper's format decisions."""
+
+    name: str
+    source: str
+    dims: tuple[int, ...]
+    nnz: int
+    density_pct: float
+    spgemm_choice: PaperChoice  # blue/tan shading (sparse second operand)
+    spmm_choice: PaperChoice  # grey/yellow shading (dense second operand)
+
+    @property
+    def is_tensor(self) -> bool:
+        """3-D workloads (BrainQ / Crime / Uber)."""
+        return len(self.dims) == 3
+
+    # --------------------------------------------------------- workloads ---
+    def matrix_workload(self, kernel: Kernel) -> MatrixWorkload:
+        """Build the SpGEMM or SpMM workload for a 2-D entry."""
+        if self.is_tensor:
+            raise ValueError(f"{self.name} is a tensor entry")
+        m, k = self.dims
+        n = max(1, m // 2)
+        if kernel is Kernel.SPMM:
+            nnz_b = k * n
+        elif kernel is Kernel.SPGEMM:
+            nnz_b = max(1, min(k * n, round(self.nnz / (m * k) * k * n)))
+        else:
+            raise ValueError(f"unsupported matrix kernel {kernel}")
+        return MatrixWorkload(
+            name=f"{self.name}-{kernel.value}",
+            kernel=kernel,
+            m=m,
+            k=k,
+            n=n,
+            nnz_a=self.nnz,
+            nnz_b=nnz_b,
+        )
+
+    def tensor_workload(self, kernel: Kernel) -> TensorWorkload:
+        """Build the SpTTM or MTTKRP workload for a 3-D entry."""
+        if not self.is_tensor:
+            raise ValueError(f"{self.name} is a matrix entry")
+        if kernel not in (Kernel.SPTTM, Kernel.MTTKRP):
+            raise ValueError(f"unsupported tensor kernel {kernel}")
+        return TensorWorkload(
+            name=f"{self.name}-{kernel.value}",
+            kernel=kernel,
+            shape=self.dims,  # type: ignore[arg-type]
+            nnz=self.nnz,
+            rank=max(1, self.dims[0] // 2),
+        )
+
+
+def _c(mt: Format, mf: Format, at: Format, af: Format) -> PaperChoice:
+    return PaperChoice(mt, mf, at, af)
+
+
+F = Format
+
+#: Table III, matrix rows (SuiteSparse [1] and DeepBench [35]).
+MATRIX_SUITE: tuple[SuiteEntry, ...] = (
+    SuiteEntry(
+        "journals", "SuiteSparse", (124, 124), 12_068, 78.5,
+        _c(F.ZVC, F.ZVC, F.DENSE, F.DENSE), _c(F.ZVC, F.DENSE, F.DENSE, F.DENSE),
+    ),
+    SuiteEntry(
+        "bibd_17_8", "SuiteSparse", (171, 92_000), 3_300_000, 20.9,
+        _c(F.RLC, F.CSC, F.DENSE, F.CSC), _c(F.RLC, F.DENSE, F.DENSE, F.DENSE),
+    ),
+    SuiteEntry(
+        "dendrimer", "SuiteSparse", (730, 730), 63_000, 11.8,
+        _c(F.RLC, F.CSC, F.DENSE, F.CSC), _c(F.RLC, F.DENSE, F.DENSE, F.DENSE),
+    ),
+    SuiteEntry(
+        "speech1", "DeepBench", (11_000, 3_600), 3_900_000, 10.0,
+        _c(F.RLC, F.CSC, F.DENSE, F.CSC), _c(F.RLC, F.DENSE, F.DENSE, F.DENSE),
+    ),
+    SuiteEntry(
+        "speech2", "DeepBench", (7_700, 2_600), 1_000_000, 5.0,
+        _c(F.RLC, F.CSC, F.DENSE, F.CSC), _c(F.RLC, F.DENSE, F.DENSE, F.DENSE),
+    ),
+    SuiteEntry(
+        "nd3k", "SuiteSparse", (9_000, 9_000), 3_300_000, 4.1,
+        _c(F.RLC, F.CSC, F.DENSE, F.CSC), _c(F.RLC, F.DENSE, F.DENSE, F.DENSE),
+    ),
+    SuiteEntry(
+        "cavity14", "SuiteSparse", (2_600, 2_600), 76_000, 1.1,
+        _c(F.CSR, F.CSC, F.DENSE, F.CSC), _c(F.CSR, F.DENSE, F.CSR, F.DENSE),
+    ),
+    SuiteEntry(
+        "model3", "SuiteSparse", (1_600, 4_600), 24_000, 0.32,
+        _c(F.CSR, F.CSC, F.CSR, F.CSC), _c(F.CSR, F.DENSE, F.CSR, F.DENSE),
+    ),
+    SuiteEntry(
+        "cat_ears_4_4", "SuiteSparse", (5_200, 13_200), 40_000, 0.057,
+        _c(F.CSR, F.CSC, F.CSR, F.CSC), _c(F.CSR, F.DENSE, F.CSR, F.DENSE),
+    ),
+    SuiteEntry(
+        "m3plates", "SuiteSparse", (11_000, 11_000), 6_600, 0.0054,
+        _c(F.COO, F.COO, F.CSR, F.CSC), _c(F.COO, F.DENSE, F.CSR, F.DENSE),
+    ),
+)
+
+#: Table III, tensor rows (BrainQ [36], FROSTT [3]).
+TENSOR_SUITE: tuple[SuiteEntry, ...] = (
+    SuiteEntry(
+        "BrainQ", "BrainQ", (60, 70_000, 9), 11_000_000, 29.1,
+        _c(F.ZVC, F.DENSE, F.DENSE, F.DENSE), _c(F.ZVC, F.DENSE, F.DENSE, F.DENSE),
+    ),
+    SuiteEntry(
+        "Crime", "FROSTT", (6_200, 24, 2_500), 5_200_000, 1.5,
+        _c(F.CSF, F.DENSE, F.CSF, F.DENSE), _c(F.CSF, F.DENSE, F.CSF, F.DENSE),
+    ),
+    SuiteEntry(
+        "Uber", "FROSTT", (4_400, 1_100, 1_700), 3_300_000, 0.039,
+        _c(F.COO, F.DENSE, F.CSF, F.DENSE), _c(F.COO, F.DENSE, F.CSF, F.DENSE),
+    ),
+)
+
+
+def suite_by_name(name: str) -> SuiteEntry:
+    """Look up a Table III entry by its workload name."""
+    for entry in MATRIX_SUITE + TENSOR_SUITE:
+        if entry.name == name:
+            return entry
+    raise KeyError(f"unknown suite workload {name!r}")

@@ -1,0 +1,30 @@
+"""The Fig. 6 walkthrough operands, shared by several test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fig6_streamed() -> np.ndarray:
+    """Matrix A of Fig. 6 (4 x 8): A@(0,0), B@(0,2), C@(0,4), H@(3,5)."""
+    a = np.zeros((4, 8))
+    a[0, 0], a[0, 2], a[0, 4], a[3, 5] = 1.0, 2.0, 3.0, 4.0
+    return a
+
+
+def fig6_stationary() -> np.ndarray:
+    """Matrix B of Fig. 6 (8 x 4): lowercase a-h, one column per PE."""
+    b = np.zeros((8, 4))
+    entries = [
+        (0, 0, 1.0),  # a
+        (0, 1, 2.0),  # d
+        (2, 0, 3.0),  # b
+        (3, 2, 4.0),  # f
+        (4, 0, 5.0),  # c
+        (5, 2, 6.0),  # g
+        (5, 3, 7.0),  # h
+        (7, 1, 8.0),  # e
+    ]
+    for r, c, v in entries:
+        b[r, c] = v
+    return b

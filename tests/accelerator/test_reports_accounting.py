@@ -1,0 +1,97 @@
+"""Report dataclass semantics and the shared energy accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.accounting import energy_report
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.report import CycleReport, EnergyReport, RunReport
+
+
+def _cycles(**overrides) -> CycleReport:
+    base = dict(
+        load_cycles=10,
+        stream_cycles=100,
+        drain_cycles=5,
+        compute_cycles=50,
+        rounds=1,
+        k_tiles=1,
+        issued_macs=1000,
+        matched_macs=800,
+        output_spills=20,
+    )
+    base.update(overrides)
+    return CycleReport(**base)
+
+
+class TestCycleReport:
+    def test_io_vs_compute_overlap(self):
+        io_bound = _cycles(compute_cycles=50)
+        assert io_bound.total_cycles == 115  # 10 + 100 + 5
+        compute_bound = _cycles(compute_cycles=500)
+        assert compute_bound.total_cycles == 500
+
+    def test_utilization(self):
+        assert _cycles().utilization == pytest.approx(0.8)
+        assert _cycles(issued_macs=0, matched_macs=0).utilization == 1.0
+
+    def test_equality_is_fieldwise(self):
+        assert _cycles() == _cycles()
+        assert _cycles(stream_cycles=101) != _cycles()
+
+
+class TestEnergyReport:
+    def test_total_is_sum(self):
+        e = EnergyReport(1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+        assert e.total_j == pytest.approx(21.0)
+
+    def test_addition(self):
+        a = EnergyReport(1, 1, 1, 1, 1, 1)
+        b = EnergyReport(2, 2, 2, 2, 2, 2)
+        assert (a + b).total_j == pytest.approx(18.0)
+
+    def test_run_report_edp(self):
+        run = RunReport(cycles=_cycles(), energy=EnergyReport(0, 0, 0, 0, 1e-6, 0))
+        assert run.edp == pytest.approx(1e-6 * 115)
+
+
+class TestAccounting:
+    CFG = AcceleratorConfig.paper_default()
+
+    def test_zero_events_zero_energy(self):
+        e = energy_report(
+            self.CFG, beat_cycles=0, entries_loaded=0, issued_macs=0,
+            compares=0, spills=0,
+        )
+        assert e.total_j == 0.0
+
+    def test_each_event_charges_its_component(self):
+        base = dict(beat_cycles=0, entries_loaded=0, issued_macs=0,
+                    compares=0, spills=0)
+        for field, key in [
+            ("noc_j", "beat_cycles"),
+            ("load_j", "entries_loaded"),
+            ("mac_j", "issued_macs"),
+            ("compare_j", "compares"),
+            ("output_j", "spills"),
+        ]:
+            kwargs = dict(base)
+            kwargs[key] = 100
+            e = energy_report(self.CFG, **kwargs)
+            assert getattr(e, field) > 0.0, field
+
+    def test_linear_in_events(self):
+        e1 = energy_report(self.CFG, beat_cycles=10, entries_loaded=10,
+                           issued_macs=10, compares=10, spills=10)
+        e2 = energy_report(self.CFG, beat_cycles=20, entries_loaded=20,
+                           issued_macs=20, compares=20, spills=20)
+        assert e2.total_j == pytest.approx(2 * e1.total_j)
+
+    def test_macs_dominate_compares(self):
+        """An fp32 MAC costs far more than a metadata compare."""
+        mac = energy_report(self.CFG, beat_cycles=0, entries_loaded=0,
+                            issued_macs=1000, compares=0, spills=0)
+        cmp_ = energy_report(self.CFG, beat_cycles=0, entries_loaded=0,
+                             issued_macs=0, compares=1000, spills=0)
+        assert mac.total_j > 10 * cmp_.total_j

@@ -1,0 +1,86 @@
+"""Beat-level trace renderer: Fig. 6 as text."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator.trace import render_stream_trace, trace_stream
+from repro.formats import CooMatrix, CscMatrix, CsrMatrix, DenseMatrix
+from repro.formats.registry import Format
+from tests.accelerator.fig6 import fig6_streamed
+from tests.conftest import make_sparse
+
+
+class TestFig6Trace:
+    def test_dense_trace_has_8_beats(self):
+        beats = trace_stream(
+            DenseMatrix.from_dense(fig6_streamed()), Format.DENSE, 5
+        )
+        assert sum(b.cycles for b in beats) == 8
+        # Every dense beat carries one row header + 4 values on a 5-slot bus.
+        for b in beats:
+            assert b.slots[0].startswith("r")
+            assert len(b.slots) == 5 and b.idle_slots == 0
+
+    def test_csr_trace_matches_paper_figure(self):
+        beats = trace_stream(
+            CsrMatrix.from_dense(fig6_streamed()), Format.CSR, 5
+        )
+        assert len(beats) == 3
+        # Beat 0: row 0 header + two (value, col) pairs = full bus.
+        assert beats[0].slots == ("r0", "v1", "k0", "v2", "k2")
+        # Beat 1: row 0's third element alone; two slots idle.
+        assert beats[1].slots == ("r0", "v3", "k4")
+        assert beats[1].idle_slots == 2
+        # Beat 2: H on row 3, broken up from C as the paper says.
+        assert beats[2].slots == ("r3", "v4", "k5")
+
+    def test_coo_trace_one_triple_per_beat(self):
+        beats = trace_stream(
+            CooMatrix.from_dense(fig6_streamed()), Format.COO, 5
+        )
+        assert len(beats) == 4
+        for b in beats:
+            assert len(b.slots) == 3  # value + col + row
+            assert b.idle_slots == 2
+
+
+class TestRenderer:
+    def test_render_contains_cycle_lines(self):
+        text = render_stream_trace(
+            CsrMatrix.from_dense(fig6_streamed()), Format.CSR, 5
+        )
+        assert "3 cycles" in text
+        assert text.count("\ncycle ") == 3
+
+    def test_max_beats_truncates(self, rng):
+        dense = make_sparse(rng, (20, 20), 0.5)
+        beats = trace_stream(CsrMatrix.from_dense(dense), Format.CSR, 5,
+                             max_beats=4)
+        assert len(beats) == 4
+
+    def test_csc_trace_headers_are_columns(self, rng):
+        dense = make_sparse(rng, (6, 6), 0.4)
+        beats = trace_stream(CscMatrix.from_dense(dense), Format.CSC, 6)
+        headers = [s for b in beats for s in b.slots if s.startswith("c")]
+        assert headers  # column headers present
+
+    def test_k_range_respected(self, rng):
+        dense = make_sparse(rng, (6, 10), 0.6)
+        beats = trace_stream(
+            CsrMatrix.from_dense(dense), Format.CSR, 8, k_range=(2, 5)
+        )
+        ks = [
+            int(s[1:])
+            for b in beats
+            for s in b.slots
+            if s.startswith("k")
+        ]
+        assert ks and all(2 <= k < 5 for k in ks)
+
+    def test_wide_entry_annotated(self):
+        dense = np.zeros((2, 2))
+        dense[1, 1] = 5.0
+        text = render_stream_trace(CooMatrix.from_dense(dense), Format.COO, 2)
+        assert "x2 cycles" in text

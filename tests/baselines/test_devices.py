@@ -1,0 +1,113 @@
+"""CPU/GPU device models: the Fig. 5 / 10 / 11 shape claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CpuModel, GpuModel, MMAlgorithm
+from repro.util.stats import geomean
+
+
+class TestFig5Shapes:
+    GPU = GpuModel()
+    DIMS = (11_000, 11_000, 11_000)
+
+    def _winner(self, density: float) -> MMAlgorithm:
+        times = {
+            a: self.GPU.mm_time(a, *self.DIMS, density).seconds
+            for a in MMAlgorithm
+        }
+        return min(times, key=times.get)
+
+    @pytest.mark.parametrize("density", [0.10, 0.5, 1.0])
+    def test_dense_wins_from_ten_percent(self, density):
+        """Fig. 5a: Dense(A)-Dense(B)-Dense(O) performs better in density
+        regions from 10% to 100%."""
+        assert self._winner(density) is MMAlgorithm.DENSE_DENSE_DENSE
+
+    @pytest.mark.parametrize("density", [1e-8, 1e-6, 1e-4, 1e-3])
+    def test_spgemm_wins_at_extreme_sparsity(self, density):
+        """Fig. 5a: CSR-CSR-CSR performs better from 1e-6% to 0.1%."""
+        assert self._winner(density) is MMAlgorithm.CSR_CSR_CSR
+
+    def test_dense_time_flat_across_density(self):
+        t1 = self.GPU.mm_time(MMAlgorithm.DENSE_DENSE_DENSE, *self.DIMS, 0.01)
+        t2 = self.GPU.mm_time(MMAlgorithm.DENSE_DENSE_DENSE, *self.DIMS, 0.9)
+        assert t1.seconds == pytest.approx(t2.seconds)
+
+    def test_gemm_sm_util_high_but_wasted(self):
+        """Fig. 5b: 'GEMM is compute bound, but note that SM utilization
+        includes zero valued operations.'"""
+        est = self.GPU.mm_time(MMAlgorithm.DENSE_DENSE_DENSE, *self.DIMS, 0.5)
+        assert est.sm_utilization > 0.7
+
+    def test_sparse_sm_util_low(self):
+        est = self.GPU.mm_time(MMAlgorithm.CSR_CSR_CSR, *self.DIMS, 1e-4)
+        assert est.sm_utilization < 0.05
+
+    def test_spmm_memory_bound_at_low_density(self):
+        """Fig. 5c: the SpMM algorithms are often memory bound."""
+        est = self.GPU.mm_time(MMAlgorithm.CSR_DENSE_DENSE, *self.DIMS, 1e-4)
+        assert est.mem_utilization > est.sm_utilization
+
+    def test_spgemm_latency_bound_at_extreme_sparsity(self):
+        """Fig. 5: 'SpGEMM is often latency bound' — at 1e-8 the launch
+        overhead dominates the kernel time."""
+        est = self.GPU.mm_time(MMAlgorithm.CSR_CSR_CSR, *self.DIMS, 1e-8)
+        assert est.seconds == pytest.approx(
+            3 * self.GPU.kernel_launch_s, rel=0.35
+        )
+
+
+class TestFig10Fig11Shapes:
+    GPU = GpuModel()
+    CPU = CpuModel()
+
+    def test_transfer_share_geomean_near_half(self):
+        """Fig. 11: transfers are ~50% of GPU conversion wall time
+        (geomean), up to 75%."""
+        shares = []
+        for mbytes in [0.1e6, 1e6, 10e6, 60e6, 200e6]:
+            dev, h2d, d2h = self.GPU.conversion_time(mbytes, 1.2 * mbytes)
+            shares.append((h2d + d2h) / (dev + h2d + d2h))
+        g = geomean(shares)
+        assert 0.35 <= g <= 0.70
+        assert max(shares) <= 0.80
+
+    def test_gpu_conversion_energy_orders_above_mint(self):
+        """Fig. 10c: MINT saves roughly three orders of magnitude."""
+        from repro.formats.registry import Format
+        from repro.mint.cost import estimate_conversion_cost
+
+        m, k, nnz = 9000, 9000, 3_300_000
+        mint = estimate_conversion_cost(
+            Format.CSR, Format.CSC, size=m * k, nnz=nnz, major_dim=m
+        )
+        bytes_in = nnz * 6.0  # ~48 bits/entry
+        dev, h2d, d2h = self.GPU.conversion_time(bytes_in, bytes_in)
+        gpu_energy = self.GPU.conversion_energy(dev + h2d + d2h)
+        assert gpu_energy / mint.energy_j >= 1e3
+
+    def test_cpu_conversion_slower_than_mint(self):
+        from repro.formats.registry import Format
+        from repro.mint.cost import estimate_conversion_cost
+
+        m, k, nnz = 11_000, 3_600, 3_900_000
+        mint = estimate_conversion_cost(
+            Format.CSR, Format.CSC, size=m * k, nnz=nnz, major_dim=m
+        )
+        t_cpu = self.CPU.conversion_time(nnz * 6.0, nnz * 6.0)
+        assert t_cpu > mint.seconds
+
+    def test_cpu_time_scales_with_bytes(self):
+        t1 = self.CPU.conversion_time(1e6, 1e6)
+        t2 = self.CPU.conversion_time(10e6, 10e6)
+        assert t2 > 5 * t1
+
+    def test_gpu_peak_flops(self):
+        # 4608 cores x 2 x 1.77 GHz ~= 16.3 TFLOP/s fp32.
+        assert self.GPU.peak_flops == pytest.approx(16.3e12, rel=0.01)
+
+    def test_cpu_peak_flops(self):
+        # 10 cores x 32 flops x 3.3 GHz ~= 1.06 TFLOP/s.
+        assert self.CPU.peak_flops == pytest.approx(1.056e12, rel=0.01)

@@ -1,0 +1,64 @@
+"""All-pairs software conversions preserve values exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConversionError
+from repro.formats import (
+    MATRIX_FORMATS,
+    TENSOR_FORMATS,
+    convert_matrix,
+    convert_tensor,
+    matrix_class,
+    tensor_class,
+)
+from repro.formats.registry import Format
+from tests.conftest import make_sparse
+
+
+@pytest.mark.parametrize("src", MATRIX_FORMATS)
+@pytest.mark.parametrize("dst", MATRIX_FORMATS)
+def test_matrix_all_pairs(src, dst, rng):
+    dense = make_sparse(rng, (11, 13), 0.25)
+    source = matrix_class(src).from_dense(dense)
+    out = convert_matrix(source, dst)
+    assert out.format is dst
+    assert np.array_equal(out.to_dense(), dense)
+
+
+@pytest.mark.parametrize("src", TENSOR_FORMATS)
+@pytest.mark.parametrize("dst", TENSOR_FORMATS)
+def test_tensor_all_pairs(src, dst, rng):
+    dense = make_sparse(rng, (4, 6, 5), 0.2)
+    source = tensor_class(src).from_dense(dense)
+    out = convert_tensor(source, dst)
+    assert out.format is dst
+    assert np.array_equal(out.to_dense(), dense)
+
+
+def test_dtype_bits_preserved(rng):
+    dense = make_sparse(rng, (6, 6), 0.3)
+    src = matrix_class(Format.CSR).from_dense(dense, dtype_bits=16)
+    out = convert_matrix(src, Format.COO)
+    assert out.dtype_bits == 16
+
+
+def test_matrix_rejects_tensor_format(small_matrix):
+    src = matrix_class(Format.CSR).from_dense(small_matrix)
+    with pytest.raises(ConversionError):
+        convert_matrix(src, Format.CSF)
+
+
+def test_tensor_rejects_matrix_format(small_tensor):
+    src = tensor_class(Format.COO).from_dense(small_tensor)
+    with pytest.raises(ConversionError):
+        convert_tensor(src, Format.CSR)
+
+
+def test_encode_kwargs_forwarded(rng):
+    dense = make_sparse(rng, (8, 8), 0.3)
+    src = matrix_class(Format.DENSE).from_dense(dense)
+    out = convert_matrix(src, Format.BSR, block_shape=(4, 4))
+    assert out.block_shape == (4, 4)

@@ -1,0 +1,68 @@
+"""ELLPACK-specific structure and storage behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.compactness import storage_bits
+from repro.formats import CooMatrix, CsrMatrix, EllMatrix
+from repro.formats.registry import Format
+from repro.workloads import random_sparse_matrix
+from tests.conftest import make_sparse
+
+
+class TestStructure:
+    def test_width_is_max_row_nnz(self, rng):
+        dense = make_sparse(rng, (10, 12), 0.3)
+        ell = EllMatrix.from_dense(dense)
+        assert ell.width == int(np.count_nonzero(dense, axis=1).max())
+
+    def test_uniform_rows_no_padding(self):
+        dense = np.eye(6) * 3.0
+        ell = EllMatrix.from_dense(dense)
+        assert ell.width == 1
+        assert not np.any(ell.col_ids == -1)
+
+    def test_one_hot_row_dominates_footprint(self, rng):
+        """ELL's Achilles heel: one dense row pads every other row."""
+        dense = make_sparse(rng, (50, 50), 0.02)
+        dense[0, :] = 1.0  # one fully dense row
+        ell = EllMatrix.from_dense(dense)
+        assert ell.width == 50
+        csr_bits = CsrMatrix.from_dense(dense).total_bits
+        assert ell.total_bits > 5 * csr_bits
+
+    def test_storage_counts_padding_as_data(self, rng):
+        dense = make_sparse(rng, (8, 8), 0.2)
+        ell = EllMatrix.from_dense(dense)
+        assert ell.storage().data_bits == 8 * ell.width * 32
+
+    def test_regular_sparsity_beats_coo_metadata(self):
+        """Where every row has the same nnz, ELL stores no row structure."""
+        dense = np.zeros((64, 64))
+        for i in range(64):
+            dense[i, (i * 7) % 64] = 1.0
+            dense[i, (i * 13 + 1) % 64] = 2.0
+        ell = EllMatrix.from_dense(dense)
+        coo = CooMatrix.from_dense(dense)
+        assert ell.storage().metadata_bits < coo.storage().metadata_bits
+
+
+class TestClosedForm:
+    def test_estimate_upper_bounds_typical_instance(self, rng):
+        m, k, nnz = 60, 80, 600
+        dense = random_sparse_matrix(m, k, nnz, rng)
+        actual = EllMatrix.from_dense(dense).total_bits
+        est = storage_bits(Format.ELL, (m, k), nnz)
+        # The Gumbel-tail width estimate should be within ~40% of a sampled
+        # instance (it models E[max] of the row-occupancy distribution).
+        assert est == pytest.approx(actual, rel=0.4)
+
+    def test_estimate_monotone_in_nnz(self):
+        lo = storage_bits(Format.ELL, (100, 100), 500)
+        hi = storage_bits(Format.ELL, (100, 100), 2000)
+        assert hi > lo
+
+    def test_zero_nnz(self):
+        assert storage_bits(Format.ELL, (10, 10), 0) == 0.0

@@ -1,0 +1,143 @@
+"""Failure injection: corrupted field arrays must be rejected at construction.
+
+A downstream user deserializing format payloads from disk or a wire relies
+on the constructors validating structural invariants; silently accepting a
+corrupt pointer array would corrupt every kernel downstream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import (
+    BsrMatrix,
+    CooMatrix,
+    CooTensor,
+    CscMatrix,
+    CsfTensor,
+    CsrMatrix,
+    EllMatrix,
+    HicooTensor,
+    RlcMatrix,
+    ZvcMatrix,
+)
+from tests.conftest import make_sparse
+
+
+@pytest.fixture
+def csr(rng):
+    return CsrMatrix.from_dense(make_sparse(rng, (8, 10), 0.3))
+
+
+class TestCsrCorruption:
+    def test_row_ptr_last_entry_wrong(self, csr):
+        bad = csr.row_ptr.copy()
+        bad[-1] += 1
+        with pytest.raises(FormatError):
+            CsrMatrix(csr.shape, csr.values, csr.col_ids, bad)
+
+    def test_row_ptr_decreasing(self, csr):
+        if csr.stored < 2:
+            pytest.skip("needs 2 entries")
+        bad = csr.row_ptr.copy()
+        mid = len(bad) // 2
+        bad[mid] = bad[-1] + 1  # spike above the end
+        with pytest.raises(FormatError):
+            CsrMatrix(csr.shape, csr.values, csr.col_ids, bad)
+
+    def test_col_id_out_of_range(self, csr):
+        bad = csr.col_ids.copy()
+        bad[0] = csr.shape[1]
+        with pytest.raises(FormatError):
+            CsrMatrix(csr.shape, csr.values, bad, csr.row_ptr)
+
+    def test_truncated_values(self, csr):
+        with pytest.raises(FormatError):
+            CsrMatrix(csr.shape, csr.values[:-1], csr.col_ids, csr.row_ptr)
+
+
+class TestOtherMatrixCorruption:
+    def test_coo_negative_index(self, rng):
+        with pytest.raises(FormatError):
+            CooMatrix((4, 4), [1.0], [-1], [0])
+
+    def test_csc_ptr_wrong_length(self, rng):
+        csc = CscMatrix.from_dense(make_sparse(rng, (5, 6), 0.4))
+        with pytest.raises(FormatError):
+            CscMatrix(csc.shape, csc.values, csc.row_ids, csc.col_ptr[:-1])
+
+    def test_rlc_stream_overruns_shape(self):
+        # Runs summing past the logical size must be rejected.
+        with pytest.raises(FormatError):
+            RlcMatrix((2, 2), runs=[3, 1], levels=[1.0, 2.0])
+
+    def test_zvc_mask_all_zero_with_values(self):
+        with pytest.raises(FormatError):
+            ZvcMatrix((2, 2), [1.0], np.zeros(4, dtype=bool))
+
+    def test_bsr_col_id_out_of_grid(self, rng):
+        bsr = BsrMatrix.from_dense(make_sparse(rng, (6, 6), 0.5))
+        if bsr.nblocks == 0:
+            pytest.skip("no blocks")
+        bad = bsr.block_col_ids.copy()
+        bad[0] = bsr.block_cols
+        with pytest.raises(FormatError):
+            BsrMatrix(bsr.shape, bsr.values, bad, bsr.block_row_ptr,
+                      block_shape=bsr.block_shape)
+
+    def test_ell_nonzero_in_padding(self, rng):
+        ell = EllMatrix.from_dense(make_sparse(rng, (5, 8), 0.2))
+        if ell.width < 2:
+            pytest.skip("needs padding slots")
+        bad_vals = ell.values.copy()
+        # Find a padding slot and plant a value without fixing the col id.
+        pads = np.argwhere(ell.col_ids == -1)
+        if len(pads) == 0:
+            pytest.skip("no padding")
+        i, j = pads[0]
+        bad_vals[i, j] = 9.0
+        with pytest.raises(FormatError):
+            EllMatrix(ell.shape, bad_vals, ell.col_ids)
+
+    def test_ell_shape_mismatch(self, rng):
+        ell = EllMatrix.from_dense(make_sparse(rng, (5, 8), 0.3))
+        with pytest.raises(FormatError):
+            EllMatrix(ell.shape, ell.values, ell.col_ids[:-1])
+
+
+class TestTensorCorruption:
+    def test_csf_ptr_endpoint(self, rng):
+        csf = CsfTensor.from_dense(make_sparse(rng, (4, 4, 4), 0.3))
+        if csf.nroots == 0:
+            pytest.skip("empty")
+        bad = csf.x_ptr.copy()
+        bad[-1] += 1
+        with pytest.raises(FormatError):
+            CsfTensor(csf.shape, csf.x_ids, bad, csf.y_ids, csf.y_ptr,
+                      csf.z_ids, csf.values)
+
+    def test_coo_tensor_duplicate(self):
+        with pytest.raises(FormatError):
+            CooTensor((2, 2, 2), [1.0, 2.0], [0, 0], [0, 0], [0, 0])
+
+    def test_hicoo_offset_out_of_block(self, rng):
+        h = HicooTensor.from_dense(make_sparse(rng, (6, 6, 6), 0.2))
+        if len(h.values) == 0:
+            pytest.skip("empty")
+        bad = h.elem_offsets.copy()
+        bad[0, 0] = h.block_shape[0]
+        with pytest.raises(FormatError):
+            HicooTensor(h.shape, h.values, h.bptr, h.block_ids, bad,
+                        block_shape=h.block_shape)
+
+    def test_hicoo_empty_block(self, rng):
+        h = HicooTensor.from_dense(make_sparse(rng, (6, 6, 6), 0.2))
+        if h.nblocks < 2:
+            pytest.skip("needs blocks")
+        bad = h.bptr.copy()
+        bad[1] = bad[0]  # first block becomes empty
+        with pytest.raises(FormatError):
+            HicooTensor(h.shape, h.values, bad, h.block_ids, h.elem_offsets,
+                        block_shape=h.block_shape)

@@ -1,0 +1,111 @@
+"""Round-trip and structural tests for every matrix format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    BsrMatrix,
+    CooMatrix,
+    CscMatrix,
+    CsrMatrix,
+    DenseMatrix,
+    DiaMatrix,
+    EllMatrix,
+    RlcMatrix,
+    ZvcMatrix,
+)
+from tests.conftest import make_sparse
+
+ALL_MATRIX_CLASSES = [
+    DenseMatrix,
+    CooMatrix,
+    CsrMatrix,
+    CscMatrix,
+    RlcMatrix,
+    ZvcMatrix,
+    BsrMatrix,
+    DiaMatrix,
+    EllMatrix,
+]
+
+SHAPES = [(1, 1), (1, 12), (12, 1), (7, 9), (16, 16), (5, 33)]
+DENSITIES = [0.0, 0.05, 0.3, 0.7, 1.0]
+
+
+@pytest.mark.parametrize("cls", ALL_MATRIX_CLASSES)
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("density", DENSITIES)
+def test_roundtrip_bit_exact(cls, shape, density, rng):
+    dense = make_sparse(rng, shape, density)
+    enc = cls.from_dense(dense)
+    assert np.array_equal(enc.to_dense(), dense)
+
+
+@pytest.mark.parametrize("cls", ALL_MATRIX_CLASSES)
+def test_shape_and_nnz_reported(cls, small_matrix):
+    enc = cls.from_dense(small_matrix)
+    assert enc.shape == small_matrix.shape
+    assert enc.nnz == np.count_nonzero(small_matrix)
+    assert enc.size == small_matrix.size
+    assert enc.density == pytest.approx(enc.nnz / enc.size)
+
+
+@pytest.mark.parametrize("cls", ALL_MATRIX_CLASSES)
+def test_storage_nonnegative_and_data_dominated_when_full(cls, rng):
+    dense = 0.1 + rng.random((8, 8))  # fully dense
+    enc = cls.from_dense(dense)
+    s = enc.storage()
+    assert s.data_bits >= 0 and s.metadata_bits >= 0
+    assert s.total_bits == s.data_bits + s.metadata_bits
+    # At full density the payload must dominate the footprint.
+    assert s.data_bits >= s.metadata_bits
+
+
+@pytest.mark.parametrize("cls", ALL_MATRIX_CLASSES)
+def test_dtype_bits_scales_data(cls, small_matrix):
+    s8 = cls.from_dense(small_matrix, dtype_bits=8).storage()
+    s32 = cls.from_dense(small_matrix, dtype_bits=32).storage()
+    assert s32.data_bits == 4 * s8.data_bits
+    # Metadata width is independent of the payload dtype for all but RLC
+    # (whose run field is fixed anyway).
+    assert s32.metadata_bits == s8.metadata_bits
+
+
+@pytest.mark.parametrize("cls", ALL_MATRIX_CLASSES)
+def test_fields_are_arrays(cls, small_matrix):
+    enc = cls.from_dense(small_matrix)
+    fields = enc.fields()
+    assert len(fields) >= 1
+    for name, arr in fields.items():
+        assert isinstance(name, str)
+        assert isinstance(arr, np.ndarray)
+
+
+@pytest.mark.parametrize("cls", ALL_MATRIX_CLASSES)
+def test_empty_matrix(cls):
+    dense = np.zeros((6, 5))
+    enc = cls.from_dense(dense)
+    assert enc.nnz == 0
+    assert np.array_equal(enc.to_dense(), dense)
+
+
+@pytest.mark.parametrize("cls", ALL_MATRIX_CLASSES)
+def test_allclose_across_formats(cls, small_matrix):
+    ref = DenseMatrix.from_dense(small_matrix)
+    assert cls.from_dense(small_matrix).allclose(ref)
+
+
+@pytest.mark.parametrize("cls", ALL_MATRIX_CLASSES)
+def test_rejects_bad_dtype_bits(cls, small_matrix):
+    with pytest.raises(Exception):
+        cls.from_dense(small_matrix, dtype_bits=13)
+
+
+def test_single_element_nonzero():
+    dense = np.array([[3.5]])
+    for cls in ALL_MATRIX_CLASSES:
+        enc = cls.from_dense(dense)
+        assert enc.nnz == 1
+        assert enc.to_dense()[0, 0] == 3.5

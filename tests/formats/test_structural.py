@@ -1,0 +1,212 @@
+"""Format-specific structural invariants and validation errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import (
+    BsrMatrix,
+    CooMatrix,
+    CscMatrix,
+    CsrMatrix,
+    DiaMatrix,
+    RlcMatrix,
+    ZvcMatrix,
+)
+from repro.util.bits import bits_for_count, bits_for_index
+from tests.conftest import make_sparse
+
+
+class TestCoo:
+    def test_sorted_row_major(self, small_matrix):
+        coo = CooMatrix.from_dense(small_matrix).sorted_row_major()
+        keys = coo.row_ids * coo.shape[1] + coo.col_ids
+        assert np.all(np.diff(keys) > 0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(FormatError):
+            CooMatrix((2, 2), [1.0], [5], [0])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(FormatError):
+            CooMatrix((3, 3), [1.0, 2.0], [1, 1], [2, 2])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(FormatError):
+            CooMatrix((3, 3), [1.0, 2.0], [1], [2, 0])
+
+    def test_metadata_bits_formula(self, small_matrix):
+        coo = CooMatrix.from_dense(small_matrix)
+        expected = coo.stored * (
+            bits_for_index(coo.shape[0]) + bits_for_index(coo.shape[1])
+        )
+        assert coo.storage().metadata_bits == expected
+
+
+class TestCsr:
+    def test_row_ptr_monotone(self, small_matrix):
+        csr = CsrMatrix.from_dense(small_matrix)
+        assert np.all(np.diff(csr.row_ptr) >= 0)
+        assert csr.row_ptr[0] == 0 and csr.row_ptr[-1] == csr.stored
+
+    def test_row_slice_contents(self, small_matrix):
+        csr = CsrMatrix.from_dense(small_matrix)
+        for i in range(csr.nrows):
+            cols, vals = csr.row_slice(i)
+            assert np.array_equal(small_matrix[i, cols], vals)
+            assert len(cols) == int(np.count_nonzero(small_matrix[i]))
+
+    def test_rejects_bad_row_ptr(self):
+        with pytest.raises(FormatError):
+            CsrMatrix((2, 2), [1.0], [0], [0, 2, 1])
+
+    def test_rejects_decreasing_ptr(self):
+        with pytest.raises(FormatError):
+            CsrMatrix((2, 2), [1.0, 2.0], [0, 1], [0, 2, 2][::-1])
+
+    def test_metadata_bits_formula(self, small_matrix):
+        csr = CsrMatrix.from_dense(small_matrix)
+        expected = csr.stored * bits_for_index(csr.shape[1]) + (
+            csr.shape[0] + 1
+        ) * bits_for_count(csr.stored)
+        assert csr.storage().metadata_bits == expected
+
+
+class TestCsc:
+    def test_col_slice_contents(self, small_matrix):
+        csc = CscMatrix.from_dense(small_matrix)
+        for j in range(csc.ncols):
+            rows, vals = csc.col_slice(j)
+            assert np.array_equal(small_matrix[rows, j], vals)
+
+    def test_col_lengths_sum(self, small_matrix):
+        csc = CscMatrix.from_dense(small_matrix)
+        assert csc.col_lengths().sum() == csc.stored
+
+    def test_rows_sorted_within_column(self, small_matrix):
+        csc = CscMatrix.from_dense(small_matrix)
+        for j in range(csc.ncols):
+            rows, _ = csc.col_slice(j)
+            assert np.all(np.diff(rows) > 0)
+
+    def test_rejects_bad_col_ptr(self):
+        with pytest.raises(FormatError):
+            CscMatrix((2, 3), [1.0], [0], [0, 1])
+
+
+class TestRlc:
+    def test_entries_at_least_nnz(self, small_matrix):
+        rlc = RlcMatrix.from_dense(small_matrix)
+        assert rlc.entries >= rlc.nnz
+
+    def test_run_overflow_inserts_padding(self):
+        # A single nonzero after 100 zeros with 4-bit runs needs padding.
+        dense = np.zeros((1, 101))
+        dense[0, 100] = 7.0
+        rlc = RlcMatrix.from_dense(dense, run_bits=4)
+        assert rlc.entries > 1
+        assert np.array_equal(rlc.to_dense(), dense)
+        # Wider run field removes the padding.
+        rlc7 = RlcMatrix.from_dense(dense, run_bits=7)
+        assert rlc7.entries == 1
+
+    def test_runs_respect_field_width(self, small_matrix):
+        rlc = RlcMatrix.from_dense(small_matrix, run_bits=3)
+        assert rlc.runs.max(initial=0) < 2 ** 3
+
+    def test_storage_uses_run_bits(self, small_matrix):
+        r3 = RlcMatrix.from_dense(small_matrix, run_bits=3)
+        assert r3.storage().metadata_bits == 3 * r3.entries
+
+    def test_rejects_overrun_stream(self):
+        with pytest.raises(FormatError):
+            RlcMatrix((1, 2), runs=[1, 1], levels=[1.0, 2.0])
+
+
+class TestZvc:
+    def test_mask_popcount(self, small_matrix):
+        zvc = ZvcMatrix.from_dense(small_matrix)
+        assert int(zvc.mask.sum()) == zvc.stored
+
+    def test_metadata_is_one_bit_per_position(self, small_matrix):
+        zvc = ZvcMatrix.from_dense(small_matrix)
+        assert zvc.storage().metadata_bits == small_matrix.size
+
+    def test_rejects_mask_length_mismatch(self):
+        with pytest.raises(FormatError):
+            ZvcMatrix((2, 2), [1.0], np.array([True, False, False]))
+
+    def test_rejects_popcount_mismatch(self):
+        with pytest.raises(FormatError):
+            ZvcMatrix((2, 2), [1.0, 2.0], np.array([True, False, False, False]))
+
+
+class TestBsr:
+    def test_block_zero_fill_counted_as_data(self, rng):
+        dense = np.zeros((4, 4))
+        dense[0, 0] = 1.0  # one nonzero -> one 2x2 block with 3 zeros
+        bsr = BsrMatrix.from_dense(dense)
+        assert bsr.nblocks == 1
+        assert bsr.storage().data_bits == 4 * 32
+
+    def test_non_divisible_shape_padded(self, rng):
+        dense = make_sparse(rng, (5, 7), 0.4)
+        bsr = BsrMatrix.from_dense(dense, block_shape=(2, 3))
+        assert np.array_equal(bsr.to_dense(), dense)
+
+    def test_custom_block_shape(self, rng):
+        dense = make_sparse(rng, (12, 12), 0.2)
+        for bs in [(1, 1), (3, 3), (4, 2), (6, 6)]:
+            bsr = BsrMatrix.from_dense(dense, block_shape=bs)
+            assert np.array_equal(bsr.to_dense(), dense)
+
+    def test_block_row_ptr_consistent(self, rng):
+        dense = make_sparse(rng, (8, 8), 0.3)
+        bsr = BsrMatrix.from_dense(dense)
+        assert bsr.block_row_ptr[-1] == bsr.nblocks
+
+    def test_rejects_bad_block_shape(self, small_matrix):
+        with pytest.raises(FormatError):
+            BsrMatrix.from_dense(small_matrix, block_shape=(0, 2))
+
+    def test_dense_blocks_beat_coo_metadata(self, rng):
+        # Clustered nonzeros: BSR metadata should be far below COO's.
+        dense = np.zeros((16, 16))
+        dense[:4, :4] = 1.0
+        from repro.formats import CooMatrix
+
+        bsr = BsrMatrix.from_dense(dense)
+        coo = CooMatrix.from_dense(dense)
+        assert bsr.storage().metadata_bits < coo.storage().metadata_bits
+
+
+class TestDia:
+    def test_banded_matrix_compact(self):
+        dense = np.eye(20) + np.diag(np.ones(19), k=1)
+        dia = DiaMatrix.from_dense(dense)
+        assert dia.ndiags == 2
+        coo_bits = None
+        from repro.formats import CooMatrix
+
+        coo_bits = CooMatrix.from_dense(dense).total_bits
+        assert dia.total_bits < coo_bits
+
+    def test_offsets_unique_sorted(self, small_matrix):
+        dia = DiaMatrix.from_dense(small_matrix)
+        assert len(np.unique(dia.offsets)) == dia.ndiags
+
+    def test_wide_matrix(self, rng):
+        dense = make_sparse(rng, (3, 40), 0.1)
+        dia = DiaMatrix.from_dense(dense)
+        assert np.array_equal(dia.to_dense(), dense)
+
+    def test_tall_matrix(self, rng):
+        dense = make_sparse(rng, (40, 3), 0.1)
+        dia = DiaMatrix.from_dense(dense)
+        assert np.array_equal(dia.to_dense(), dense)
+
+    def test_rejects_duplicate_offsets(self):
+        with pytest.raises(FormatError):
+            DiaMatrix((3, 3), np.zeros((2, 3)), [0, 0])

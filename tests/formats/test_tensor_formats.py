@@ -1,0 +1,155 @@
+"""Round-trip and structural tests for the 3-D tensor formats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import (
+    CooTensor,
+    CsfTensor,
+    DenseTensor,
+    HicooTensor,
+    RlcTensor,
+    ZvcTensor,
+)
+from tests.conftest import make_sparse
+
+ALL_TENSOR_CLASSES = [
+    DenseTensor,
+    CooTensor,
+    CsfTensor,
+    HicooTensor,
+    RlcTensor,
+    ZvcTensor,
+]
+
+SHAPES = [(1, 1, 1), (4, 4, 4), (2, 9, 5), (7, 1, 3)]
+DENSITIES = [0.0, 0.1, 0.5, 1.0]
+
+
+@pytest.mark.parametrize("cls", ALL_TENSOR_CLASSES)
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("density", DENSITIES)
+def test_roundtrip_bit_exact(cls, shape, density, rng):
+    dense = make_sparse(rng, shape, density)
+    enc = cls.from_dense(dense)
+    assert np.array_equal(enc.to_dense(), dense)
+    assert enc.nnz == np.count_nonzero(dense)
+
+
+@pytest.mark.parametrize("cls", ALL_TENSOR_CLASSES)
+def test_storage_consistency(cls, small_tensor):
+    enc = cls.from_dense(small_tensor)
+    s = enc.storage()
+    assert s.total_bits == s.data_bits + s.metadata_bits
+    assert 0.0 <= s.metadata_fraction <= 1.0
+
+
+@pytest.mark.parametrize("cls", ALL_TENSOR_CLASSES)
+def test_rejects_2d_input(cls, small_matrix):
+    with pytest.raises(ValueError):
+        cls.from_dense(small_matrix)
+
+
+class TestCsf:
+    def test_tree_counts(self, small_tensor):
+        csf = CsfTensor.from_dense(small_tensor)
+        # Roots = distinct x coords; fibers = distinct (x, y) pairs.
+        xs, ys, _ = np.nonzero(small_tensor)
+        assert csf.nroots == len(np.unique(xs))
+        assert csf.nfibers == len(
+            np.unique(xs * small_tensor.shape[1] + ys)
+        )
+
+    def test_pointer_endpoints(self, small_tensor):
+        csf = CsfTensor.from_dense(small_tensor)
+        assert csf.x_ptr[-1] == csf.nfibers
+        assert csf.y_ptr[-1] == len(csf.values)
+
+    def test_coo_roundtrip(self, small_tensor):
+        coo = CooTensor.from_dense(small_tensor)
+        csf = CsfTensor.from_coo(coo)
+        assert np.array_equal(csf.to_coo().to_dense(), small_tensor)
+
+    def test_compression_vs_coo_on_clustered_fibers(self, rng):
+        # Many leaves per fiber: CSF amortizes (x, y) across them.
+        dense = np.zeros((4, 4, 64))
+        dense[0, 0, :] = 1.0
+        dense[1, 2, :] = 2.0
+        csf = CsfTensor.from_dense(dense)
+        coo = CooTensor.from_dense(dense)
+        assert csf.storage().metadata_bits < coo.storage().metadata_bits
+
+    def test_rejects_inconsistent_tree(self):
+        with pytest.raises(FormatError):
+            CsfTensor(
+                (2, 2, 2),
+                x_ids=[0],
+                x_ptr=[0, 2],  # claims two fibers
+                y_ids=[0],  # but only one exists
+                y_ptr=[0, 1],
+                z_ids=[0],
+                values=[1.0],
+            )
+
+
+class TestCooTensor:
+    def test_lexicographic_sort(self, small_tensor):
+        coo = CooTensor.from_dense(small_tensor).sorted_lexicographic()
+        key = (
+            coo.x_ids * small_tensor.shape[1] + coo.y_ids
+        ) * small_tensor.shape[2] + coo.z_ids
+        assert np.all(np.diff(key) > 0)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(FormatError):
+            CooTensor((2, 2, 2), [1.0, 2.0], [0, 0], [1, 1], [1, 1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(FormatError):
+            CooTensor((2, 2, 2), [1.0], [0], [0], [2])
+
+
+class TestHicoo:
+    def test_block_offsets_within_block(self, small_tensor):
+        h = HicooTensor.from_dense(small_tensor)
+        for axis in range(3):
+            if len(h.values):
+                assert h.elem_offsets[:, axis].max() < h.block_shape[axis]
+
+    def test_bptr_partitions_entries(self, small_tensor):
+        h = HicooTensor.from_dense(small_tensor)
+        assert h.bptr[0] == 0 and h.bptr[-1] == len(h.values)
+        assert np.all(np.diff(h.bptr) > 0)
+
+    def test_custom_block_shape(self, rng):
+        dense = make_sparse(rng, (8, 8, 8), 0.15)
+        for bs in [(1, 1, 1), (4, 4, 4), (2, 4, 8)]:
+            h = HicooTensor.from_dense(dense, block_shape=bs)
+            assert np.array_equal(h.to_dense(), dense)
+
+    def test_offset_bits_smaller_than_coo(self, rng):
+        # Clustered data: HiCOO's narrow offsets beat COO's full indices.
+        dense = np.zeros((16, 16, 16))
+        dense[:2, :2, :2] = 1.0
+        h = HicooTensor.from_dense(dense)
+        coo = CooTensor.from_dense(dense)
+        assert h.storage().metadata_bits < coo.storage().metadata_bits
+
+
+class TestFlatTensor:
+    def test_rlc_matches_flat_matrix_semantics(self, small_tensor):
+        from repro.formats import RlcMatrix
+
+        flat2d = small_tensor.reshape(1, -1)
+        t = RlcTensor.from_dense(small_tensor)
+        m = RlcMatrix.from_dense(flat2d)
+        assert np.array_equal(t.runs, m.runs)
+        assert np.array_equal(t.levels, m.levels)
+
+    def test_zvc_mask_length(self, small_tensor):
+        z = ZvcTensor.from_dense(small_tensor)
+        assert len(z.mask) == small_tensor.size
+        assert z.storage().metadata_bits == small_tensor.size

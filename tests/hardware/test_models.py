@@ -1,0 +1,106 @@
+"""Energy, DRAM and area model calibration checks.
+
+These pin the model to the paper's published hardware aggregates; if a
+constant drifts, the corresponding experiment would silently diverge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import AreaModel, DramChannel, EnergyModel
+from repro.hardware.area import (
+    PrefixSumDesign,
+    pe_breakdown,
+    prefix_sum_overlay,
+)
+
+
+class TestEnergy:
+    def test_horowitz_ratio(self):
+        # Sec. I: "a data transfer from DRAM can cost 6400x more energy than
+        # an add operation".
+        assert EnergyModel().dram_to_add_ratio() == pytest.approx(6400.0)
+
+    def test_hierarchy_ordering(self):
+        em = EnergyModel()
+        assert em.dram_bit > em.sram_global_bit > em.sram_pe_bit > em.reg_bit
+
+    def test_helpers_linear(self):
+        em = EnergyModel()
+        assert em.dram_bits(64) == pytest.approx(2 * em.dram_bits(32))
+        assert em.macs(10) == pytest.approx(10 * em.mac_fp32)
+
+    def test_divider_most_expensive_int_op(self):
+        em = EnergyModel()
+        assert em.div_int32 > em.mult_int32 > em.add_int32
+
+
+class TestDram:
+    def test_default_matched_to_bus(self):
+        # 512 bits/cycle at 1 GHz = 64 GB/s, matching the 512-bit input bus.
+        assert DramChannel().bits_per_cycle == pytest.approx(512.0)
+
+    def test_transfer_cycles_roundup(self):
+        ch = DramChannel()
+        assert ch.transfer_cycles(1) == 1
+        assert ch.transfer_cycles(512) == 1
+        assert ch.transfer_cycles(513) == 2
+        assert ch.transfer_cycles(0) == 0
+
+    def test_energy_proportional_to_bits(self):
+        ch = DramChannel()
+        assert ch.transfer_energy(2000) == pytest.approx(
+            2 * ch.transfer_energy(1000)
+        )
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            DramChannel(bandwidth_bytes_per_s=0)
+        with pytest.raises(ConfigError):
+            DramChannel(clock_hz=-1)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            DramChannel().transfer_cycles(-1)
+
+
+class TestArea:
+    def test_pe_overhead_matches_fig7(self):
+        # Fig. 7b: the extension adds ~10% to a PE with a 128 B buffer.
+        frac = AreaModel().pe_overhead_fraction(buffer_bytes=128, lanes=8)
+        assert 0.08 <= frac <= 0.12
+
+    def test_breakdown_sums(self):
+        model = AreaModel()
+        bd = pe_breakdown(model)
+        assert bd.total == pytest.approx(bd.base + bd.extension)
+        assert bd.base == pytest.approx(model.pe_base_area())
+        assert bd.extension == pytest.approx(model.pe_extension_area())
+
+    def test_bigger_buffer_lowers_overhead_fraction(self):
+        model = AreaModel()
+        small = model.pe_overhead_fraction(buffer_bytes=128)
+        large = model.pe_overhead_fraction(buffer_bytes=512)
+        assert large < small
+
+    @pytest.mark.parametrize(
+        "design,area,power",
+        [
+            (PrefixSumDesign.SERIAL_CHAIN, 0.02, 0.03),
+            (PrefixSumDesign.HIGHLY_PARALLEL, 0.20, 0.27),
+        ],
+    )
+    def test_published_overlay_points(self, design, area, power):
+        ov = prefix_sum_overlay(design)
+        assert ov.area_fraction == pytest.approx(area)
+        assert ov.power_fraction == pytest.approx(power)
+
+    def test_overlay_ordering(self):
+        # Serial chain is the cheapest overlay; highly parallel the priciest.
+        serial = prefix_sum_overlay(PrefixSumDesign.SERIAL_CHAIN)
+        work = prefix_sum_overlay(PrefixSumDesign.WORK_EFFICIENT)
+        par = prefix_sum_overlay(PrefixSumDesign.HIGHLY_PARALLEL)
+        assert serial.area_fraction < work.area_fraction < par.area_fraction
+        assert serial.power_fraction < work.power_fraction < par.power_fraction

@@ -1,0 +1,110 @@
+"""Matrix kernels against independent oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import CooMatrix, CscMatrix, CsrMatrix
+from repro.kernels import (
+    gemm_dense,
+    spgemm_csr_csc,
+    spgemm_csr_csr,
+    spmm_coo_dense,
+    spmm_csr_dense,
+    spmm_dense_csc,
+    spmv_coo,
+    spmv_csr,
+)
+from repro.kernels.reference import ref_matmul, ref_spgemm
+from tests.conftest import make_sparse
+
+CASES = [
+    ((1, 1, 1), 1.0),
+    ((5, 8, 3), 0.3),
+    ((12, 4, 9), 0.1),
+    ((7, 7, 7), 0.0),
+    ((3, 20, 6), 0.6),
+    ((16, 16, 16), 0.05),
+]
+
+
+@pytest.mark.parametrize("dims,density", CASES)
+class TestSpmm:
+    def _operands(self, dims, density, rng):
+        m, k, n = dims
+        return make_sparse(rng, (m, k), density), make_sparse(rng, (k, n), 0.8)
+
+    def test_coo_dense(self, dims, density, rng):
+        a, b = self._operands(dims, density, rng)
+        out = spmm_coo_dense(CooMatrix.from_dense(a), b)
+        assert np.allclose(out, ref_matmul(a, b))
+
+    def test_csr_dense(self, dims, density, rng):
+        a, b = self._operands(dims, density, rng)
+        out = spmm_csr_dense(CsrMatrix.from_dense(a), b)
+        assert np.allclose(out, ref_matmul(a, b))
+
+    def test_dense_csc(self, dims, density, rng):
+        a, b = self._operands(dims, density, rng)
+        out = spmm_dense_csc(a, CscMatrix.from_dense(b))
+        assert np.allclose(out, ref_matmul(a, b))
+
+
+@pytest.mark.parametrize("dims,density", CASES)
+class TestSpgemm:
+    def test_csr_csc(self, dims, density, rng):
+        m, k, n = dims
+        a = make_sparse(rng, (m, k), density)
+        b = make_sparse(rng, (k, n), density)
+        out = spgemm_csr_csc(CsrMatrix.from_dense(a), CscMatrix.from_dense(b))
+        assert np.allclose(out, ref_spgemm(a, b))
+
+    def test_csr_csr(self, dims, density, rng):
+        m, k, n = dims
+        a = make_sparse(rng, (m, k), density)
+        b = make_sparse(rng, (k, n), density)
+        out = spgemm_csr_csr(CsrMatrix.from_dense(a), CsrMatrix.from_dense(b))
+        assert np.allclose(out, ref_spgemm(a, b))
+
+
+class TestSpmv:
+    @pytest.mark.parametrize("density", [0.0, 0.2, 1.0])
+    def test_csr(self, density, rng):
+        a = make_sparse(rng, (9, 6), density)
+        x = rng.random(6)
+        assert np.allclose(spmv_csr(CsrMatrix.from_dense(a), x), a @ x)
+
+    @pytest.mark.parametrize("density", [0.0, 0.2, 1.0])
+    def test_coo(self, density, rng):
+        a = make_sparse(rng, (9, 6), density)
+        x = rng.random(6)
+        assert np.allclose(spmv_coo(CooMatrix.from_dense(a), x), a @ x)
+
+    def test_rejects_bad_vector_length(self, rng):
+        a = make_sparse(rng, (4, 5), 0.5)
+        with pytest.raises(ValueError):
+            spmv_csr(CsrMatrix.from_dense(a), np.ones(4))
+
+
+class TestGemm:
+    def test_matches_numpy(self, rng):
+        a, b = rng.random((6, 7)), rng.random((7, 5))
+        assert np.allclose(gemm_dense(a, b), a @ b)
+
+    def test_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            gemm_dense(rng.random((3, 4)), rng.random((5, 6)))
+
+
+@pytest.mark.parametrize(
+    "fn",
+    [spmm_coo_dense, spmm_csr_dense],
+    ids=["coo", "csr"],
+)
+def test_spmm_rejects_inner_mismatch(fn, rng):
+    a = make_sparse(rng, (4, 5), 0.5)
+    b = rng.random((6, 3))
+    cls = CooMatrix if fn is spmm_coo_dense else CsrMatrix
+    with pytest.raises(ValueError):
+        fn(cls.from_dense(a), b)

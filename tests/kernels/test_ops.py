@@ -1,0 +1,83 @@
+"""Operation/traffic accounting used by the device cost models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import CscMatrix, CsrMatrix
+from repro.kernels.ops import (
+    expected_output_nnz,
+    gemm_ops,
+    matching_macs,
+    spgemm_ops,
+    spmm_ops,
+    spmv_ops,
+)
+from tests.conftest import make_sparse
+
+
+class TestMatchingMacs:
+    @pytest.mark.parametrize("density", [0.05, 0.3, 0.8])
+    def test_equals_bruteforce(self, density, rng):
+        a = make_sparse(rng, (10, 8), density)
+        b = make_sparse(rng, (8, 6), density)
+        brute = sum(
+            int(np.count_nonzero(a[:, k])) * int(np.count_nonzero(b[k, :]))
+            for k in range(8)
+        )
+        got = matching_macs(CsrMatrix.from_dense(a), CscMatrix.from_dense(b))
+        assert got == brute
+
+    def test_accepts_csr_second_operand(self, rng):
+        a = make_sparse(rng, (6, 5), 0.4)
+        b = make_sparse(rng, (5, 7), 0.4)
+        assert matching_macs(
+            CsrMatrix.from_dense(a), CsrMatrix.from_dense(b)
+        ) == matching_macs(CsrMatrix.from_dense(a), CscMatrix.from_dense(b))
+
+
+class TestExpectedOutputNnz:
+    def test_dense_times_dense_is_full(self):
+        assert expected_output_nnz(10, 10, 10, 100, 100) == pytest.approx(100.0)
+
+    def test_zero_operand(self):
+        assert expected_output_nnz(10, 10, 10, 0, 50) == pytest.approx(0.0)
+
+    def test_monotone_in_nnz(self):
+        lo = expected_output_nnz(50, 50, 50, 100, 100)
+        hi = expected_output_nnz(50, 50, 50, 500, 500)
+        assert hi > lo
+
+    def test_bounded_by_mn(self):
+        assert expected_output_nnz(7, 9, 100, 400, 500) <= 7 * 9
+
+
+class TestOpCounts:
+    def test_gemm_issues_all_macs(self):
+        ops = gemm_ops(4, 5, 6, nnz_a=10, nnz_b=15, dtype_bits=32)
+        assert ops.macs == 4 * 5 * 6
+        assert ops.useful_macs <= ops.macs
+        assert 0.0 <= ops.utilization <= 1.0
+
+    def test_spmm_macs_scale_with_nnz(self):
+        lo = spmm_ops(10, 1000, 8, 6, 4, 32)
+        hi = spmm_ops(20, 2000, 8, 6, 4, 32)
+        assert hi.macs == 2 * lo.macs
+
+    def test_spgemm_default_expectation(self):
+        ops = spgemm_ops(10, 20, 10, 40, 40, 1000, 1000, 32)
+        assert ops.macs == pytest.approx(40 * 40 / 20)
+
+    def test_spgemm_respects_exact_count(self):
+        ops = spgemm_ops(10, 20, 10, 40, 40, 1000, 1000, 32, useful_macs=77.0)
+        assert ops.macs == 77.0
+
+    def test_spmv_counts(self):
+        ops = spmv_ops(25, 900, 10, 8, 32)
+        assert ops.macs == 25
+        assert ops.bits_written == 10 * 32
+
+    def test_utilization_zero_when_no_macs(self):
+        ops = gemm_ops(1, 1, 1, 0, 0, 32)
+        assert ops.utilization == 0.0

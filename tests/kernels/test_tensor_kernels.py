@@ -1,0 +1,80 @@
+"""SpTTM and MTTKRP against einsum oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import CooTensor, CsfTensor
+from repro.kernels import (
+    mttkrp_coo,
+    mttkrp_csf,
+    mttkrp_dense,
+    spttm_coo,
+    spttm_csf,
+    spttm_dense,
+)
+from repro.kernels.reference import ref_mttkrp, ref_spttm
+from tests.conftest import make_sparse
+
+CASES = [
+    ((1, 1, 1), 2, 1.0),
+    ((4, 5, 6), 3, 0.2),
+    ((8, 3, 10), 4, 0.05),
+    ((3, 3, 3), 2, 0.0),
+    ((2, 7, 4), 5, 0.7),
+]
+
+
+@pytest.mark.parametrize("shape,rank,density", CASES)
+class TestSpttm:
+    def test_dense(self, shape, rank, density, rng):
+        x = make_sparse(rng, shape, density)
+        u = rng.random((shape[2], rank))
+        assert np.allclose(spttm_dense(x, u), ref_spttm(x, u))
+
+    def test_coo(self, shape, rank, density, rng):
+        x = make_sparse(rng, shape, density)
+        u = rng.random((shape[2], rank))
+        assert np.allclose(spttm_coo(CooTensor.from_dense(x), u), ref_spttm(x, u))
+
+    def test_csf(self, shape, rank, density, rng):
+        x = make_sparse(rng, shape, density)
+        u = rng.random((shape[2], rank))
+        assert np.allclose(spttm_csf(CsfTensor.from_dense(x), u), ref_spttm(x, u))
+
+
+@pytest.mark.parametrize("shape,rank,density", CASES)
+class TestMttkrp:
+    def test_dense(self, shape, rank, density, rng):
+        x = make_sparse(rng, shape, density)
+        b, c = rng.random((shape[1], rank)), rng.random((shape[2], rank))
+        assert np.allclose(mttkrp_dense(x, b, c), ref_mttkrp(x, b, c))
+
+    def test_coo(self, shape, rank, density, rng):
+        x = make_sparse(rng, shape, density)
+        b, c = rng.random((shape[1], rank)), rng.random((shape[2], rank))
+        assert np.allclose(
+            mttkrp_coo(CooTensor.from_dense(x), b, c), ref_mttkrp(x, b, c)
+        )
+
+    def test_csf(self, shape, rank, density, rng):
+        x = make_sparse(rng, shape, density)
+        b, c = rng.random((shape[1], rank)), rng.random((shape[2], rank))
+        assert np.allclose(
+            mttkrp_csf(CsfTensor.from_dense(x), b, c), ref_mttkrp(x, b, c)
+        )
+
+
+def test_spttm_rejects_bad_factor(rng):
+    x = make_sparse(rng, (3, 4, 5), 0.3)
+    with pytest.raises(ValueError):
+        spttm_coo(CooTensor.from_dense(x), rng.random((4, 2)))
+
+
+def test_mttkrp_rejects_rank_mismatch(rng):
+    x = make_sparse(rng, (3, 4, 5), 0.3)
+    with pytest.raises(ValueError):
+        mttkrp_coo(
+            CooTensor.from_dense(x), rng.random((4, 2)), rng.random((5, 3))
+        )

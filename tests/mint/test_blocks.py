@@ -1,0 +1,136 @@
+"""MINT building blocks: functional results + cost accounting (Fig. 8a/9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.area import PrefixSumDesign
+from repro.mint.blocks import (
+    ClusterCounter,
+    MemoryController,
+    ParallelDivMod,
+    PrefixSumUnit,
+    SortingNetwork,
+)
+
+
+class TestPrefixSum:
+    @pytest.mark.parametrize("design", list(PrefixSumDesign))
+    def test_all_designs_compute_same_scan(self, design, rng):
+        arr = rng.integers(0, 100, 200)
+        unit = PrefixSumUnit(design, width=32)
+        out, cycles = unit.scan(arr)
+        assert np.array_equal(out, np.cumsum(arr))
+        assert cycles >= 1
+
+    def test_latency_ordering_matches_fig9(self, rng):
+        """Serial chain has the longest pipeline, highly parallel the shortest."""
+        arr = rng.integers(0, 10, 64)
+        cycles = {
+            d: PrefixSumUnit(d, 32).scan(arr)[1] for d in PrefixSumDesign
+        }
+        assert (
+            cycles[PrefixSumDesign.HIGHLY_PARALLEL]
+            < cycles[PrefixSumDesign.WORK_EFFICIENT]
+            < cycles[PrefixSumDesign.SERIAL_CHAIN]
+        )
+
+    def test_adder_counts(self):
+        # N=32: serial 2N=64; Brent-Kung 2N-2-log2N=57; Sklansky N/2*log2N=80.
+        assert PrefixSumUnit(PrefixSumDesign.SERIAL_CHAIN, 32).adder_count == 64
+        assert PrefixSumUnit(PrefixSumDesign.WORK_EFFICIENT, 32).adder_count == 57
+        assert PrefixSumUnit(PrefixSumDesign.HIGHLY_PARALLEL, 32).adder_count == 80
+
+    def test_pipeline_depths(self):
+        assert PrefixSumUnit(PrefixSumDesign.SERIAL_CHAIN, 32).pipeline_depth == 32
+        assert PrefixSumUnit(PrefixSumDesign.WORK_EFFICIENT, 32).pipeline_depth == 9
+        assert PrefixSumUnit(PrefixSumDesign.HIGHLY_PARALLEL, 32).pipeline_depth == 5
+
+    def test_empty_input_free(self):
+        out, cycles = PrefixSumUnit().scan(np.array([], dtype=np.int64))
+        assert len(out) == 0 and cycles == 0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            PrefixSumUnit(width=33)
+
+    def test_stats_accumulate(self, rng):
+        unit = PrefixSumUnit()
+        unit.scan(rng.integers(0, 5, 100))
+        unit.scan(rng.integers(0, 5, 100))
+        assert unit.stats.elements_moved == 200
+        assert unit.stats.int_adds > 0
+
+
+class TestParallelDivMod:
+    def test_results(self, rng):
+        arr = rng.integers(0, 10_000, 500)
+        unit = ParallelDivMod(8)
+        q, r, cycles = unit.divmod_by(arr, 37)
+        assert np.array_equal(q, arr // 37)
+        assert np.array_equal(r, arr % 37)
+        assert cycles >= len(arr) // 8
+
+    def test_more_units_fewer_cycles(self, rng):
+        arr = rng.integers(0, 100, 400)
+        slow = ParallelDivMod(2).divmod_by(arr, 7)[2]
+        fast = ParallelDivMod(16).divmod_by(arr, 7)[2]
+        assert fast < slow
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(ConfigError):
+            ParallelDivMod().divmod_by(np.array([1]), 0)
+
+    def test_counts_ops(self, rng):
+        unit = ParallelDivMod()
+        unit.divmod_by(rng.integers(0, 9, 50), 3)
+        assert unit.stats.divides == 50 and unit.stats.mods == 50
+
+
+class TestSortingNetwork:
+    def test_sorts_within_chunks(self, rng):
+        arr = rng.integers(0, 99, 64)
+        net = SortingNetwork(16)
+        out, _ = net.sort_chunks(arr)
+        for lo in range(0, 64, 16):
+            assert np.all(np.diff(out[lo : lo + 16]) >= 0)
+
+    def test_bitonic_stage_count(self):
+        assert SortingNetwork(16).stages == 10  # 4*5/2
+
+    def test_empty(self):
+        out, cycles = SortingNetwork(16).sort_chunks(np.array([], dtype=np.int64))
+        assert cycles == 0 and len(out) == 0
+
+    def test_rejects_width_one(self):
+        with pytest.raises(ConfigError):
+            SortingNetwork(1)
+
+
+class TestClusterCounter:
+    def test_histogram(self, rng):
+        keys = rng.integers(0, 10, 300)
+        counts, cycles = ClusterCounter().histogram(keys, 10)
+        assert np.array_equal(counts, np.bincount(keys, minlength=10))
+        assert cycles >= 1
+
+
+class TestMemoryController:
+    def test_stream_cycles(self):
+        mc = MemoryController(16)
+        assert mc.stream(0) == 0
+        assert mc.stream(16) == 1
+        assert mc.stream(17) == 2
+
+    def test_scatter(self, rng):
+        mc = MemoryController()
+        vals = rng.random(5)
+        pos = np.array([9, 1, 4, 7, 0])
+        out, _ = mc.scatter(vals, pos, 10)
+        assert np.array_equal(out[pos], vals)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            MemoryController().stream(-1)

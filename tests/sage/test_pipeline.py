@@ -1,0 +1,78 @@
+"""Pipeline planner: chained kernels with carried inter-stage formats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PredictionError
+from repro.formats.registry import Format
+from repro.sage import Sage, plan_chain
+from repro.workloads.dnn import CONV_LAYERS, PruningStrategy, layer_gemm
+from repro.workloads.spec import Kernel, MatrixWorkload
+
+
+def _stage(name: str, density: float, m: int = 500, k: int = 500, n: int = 250):
+    return MatrixWorkload(
+        name=name, kernel=Kernel.SPMM, m=m, k=k, n=n,
+        nnz_a=max(1, int(density * m * k)), nnz_b=k * n,
+    )
+
+
+class TestPlanChain:
+    def test_formats_carried_between_stages(self):
+        plan = plan_chain([_stage("a", 0.1), _stage("b", 0.1), _stage("c", 0.1)])
+        for prev, cur in zip(plan.stages, plan.stages[1:]):
+            assert cur.inherited_mcf is prev.carried_out
+            assert cur.decision.best.mcf[0] is prev.carried_out
+
+    def test_first_stage_free_by_default(self):
+        plan = plan_chain([_stage("a", 0.05)])
+        assert plan.stages[0].inherited_mcf is None
+
+    def test_first_input_constraint_respected(self):
+        plan = plan_chain(
+            [_stage("a", 0.05)], first_input_mcf=Format.CSR
+        )
+        assert plan.stages[0].decision.best.mcf[0] is Format.CSR
+
+    def test_totals_are_sums(self):
+        plan = plan_chain([_stage("a", 0.1), _stage("b", 0.02)])
+        assert plan.total_cycles == sum(
+            s.decision.best.total_cycles for s in plan.stages
+        )
+        assert plan.total_energy_j == pytest.approx(
+            sum(s.decision.best.total_energy_j for s in plan.stages)
+        )
+        assert plan.edp > 0
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(PredictionError):
+            plan_chain([])
+
+    def test_summary_renders_all_stages(self):
+        plan = plan_chain([_stage("a", 0.1), _stage("b", 0.1)])
+        text = plan.summary()
+        assert text.count("stage") == 2
+        assert "total:" in text
+
+    def test_constrained_plan_never_beats_free_per_stage(self):
+        """Carrying a format can only cost as much as re-deciding freely
+        per stage (the free per-stage optimum is a lower bound that ignores
+        the DRAM re-encoding it would actually require)."""
+        workloads = [_stage("a", 0.08), _stage("b", 0.08)]
+        sage = Sage()
+        plan = plan_chain(workloads, sage)
+        free = sum(sage.predict_matrix(wl).best.edp for wl in workloads)
+        chained = sum(s.decision.best.edp for s in plan.stages)
+        assert chained >= free * 0.999
+
+    def test_cnn_chain_plans_end_to_end(self):
+        workloads = [
+            layer_gemm(layer, PruningStrategy.GLOBAL_70)
+            for layer in CONV_LAYERS[:3]
+        ]
+        plan = plan_chain(workloads)
+        assert len(plan.stages) == 3
+        # Every stage's streamed ACF must be realizable from its MCF.
+        for s in plan.stages:
+            assert s.decision.best.edp > 0

@@ -1,0 +1,107 @@
+"""Table III reproduction: SAGE's choices vs the paper's, pinned rows.
+
+The paper's Table III lists SAGE's MCF/ACF decisions for 13 workloads under
+two scenarios.  Our model reproduces the decision *ladder*; individual
+near-crossover rows may differ (documented in EXPERIMENTS.md), so this test
+pins (a) hand-picked rows that are far from any crossover and (b) an
+aggregate agreement floor across all 72 decision fields.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.formats.registry import Format
+from repro.sage import Sage
+from repro.workloads import MATRIX_SUITE, TENSOR_SUITE, Kernel, suite_by_name
+
+
+@pytest.fixture(scope="module")
+def sage():
+    return Sage()
+
+
+class TestPinnedRows:
+    """Rows far from crossovers must match the paper exactly."""
+
+    def test_journals_uses_zvc_dense(self, sage):
+        d = sage.predict_matrix(suite_by_name("journals").matrix_workload(Kernel.SPMM))
+        assert d.mcf[0] is Format.ZVC  # 78.5% dense: ZVC most compact
+        assert d.acf == (Format.DENSE, Format.DENSE)
+
+    def test_speech1_uses_rlc_dense(self, sage):
+        d = sage.predict_matrix(suite_by_name("speech1").matrix_workload(Kernel.SPMM))
+        assert d.mcf[0] is Format.RLC  # the 10% star of Fig. 4a
+        assert d.acf[0] is Format.DENSE
+
+    def test_cavity14_uses_csr(self, sage):
+        d = sage.predict_matrix(suite_by_name("cavity14").matrix_workload(Kernel.SPMM))
+        assert d.mcf[0] is Format.CSR
+        assert d.acf[0] is Format.CSR
+
+    def test_m3plates_uses_coo_mcf(self, sage):
+        d = sage.predict_matrix(suite_by_name("m3plates").matrix_workload(Kernel.SPMM))
+        assert d.mcf[0] is Format.COO  # extreme sparsity
+
+    def test_spgemm_prefers_csc_stationary_for_sparse_b(self, sage):
+        d = sage.predict_matrix(
+            suite_by_name("cavity14").matrix_workload(Kernel.SPGEMM)
+        )
+        assert d.mcf[1] is Format.CSC
+        assert d.acf[1] is Format.CSC
+
+    def test_brainq_uses_zvc(self, sage):
+        d = sage.predict_tensor(suite_by_name("BrainQ").tensor_workload(Kernel.MTTKRP))
+        assert d.mcf[0] is Format.ZVC
+        assert d.acf[0] is Format.DENSE
+
+    def test_crime_uses_csf(self, sage):
+        d = sage.predict_tensor(suite_by_name("Crime").tensor_workload(Kernel.SPTTM))
+        assert d.mcf[0] is Format.CSF
+        assert d.acf[0] is Format.CSF
+
+
+class TestAggregateAgreement:
+    def test_at_least_80pct_of_decision_fields_match(self, sage):
+        hits = total = 0
+        for entry in MATRIX_SUITE:
+            for kernel, choice in (
+                (Kernel.SPMM, entry.spmm_choice),
+                (Kernel.SPGEMM, entry.spgemm_choice),
+            ):
+                d = sage.predict_matrix(entry.matrix_workload(kernel))
+                hits += int(choice.mcf_t is d.mcf[0])
+                hits += int(choice.acf_t is d.acf[0])
+                hits += int(choice.acf_f is d.acf[1])
+                total += 3
+        for entry in TENSOR_SUITE:
+            for kernel, choice in (
+                (Kernel.SPTTM, entry.spgemm_choice),
+                (Kernel.MTTKRP, entry.spmm_choice),
+            ):
+                d = sage.predict_tensor(entry.tensor_workload(kernel))
+                hits += int(choice.mcf_t is d.mcf[0])
+                hits += int(choice.acf_t is d.acf[0])
+                total += 2
+        assert hits / total >= 0.80, f"Table III agreement {hits}/{total}"
+
+    def test_mcf_ladder_monotone_over_suite(self, sage):
+        """Denser workloads never pick a sparser-regime MCF than sparser ones."""
+        ladder = {
+            Format.DENSE: 0,
+            Format.ZVC: 1,
+            Format.RLC: 2,
+            Format.CSR: 3,
+            Format.CSC: 3,
+            Format.COO: 4,
+        }
+        by_density = sorted(
+            MATRIX_SUITE, key=lambda e: e.density_pct, reverse=True
+        )
+        ranks = [
+            ladder[
+                sage.predict_matrix(e.matrix_workload(Kernel.SPMM)).mcf[0]
+            ]
+            for e in by_density
+        ]
+        assert ranks == sorted(ranks)

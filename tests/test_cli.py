@@ -1,0 +1,60 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["sage", "--m", "100", "--k", "100", "--n", "50"],
+            ["sweep", "--m", "500", "--k", "500"],
+            ["walkthrough"],
+            ["suite", "journals"],
+        ],
+    )
+    def test_commands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.fn)
+
+
+class TestExecution:
+    def test_sage_prints_decision(self, capsys):
+        assert main(["sage", "--m", "200", "--k", "200", "--n", "100",
+                     "--density", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "SAGE decision" in out and "MCF=" in out
+
+    def test_sage_spgemm_mode(self, capsys):
+        assert main(["sage", "--m", "300", "--k", "300", "--n", "150",
+                     "--density", "0.01", "--kernel", "spgemm"]) == 0
+        assert "EDP" in capsys.readouterr().out
+
+    def test_sweep_prints_ladder(self, capsys):
+        assert main(["sweep", "--m", "2000", "--k", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "best" in out and "Dense" in out
+
+    def test_walkthrough_prints_fig6_counts(self, capsys):
+        assert main(["walkthrough"]) == 0
+        out = capsys.readouterr().out
+        assert "8 cycles" in out
+        assert "3 cycles" in out
+        assert "4 cycles" in out
+
+    def test_suite_ranks_policies(self, capsys):
+        assert main(["suite", "journals", "--kernel", "spgemm"]) == 0
+        out = capsys.readouterr().out
+        assert "Flex_Flex_HW" in out and "1.00x" in out
+
+    def test_suite_unknown_workload(self):
+        with pytest.raises(KeyError):
+            main(["suite", "nonexistent"])
