@@ -61,6 +61,7 @@ from repro.formats import (
     DenseMatrix,
     DenseTensor,
     DiaMatrix,
+    EllMatrix,
     Format,
     HicooTensor,
     MatrixFormat,
@@ -78,12 +79,21 @@ from repro.formats import (
 from repro.hardware import AreaModel, DramChannel, EnergyModel
 from repro.mint import (
     ConversionCost,
+    ConversionGraph,
     ConversionReport,
+    Datapath,
+    HopStats,
     MintDesign,
     MintEngine,
+    MintThroughput,
+    PathPlanner,
+    conversion_graph,
     estimate_conversion_cost,
+    find_path,
     mint_area,
     mint_power,
+    register_conversion,
+    shared_planner,
 )
 from repro.sage import (
     CostBreakdown,
@@ -124,6 +134,7 @@ __all__ = [
     "ZvcMatrix",
     "BsrMatrix",
     "DiaMatrix",
+    "EllMatrix",
     "DenseTensor",
     "CooTensor",
     "CsfTensor",
@@ -149,6 +160,15 @@ __all__ = [
     "MintDesign",
     "ConversionReport",
     "ConversionCost",
+    "ConversionGraph",
+    "Datapath",
+    "HopStats",
+    "MintThroughput",
+    "PathPlanner",
+    "conversion_graph",
+    "find_path",
+    "register_conversion",
+    "shared_planner",
     "mint_area",
     "mint_power",
     "estimate_conversion_cost",

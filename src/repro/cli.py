@@ -11,6 +11,9 @@ Commands
     Render the Fig. 6 bus traces (Dense / CSR / COO) cycle by cycle.
 ``suite``
     Run the Table II policy comparison on one Table III workload.
+``paths``
+    Print the registered conversion graph and the cost-aware route the
+    planner chooses for a given operand size.
 """
 
 from __future__ import annotations
@@ -104,6 +107,64 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_format(name: str):
+    from repro.formats.registry import Format
+
+    for fmt in Format:
+        if fmt.value.lower() == name.lower() or fmt.name.lower() == name.lower():
+            return fmt
+    raise SystemExit(
+        f"unknown format {name!r}; choose from "
+        + ", ".join(f.value for f in Format)
+    )
+
+
+def _cmd_paths(args: argparse.Namespace) -> int:
+    from repro.formats.registry import MATRIX_FORMATS, TENSOR_FORMATS
+    from repro.mint.graph import HopStats, conversion_graph
+
+    tensor = args.tensor
+    graph = conversion_graph(tensor=tensor)
+    catalog = TENSOR_FORMATS if tensor else MATRIX_FORMATS
+    size = args.m * args.k * (args.l if tensor else 1)
+    nnz = max(1, int(args.density * size))
+    stats = HopStats(
+        size=size, nnz=nnz, major_dim=args.m, dtype_bits=args.bits,
+        tensor=tensor,
+    )
+    kind = "tensor" if tensor else "matrix"
+    shape = f"{args.m}x{args.k}" + (f"x{args.l}" if tensor else "")
+    pairs = (
+        [(_parse_format(args.src), _parse_format(args.dst))]
+        if args.src and args.dst
+        else [(s, t) for s in catalog for t in catalog if s is not t]
+    )
+    print(
+        f"conversion graph ({kind}): {len(catalog)} formats, "
+        f"{len(graph)} registered datapaths"
+    )
+    for dp in sorted(graph, key=lambda d: (d.source.value, d.target.value)):
+        extra = f"  kwargs: {', '.join(dp.accepts)}" if dp.accepts else ""
+        print(f"  {dp.source.value:>6} -> {dp.target.value:<6} {dp.name}{extra}")
+    print()
+    print(f"planned routes for {shape} @ density {args.density:g} (nnz {nnz}):")
+    from repro.errors import ConversionError
+
+    for src, dst in pairs:
+        try:
+            route = graph.find_path(src, dst, stats)
+        except ConversionError as exc:
+            print(f"  {src.value} -> {dst.value}: {exc}")
+            continue
+        cycles = graph.path_cycles(route, stats)
+        hub = graph.hub_heuristic_path(src, dst)
+        hub_cycles = graph.path_cycles(hub, stats)
+        hops = " -> ".join([src.value] + [dp.target.value for dp in route])
+        note = "" if route == hub else f"  (hub heuristic: ~{hub_cycles:,.0f})"
+        print(f"  {hops:<28} ~{cycles:,.0f} cycles{note}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -136,6 +197,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload", help="e.g. speech2, m3plates, journals")
     p.add_argument("--kernel", choices=["spmm", "spgemm"], default="spgemm")
     p.set_defaults(fn=_cmd_suite)
+
+    p = sub.add_parser(
+        "paths", help="print the conversion graph and planned routes"
+    )
+    p.add_argument("--tensor", action="store_true", help="3-D tensor graph")
+    p.add_argument("--src", help="route source format (with --dst)")
+    p.add_argument("--dst", help="route target format (with --src)")
+    p.add_argument("--m", type=int, default=4096)
+    p.add_argument("--k", type=int, default=4096)
+    p.add_argument("--l", type=int, default=64, help="3rd extent (tensor)")
+    p.add_argument("--density", type=float, default=0.01)
+    p.add_argument("--bits", type=int, default=32)
+    p.set_defaults(fn=_cmd_paths)
     return parser
 
 

@@ -9,9 +9,13 @@ controller) instead of one dedicated converter per format pair.
 * :mod:`repro.mint.conversions` — the Fig. 8 conversions (CSR->CSC,
   RLC->COO, CSR->BSR, Dense->CSF) and the generalizations, each verified
   element-exact against the software oracle;
-* :mod:`repro.mint.engine` — dispatch + COO-hub composition + cost reports;
+* :mod:`repro.mint.graph` — the pluggable conversion-graph registry:
+  datapaths self-register via :func:`~repro.mint.graph.register_conversion`
+  and routing is cost-weighted Dijkstra over the registered edges;
+* :mod:`repro.mint.engine` — graph-routed dispatch + cost reports;
 * :mod:`repro.mint.designs` — MINT_b / MINT_m / MINT_mr area & power;
-* :mod:`repro.mint.cost` — closed-form conversion cost estimates for SAGE.
+* :mod:`repro.mint.cost` — closed-form conversion cost estimates for SAGE,
+  memoized by :class:`~repro.mint.cost.PathPlanner`.
 """
 
 from repro.mint.blocks import (
@@ -21,21 +25,43 @@ from repro.mint.blocks import (
     PrefixSumUnit,
     SortingNetwork,
 )
-from repro.mint.cost import ConversionCost, estimate_conversion_cost
+from repro.mint.cost import (
+    ConversionCost,
+    MintThroughput,
+    PathPlanner,
+    estimate_conversion_cost,
+    shared_planner,
+)
 from repro.mint.designs import MintDesign, mint_area, mint_power
-from repro.mint.engine import ConversionReport, MintEngine
+from repro.mint.engine import ConversionReport, MintEngine, find_path
+from repro.mint.graph import (
+    ConversionGraph,
+    Datapath,
+    HopStats,
+    conversion_graph,
+    register_conversion,
+)
 
 __all__ = [
     "ClusterCounter",
     "ConversionCost",
+    "ConversionGraph",
     "ConversionReport",
+    "Datapath",
+    "HopStats",
     "MemoryController",
     "MintDesign",
     "MintEngine",
+    "MintThroughput",
     "ParallelDivMod",
+    "PathPlanner",
     "PrefixSumUnit",
     "SortingNetwork",
+    "conversion_graph",
     "estimate_conversion_cost",
+    "find_path",
     "mint_area",
     "mint_power",
+    "register_conversion",
+    "shared_planner",
 ]

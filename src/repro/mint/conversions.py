@@ -28,15 +28,18 @@ from repro.formats.csr import CsrMatrix
 from repro.formats.dense import DenseMatrix
 from repro.formats.dia import DiaMatrix
 from repro.formats.ell import EllMatrix, PAD_COL
+from repro.formats.registry import Format
 from repro.formats.rlc import DEFAULT_RUN_BITS, RlcMatrix
 from repro.formats._runlength import encode_runs
 from repro.formats.zvc import ZvcMatrix
 from repro.mint.blockset import BlockSet
+from repro.mint.graph import register_conversion
 
 
 # --------------------------------------------------------------------------
 # Fig. 8c: CSR -> CSC
 # --------------------------------------------------------------------------
+@register_conversion(Format.CSR, Format.CSC)
 def csr_to_csc(src: CsrMatrix, blocks: BlockSet) -> tuple[CscMatrix, int]:
     """Transpose-reencode via histogram + prefix sum + scatter (Fig. 8c)."""
     m, k = src.shape
@@ -64,6 +67,7 @@ def csr_to_csc(src: CsrMatrix, blocks: BlockSet) -> tuple[CscMatrix, int]:
     return out, pass1 + c_scan + pass2
 
 
+@register_conversion(Format.CSC, Format.CSR)
 def csc_to_csr(src: CscMatrix, blocks: BlockSet) -> tuple[CsrMatrix, int]:
     """Mirror of Fig. 8c with rows and columns exchanged."""
     m, k = src.shape
@@ -86,6 +90,7 @@ def csc_to_csr(src: CscMatrix, blocks: BlockSet) -> tuple[CsrMatrix, int]:
 # --------------------------------------------------------------------------
 # Fig. 8d: RLC -> COO
 # --------------------------------------------------------------------------
+@register_conversion(Format.RLC, Format.COO)
 def rlc_to_coo(src: RlcMatrix, blocks: BlockSet) -> tuple[CooMatrix, int]:
     """Positions by prefix sum, coordinates by parallel divide/mod (Fig. 8d)."""
     m, k = src.shape
@@ -110,6 +115,7 @@ def rlc_to_coo(src: RlcMatrix, blocks: BlockSet) -> tuple[CooMatrix, int]:
     return out, pass1 + c_write
 
 
+@register_conversion(Format.RLC, Format.DENSE)
 def rlc_to_dense(src: RlcMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     """RLC decode: prefix-summed positions scattered into a zeroed buffer."""
     m, k = src.shape
@@ -126,6 +132,7 @@ def rlc_to_dense(src: RlcMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
 # --------------------------------------------------------------------------
 # Fig. 8e: CSR -> BSR
 # --------------------------------------------------------------------------
+@register_conversion(Format.CSR, Format.BSR, accepts=("block_shape",))
 def csr_to_bsr(
     src: CsrMatrix,
     blocks: BlockSet,
@@ -183,6 +190,7 @@ def csr_to_bsr(
 # --------------------------------------------------------------------------
 # Dense <-> compressed
 # --------------------------------------------------------------------------
+@register_conversion(Format.DENSE, Format.COO)
 def dense_to_coo(src: DenseMatrix, blocks: BlockSet) -> tuple[CooMatrix, int]:
     """Nonzero scan + prefix-sum compaction + divide/mod coordinates."""
     m, k = src.shape
@@ -198,6 +206,7 @@ def dense_to_coo(src: DenseMatrix, blocks: BlockSet) -> tuple[CooMatrix, int]:
     return out, max(c_read, c_scan, c_div) + c_write
 
 
+@register_conversion(Format.DENSE, Format.CSR)
 def dense_to_csr(src: DenseMatrix, blocks: BlockSet) -> tuple[CsrMatrix, int]:
     """Dense -> COO coordinates, then row-pointer compression by prefix sum."""
     coo, c_coo = dense_to_coo(src, blocks)
@@ -210,6 +219,7 @@ def dense_to_csr(src: DenseMatrix, blocks: BlockSet) -> tuple[CsrMatrix, int]:
     return out, c_coo + c_count + c_scan
 
 
+@register_conversion(Format.DENSE, Format.CSC)
 def dense_to_csc(src: DenseMatrix, blocks: BlockSet) -> tuple[CscMatrix, int]:
     """Dense -> COO, then column-major counting-sort into CSC."""
     coo, c_coo = dense_to_coo(src, blocks)
@@ -226,6 +236,7 @@ def dense_to_csc(src: DenseMatrix, blocks: BlockSet) -> tuple[CscMatrix, int]:
     return out, c_coo + c_t
 
 
+@register_conversion(Format.DENSE, Format.ZVC)
 def dense_to_zvc(src: DenseMatrix, blocks: BlockSet) -> tuple[ZvcMatrix, int]:
     """Zero-detect produces the mask; prefix sum compacts the values [9]."""
     m, k = src.shape
@@ -239,6 +250,7 @@ def dense_to_zvc(src: DenseMatrix, blocks: BlockSet) -> tuple[ZvcMatrix, int]:
     return out, max(c_read, c_scan) + c_write
 
 
+@register_conversion(Format.ZVC, Format.DENSE)
 def zvc_to_dense(src: ZvcMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     """Mask-driven expansion: prefix sum of the mask addresses each value."""
     m, k = src.shape
@@ -251,6 +263,7 @@ def zvc_to_dense(src: ZvcMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     return out, max(c_read, c_scan) + max(c_write, c_fill)
 
 
+@register_conversion(Format.DENSE, Format.RLC)
 def dense_to_rlc(src: DenseMatrix, blocks: BlockSet) -> tuple[RlcMatrix, int]:
     """Gap encoding: zero-run counters emit (run, level) pairs."""
     m, k = src.shape
@@ -266,6 +279,7 @@ def dense_to_rlc(src: DenseMatrix, blocks: BlockSet) -> tuple[RlcMatrix, int]:
     return out, max(c_read, c_write)
 
 
+@register_conversion(Format.CSR, Format.DENSE)
 def csr_to_dense(src: CsrMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     """Pointer expansion + scatter into a zero-filled buffer."""
     m, k = src.shape
@@ -278,6 +292,7 @@ def csr_to_dense(src: CsrMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     return out, max(c_read, 0) + max(c_write, c_fill)
 
 
+@register_conversion(Format.CSC, Format.DENSE)
 def csc_to_dense(src: CscMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     """Pointer expansion + scatter into a zero-filled buffer."""
     m, k = src.shape
@@ -290,6 +305,7 @@ def csc_to_dense(src: CscMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     return out, max(c_read, 0) + max(c_write, c_fill)
 
 
+@register_conversion(Format.COO, Format.DENSE)
 def coo_to_dense(src: CooMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     """Coordinate scatter into a zero-filled buffer."""
     m, k = src.shape
@@ -302,6 +318,7 @@ def coo_to_dense(src: CooMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     return out, max(c_read, c_write, c_fill)
 
 
+@register_conversion(Format.COO, Format.CSR)
 def coo_to_csr(src: CooMatrix, blocks: BlockSet) -> tuple[CsrMatrix, int]:
     """Counting sort by row id: histogram + prefix sum + scatter."""
     m, _k = src.shape
@@ -322,6 +339,7 @@ def coo_to_csr(src: CooMatrix, blocks: BlockSet) -> tuple[CsrMatrix, int]:
     return out, max(c_read, c_count) + c_scan + c_write
 
 
+@register_conversion(Format.COO, Format.CSC)
 def coo_to_csc(src: CooMatrix, blocks: BlockSet) -> tuple[CscMatrix, int]:
     """Counting sort by column id: histogram + prefix sum + scatter."""
     _m, k = src.shape
@@ -342,6 +360,7 @@ def coo_to_csc(src: CooMatrix, blocks: BlockSet) -> tuple[CscMatrix, int]:
     return out, max(c_read, c_count) + c_scan + c_write
 
 
+@register_conversion(Format.CSR, Format.COO)
 def csr_to_coo(src: CsrMatrix, blocks: BlockSet) -> tuple[CooMatrix, int]:
     """Row-pointer expansion (the inverse counting sort is trivial)."""
     m, _k = src.shape
@@ -353,6 +372,7 @@ def csr_to_coo(src: CsrMatrix, blocks: BlockSet) -> tuple[CooMatrix, int]:
     return out, max(c_read, c_write)
 
 
+@register_conversion(Format.CSC, Format.COO)
 def csc_to_coo(src: CscMatrix, blocks: BlockSet) -> tuple[CooMatrix, int]:
     """Column-pointer expansion, then reorder row-major."""
     _m, k = src.shape
@@ -371,6 +391,7 @@ def csc_to_coo(src: CscMatrix, blocks: BlockSet) -> tuple[CooMatrix, int]:
     return out, max(c_read, c_write)
 
 
+@register_conversion(Format.DENSE, Format.BSR, accepts=("block_shape",))
 def dense_to_bsr(
     src: DenseMatrix, blocks: BlockSet, block_shape: tuple[int, int] = (2, 2)
 ) -> tuple[BsrMatrix, int]:
@@ -380,6 +401,7 @@ def dense_to_bsr(
     return bsr, c1 + c2
 
 
+@register_conversion(Format.BSR, Format.DENSE)
 def bsr_to_dense(src: BsrMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     """Block expansion into a zero-filled buffer."""
     m, k = src.shape
@@ -390,6 +412,7 @@ def bsr_to_dense(src: BsrMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     return out, max(c_read, c_fill)
 
 
+@register_conversion(Format.DENSE, Format.DIA)
 def dense_to_dia(src: DenseMatrix, blocks: BlockSet) -> tuple[DiaMatrix, int]:
     """Diagonal bucketing: offset = col - row per nonzero, then gather."""
     m, k = src.shape
@@ -400,6 +423,7 @@ def dense_to_dia(src: DenseMatrix, blocks: BlockSet) -> tuple[DiaMatrix, int]:
     return out, max(c_read, c_write)
 
 
+@register_conversion(Format.DIA, Format.DENSE)
 def dia_to_dense(src: DiaMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     """Diagonal expansion into a zero-filled buffer."""
     m, k = src.shape
@@ -409,6 +433,7 @@ def dia_to_dense(src: DiaMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     return out, max(c_read, c_fill)
 
 
+@register_conversion(Format.DENSE, Format.ELL)
 def dense_to_ell(src: DenseMatrix, blocks: BlockSet) -> tuple[EllMatrix, int]:
     """Row compaction into fixed-width slots: nonzero scan + row histogram."""
     import numpy as np
@@ -425,6 +450,7 @@ def dense_to_ell(src: DenseMatrix, blocks: BlockSet) -> tuple[EllMatrix, int]:
     return out, max(c_read, c_count) + c_write
 
 
+@register_conversion(Format.ELL, Format.DENSE)
 def ell_to_dense(src: EllMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     """Slot expansion: scatter each non-padding slot by its column id."""
     m, k = src.shape
@@ -435,6 +461,7 @@ def ell_to_dense(src: EllMatrix, blocks: BlockSet) -> tuple[DenseMatrix, int]:
     return out, max(c_read, c_fill)
 
 
+@register_conversion(Format.CSR, Format.ELL)
 def csr_to_ell(src: CsrMatrix, blocks: BlockSet) -> tuple[EllMatrix, int]:
     """Row-pointer-driven compaction without materializing dense."""
     import numpy as np
@@ -446,10 +473,12 @@ def csr_to_ell(src: CsrMatrix, blocks: BlockSet) -> tuple[EllMatrix, int]:
     width = int(lengths.max()) if m and nnz else 0
     values = np.zeros((m, width), dtype=np.float64)
     col_ids = np.full((m, width), PAD_COL, dtype=np.int64)
-    for i in range(m):
-        cols, vals = src.row_slice(i)
-        values[i, : len(cols)] = vals
-        col_ids[i, : len(cols)] = cols
+    # Each entry lands at (its row, its rank within the row): the rank is
+    # the entry's global position minus its row's pointer base.
+    rows = np.repeat(np.arange(m, dtype=np.int64), lengths)
+    slots = np.arange(nnz, dtype=np.int64) - np.repeat(src.row_ptr[:-1], lengths)
+    values[rows, slots] = src.values
+    col_ids[rows, slots] = src.col_ids
     out = EllMatrix(src.shape, values, col_ids, dtype_bits=src.dtype_bits)
     c_write = blocks.memctrl.stream(2 * m * width)
     return out, max(c_read, c_write)

@@ -1,11 +1,12 @@
-"""Closed-form conversion cost estimates for SAGE.
+"""Closed-form conversion cost estimates and the memoized path planner.
 
 SAGE must price every (MCF, ACF) candidate without materializing the
 operands (Sec. VI: "to model the conversion cost, we evaluate the building
 blocks necessary for each conversion scenario along with their relative
-execution cycles and power consumption").  This module mirrors the engine's
-path resolution and pipelined-pass cycle model using only summary
-statistics, assuming uniform-random placement for RLC entry counts.
+execution cycles and power consumption").  This module prices the routes
+the :mod:`repro.mint.graph` planner chooses, using the same pipelined-pass
+cycle model the graph's per-hop estimators implement, plus the energy
+accounting the graph does not carry.
 
 Throughput is bit-granular: MINT's memory controller ingests at the bus
 width (512 bits/cycle), so a conversion whose processing stages keep pace
@@ -18,29 +19,44 @@ final hop: it feeds the accelerator's flexible NoC directly and is already
 accounted as the compute stage's streaming cycles; a Dense endpoint inside
 MINT is therefore costed as nonzeros + occupancy sideband (ZVC-like), never
 as materialized zeros.
+
+:class:`PathPlanner` layers two LRU caches under the estimator so SAGE's
+exhaustive combo search stops recomputing identical conversion costs:
+
+* a **route cache** keyed on ``(src, dst, tensor, size-class)`` — operands
+  in the same power-of-two size/nnz bucket share a planned route, and
+* a **cost cache** keyed on the exact summary statistics, so repeated
+  pricing of the same operand (every MCF/ACF cross-product revisits each
+  pair ~a dozen times) is a dictionary hit.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable
 
-from repro.analysis.compactness import storage_bits
-from repro.errors import ConversionError
 from repro.formats.registry import Format
 from repro.hardware.energy import DEFAULT_ENERGY, EnergyModel
-from repro.mint.engine import find_path
-from repro.util.bits import ceil_div
+from repro.mint.graph import (
+    DEFAULT_THROUGHPUT,
+    Datapath,
+    HopStats,
+    MintThroughput,
+    _footprint_bits,
+    _needs_divmod,
+    conversion_graph,
+    estimate_hop_cycles,
+)
 
-
-@dataclass(frozen=True)
-class MintThroughput:
-    """Throughput of the merged MINT instance (Sec. VII-B sizing)."""
-
-    stream_bits: int = 512  # memory-controller ingest, matched to the bus
-    divmod_units: int = 8  # "we limit the number of parallel mod and divider
-    #                         units to eight" (Sec. VII-B)
-    scan_width: int = 32  # "highly parallel prefix sum of 32 inputs"
-    clock_hz: float = 1.0e9
+__all__ = [
+    "CacheInfo",
+    "ConversionCost",
+    "MintThroughput",
+    "PathPlanner",
+    "estimate_conversion_cost",
+    "shared_planner",
+]
 
 
 @dataclass(frozen=True)
@@ -64,72 +80,33 @@ class ConversionCost:
         )
 
 
-def _dims_for(size: int, major_dim: int, *, tensor: bool) -> tuple[int, ...]:
-    """Reconstruct a dims tuple for the storage model from (size, major)."""
-    major_dim = max(1, min(major_dim, size))
-    minor = max(1, size // major_dim)
-    if not tensor:
-        return (major_dim, minor)
-    # Split the minor extent evenly for the two remaining modes.
-    mid = max(1, int(minor ** 0.5))
-    return (major_dim, mid, max(1, minor // mid))
-
-
-def _footprint_bits(
-    fmt: Format, size: int, nnz: int, major_dim: int, dtype_bits: int,
-    *, tensor: bool,
-) -> float:
-    """Bits of an encoding as it transits MINT.
-
-    Dense transits as nonzeros + occupancy sideband (the flexible-NoC
-    representation, ZVC-equivalent) — MINT never materializes zeros.
-    """
-    dims = _dims_for(size, major_dim, tensor=tensor)
-    transit_fmt = Format.ZVC if fmt is Format.DENSE else fmt
-    return float(storage_bits(transit_fmt, dims, nnz, dtype_bits))
-
-
-def _needs_divmod(src: Format, dst: Format) -> bool:
-    """Does the hop compute absolute coordinates with the divide/mod bank?"""
-    return dst in (Format.COO, Format.CSF, Format.HICOO, Format.BSR)
-
-
 def _hop_cost(
-    src: Format,
-    dst: Format,
-    size: int,
-    nnz: int,
-    major_dim: int,
-    dtype_bits: int,
+    dp: Datapath,
+    stats: HopStats,
     tp: MintThroughput,
     energy: EnergyModel,
     *,
-    tensor: bool,
     final_hop: bool,
 ) -> ConversionCost:
-    in_bits = _footprint_bits(src, size, nnz, major_dim, dtype_bits,
-                              tensor=tensor)
-    out_bits = _footprint_bits(dst, size, nnz, major_dim, dtype_bits,
-                               tensor=tensor)
-    div_ops = float(nnz) if _needs_divmod(src, dst) else 0.0
-    scan_ops = float(size) if src is Format.DENSE else float(max(nnz, major_dim))
-    compares = float(size) if src is Format.DENSE else float(nnz)
-    # Pipelined pass: the slowest stage sets the rate.  Pointer-to-pointer
-    # transposes (CSR<->CSC) take a second full pass (histogram, then
-    # scatter, Fig. 8c).
-    passes = 2.0 if (
-        src in (Format.CSR, Format.CSC) and dst in (Format.CSR, Format.CSC)
-    ) else 1.0
-    stage_cycles = max(
-        passes * in_bits / tp.stream_bits,
-        div_ops / tp.divmod_units,
-        scan_ops / tp.scan_width,
+    """Price one routed hop: the datapath's cycle estimate + energy model."""
+    src, dst = dp.source, dp.target
+    in_bits = _footprint_bits(src, stats)
+    out_bits = _footprint_bits(dst, stats)
+    div_ops = float(stats.nnz) if _needs_divmod(src, dst) else 0.0
+    scan_ops = (
+        float(stats.size)
+        if src is Format.DENSE
+        else float(max(stats.nnz, stats.major_dim))
     )
-    # Intermediate hops materialize their result in the scratchpad; the
-    # final hop's output feeds the accelerator directly (charged there).
-    if not final_hop:
-        stage_cycles += out_bits / tp.stream_bits
-    cycles = max(1, int(stage_cycles) + 1)
+    compares = float(stats.size) if src is Format.DENSE else float(stats.nnz)
+    if tp is DEFAULT_THROUGHPUT:
+        cycles = int(dp.cycles(stats, final_hop=final_hop))
+    else:
+        # A non-default throughput overrides whatever estimator the edge
+        # registered (custom estimators close over the default sizing).
+        cycles = estimate_hop_cycles(
+            src, dst, stats, final_hop=final_hop, throughput=tp
+        )
     energy_j = (
         (in_bits + out_bits) * energy.sram_global_bit
         + div_ops * (energy.div_int32 + energy.mod_int32)
@@ -137,6 +114,222 @@ def _hop_cost(
         + compares * energy.compare
     )
     return ConversionCost(cycles, energy_j, cycles / tp.clock_hz)
+
+
+def _price_path(
+    path: tuple[Datapath, ...],
+    stats: HopStats,
+    tp: MintThroughput,
+    energy: EnergyModel,
+) -> ConversionCost:
+    total = ConversionCost.zero()
+    for idx, dp in enumerate(path):
+        total = total + _hop_cost(
+            dp, stats, tp, energy, final_hop=idx == len(path) - 1
+        )
+    return total
+
+
+# ---------------------------------------------------------------- planner
+@dataclass(frozen=True)
+class CacheInfo:
+    """Hit/size counters of one planner cache (lru_cache-compatible)."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+class _LruDict:
+    """A tiny ordered-dict LRU with hit accounting and bulk seed/export."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(self, key, compute: Callable[[], object]):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+            return value
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def seed(self, entries: dict) -> None:
+        for key, value in entries.items():
+            self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def export(self) -> dict:
+        return dict(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(self.hits, self.misses, self.maxsize, len(self._data))
+
+
+def _size_class(value: int) -> int:
+    """Power-of-two bucket: operands within 2x share a planned route."""
+    return max(1, int(value)).bit_length()
+
+
+class PathPlanner:
+    """Memoized conversion route + cost planner over the conversion graph.
+
+    One planner instance serves one (throughput, energy) configuration;
+    :func:`shared_planner` returns the process-wide default every SAGE
+    search shares.
+    """
+
+    def __init__(
+        self,
+        *,
+        throughput: MintThroughput | None = None,
+        energy: EnergyModel = DEFAULT_ENERGY,
+        route_cache: int = 4096,
+        cost_cache: int = 65536,
+    ) -> None:
+        self.throughput = throughput or DEFAULT_THROUGHPUT
+        self.energy = energy
+        self._routes = _LruDict(route_cache)
+        self._costs = _LruDict(cost_cache)
+
+    # ------------------------------------------------------------- routes
+    def route(
+        self,
+        src: Format,
+        dst: Format,
+        *,
+        tensor: bool = False,
+        size: int,
+        nnz: int,
+        major_dim: int,
+        dtype_bits: int = 32,
+    ) -> tuple[Datapath, ...]:
+        """The planned hop sequence, memoized per size-class."""
+        if src is dst:
+            return ()
+        key = (
+            src,
+            dst,
+            tensor,
+            _size_class(size),
+            _size_class(nnz),
+            _size_class(major_dim),
+            dtype_bits,
+        )
+        stats = HopStats(
+            size=size,
+            nnz=nnz,
+            major_dim=major_dim,
+            dtype_bits=dtype_bits,
+            tensor=tensor,
+        )
+        graph = conversion_graph(tensor=tensor)
+        return self._routes.get_or_compute(
+            key,
+            lambda: graph.find_path(
+                src, dst, stats, throughput=self.throughput
+            ),
+        )
+
+    # -------------------------------------------------------------- costs
+    def estimate(
+        self,
+        src: Format,
+        dst: Format,
+        *,
+        size: int,
+        nnz: int,
+        major_dim: int,
+        dtype_bits: int = 32,
+        tensor: bool = False,
+    ) -> ConversionCost:
+        """Exact-statistics conversion cost along the memoized route."""
+        if src is dst:
+            return ConversionCost.zero()
+        key = (src, dst, tensor, size, nnz, major_dim, dtype_bits)
+
+        def compute() -> ConversionCost:
+            path = self.route(
+                src,
+                dst,
+                tensor=tensor,
+                size=size,
+                nnz=nnz,
+                major_dim=major_dim,
+                dtype_bits=dtype_bits,
+            )
+            stats = HopStats(
+                size=size,
+                nnz=nnz,
+                major_dim=major_dim,
+                dtype_bits=dtype_bits,
+                tensor=tensor,
+            )
+            return _price_path(path, stats, self.throughput, self.energy)
+
+        return self._costs.get_or_compute(key, compute)
+
+    # ------------------------------------------------------------ plumbing
+    def cache_info(self) -> dict[str, CacheInfo]:
+        """Hit/miss counters of the route and cost caches."""
+        return {"route": self._routes.info(), "cost": self._costs.info()}
+
+    def cache_clear(self) -> None:
+        """Drop both caches (used by cold-vs-warm benchmarks)."""
+        self._routes.clear()
+        self._costs.clear()
+
+    def export_routes(self) -> dict:
+        """Snapshot the route cache keyed by pair/size-class.
+
+        Routes are exported as ``(source, target)`` pairs — picklable — so
+        :meth:`Sage.predict_many` can seed worker processes.
+        """
+        return {
+            key: tuple(dp.pair for dp in path)
+            for key, path in self._routes.export().items()
+        }
+
+    def seed_routes(self, routes: dict) -> None:
+        """Adopt a route snapshot produced by :meth:`export_routes`."""
+        resolved = {}
+        for key, pairs in routes.items():
+            tensor = bool(key[2])
+            graph = conversion_graph(tensor=tensor)
+            path = []
+            for s, t in pairs:
+                dp = graph.direct(s, t)
+                if dp is None:  # an edge vanished: skip this snapshot entry
+                    path = None
+                    break
+                path.append(dp)
+            if path is not None:
+                resolved[key] = tuple(path)
+        self._routes.seed(resolved)
+
+
+_SHARED_PLANNER = PathPlanner()
+
+
+def shared_planner() -> PathPlanner:
+    """The process-wide planner SAGE's cost model routes through."""
+    return _SHARED_PLANNER
 
 
 def estimate_conversion_cost(
@@ -153,6 +346,9 @@ def estimate_conversion_cost(
 ) -> ConversionCost:
     """Estimate MINT's cost to convert src -> dst from summary statistics.
 
+    Default-configuration queries go through the shared memoized planner;
+    custom throughput/energy models are priced uncached.
+
     Parameters
     ----------
     size:
@@ -163,14 +359,26 @@ def estimate_conversion_cost(
         Pointer-array length driver (rows for CSR, columns for CSC; use the
         larger dimension when unknown).
     """
-    tp = throughput or MintThroughput()
     if src is dst:
         return ConversionCost.zero()
-    total = ConversionCost.zero()
-    hops = find_path(src, dst, tensor=tensor)
-    for idx, (hop_src, hop_dst) in enumerate(hops):
-        total = total + _hop_cost(
-            hop_src, hop_dst, size, nnz, major_dim, dtype_bits, tp, energy,
-            tensor=tensor, final_hop=idx == len(hops) - 1,
+    if (throughput is None or throughput is DEFAULT_THROUGHPUT) and (
+        energy is DEFAULT_ENERGY
+    ):
+        return _SHARED_PLANNER.estimate(
+            src,
+            dst,
+            size=size,
+            nnz=nnz,
+            major_dim=major_dim,
+            dtype_bits=dtype_bits,
+            tensor=tensor,
         )
-    return total
+    tp = throughput or DEFAULT_THROUGHPUT
+    stats = HopStats(
+        size=size, nnz=nnz, major_dim=major_dim, dtype_bits=dtype_bits,
+        tensor=tensor,
+    )
+    path = conversion_graph(tensor=tensor).find_path(
+        src, dst, stats, throughput=tp
+    )
+    return _price_path(path, stats, tp, energy)

@@ -1,75 +1,24 @@
-"""MINT conversion engine: dispatch, composition and cost reporting.
+"""MINT conversion engine: graph-routed dispatch, composition and cost reports.
 
 Given ``m`` MCFs and ``a`` ACFs, MINT provides all ``m x a`` conversions
-(Sec. V) from one merged block complement.  Pairs without a dedicated
-datapath are composed through COO — "COO enables fast translation to other
-formats" (Sec. V-B) — or, failing that, through Dense; the report records
-the path taken and sums its cycles.
+(Sec. V) from one merged block complement.  Routing is delegated to the
+:mod:`repro.mint.graph` registry: every datapath self-registers with its
+metadata, and :func:`find_path` runs a cost-weighted shortest-path search
+over the registered edges — sized to the operand actually being converted —
+instead of the old fixed "direct, else via COO, else via Dense" heuristic.
+The report records the path taken and sums its cycles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any
 
-from repro.errors import ConversionError
 from repro.formats.base import MatrixFormat, TensorFormat
 from repro.formats.registry import Format
 from repro.hardware.energy import DEFAULT_ENERGY, EnergyModel
-from repro.mint import conversions as mx
-from repro.mint import tensor_conversions as tx
 from repro.mint.blockset import BlockSet
-
-_MatrixFn = Callable[..., tuple[MatrixFormat, int]]
-_TensorFn = Callable[..., tuple[TensorFormat, int]]
-
-#: Direct matrix conversion datapaths.
-_MATRIX_DIRECT: dict[tuple[Format, Format], _MatrixFn] = {
-    (Format.CSR, Format.CSC): mx.csr_to_csc,
-    (Format.CSC, Format.CSR): mx.csc_to_csr,
-    (Format.RLC, Format.COO): mx.rlc_to_coo,
-    (Format.RLC, Format.DENSE): mx.rlc_to_dense,
-    (Format.CSR, Format.BSR): mx.csr_to_bsr,
-    (Format.DENSE, Format.COO): mx.dense_to_coo,
-    (Format.DENSE, Format.CSR): mx.dense_to_csr,
-    (Format.DENSE, Format.CSC): mx.dense_to_csc,
-    (Format.DENSE, Format.ZVC): mx.dense_to_zvc,
-    (Format.DENSE, Format.RLC): mx.dense_to_rlc,
-    (Format.DENSE, Format.BSR): mx.dense_to_bsr,
-    (Format.DENSE, Format.DIA): mx.dense_to_dia,
-    (Format.COO, Format.CSR): mx.coo_to_csr,
-    (Format.COO, Format.CSC): mx.coo_to_csc,
-    (Format.COO, Format.DENSE): mx.coo_to_dense,
-    (Format.CSR, Format.COO): mx.csr_to_coo,
-    (Format.CSR, Format.DENSE): mx.csr_to_dense,
-    (Format.CSC, Format.COO): mx.csc_to_coo,
-    (Format.CSC, Format.DENSE): mx.csc_to_dense,
-    (Format.ZVC, Format.DENSE): mx.zvc_to_dense,
-    (Format.BSR, Format.DENSE): mx.bsr_to_dense,
-    (Format.DIA, Format.DENSE): mx.dia_to_dense,
-    (Format.DENSE, Format.ELL): mx.dense_to_ell,
-    (Format.ELL, Format.DENSE): mx.ell_to_dense,
-    (Format.CSR, Format.ELL): mx.csr_to_ell,
-}
-
-#: Direct 3-D tensor conversion datapaths.
-_TENSOR_DIRECT: dict[tuple[Format, Format], _TensorFn] = {
-    (Format.DENSE, Format.COO): tx.dense_to_coo3,
-    (Format.DENSE, Format.CSF): tx.dense_to_csf,
-    (Format.DENSE, Format.ZVC): tx.dense_to_zvc3,
-    (Format.DENSE, Format.RLC): tx.dense_to_rlc3,
-    (Format.DENSE, Format.HICOO): tx.dense_to_hicoo,
-    (Format.COO, Format.CSF): tx.coo3_to_csf,
-    (Format.COO, Format.DENSE): tx.coo3_to_dense,
-    (Format.COO, Format.HICOO): tx.coo3_to_hicoo,
-    (Format.CSF, Format.COO): tx.csf_to_coo3,
-    (Format.CSF, Format.DENSE): tx.csf_to_dense,
-    (Format.ZVC, Format.DENSE): tx.zvc3_to_dense,
-    (Format.RLC, Format.COO): tx.rlc3_to_coo3,
-    (Format.RLC, Format.DENSE): tx.rlc3_to_dense,
-    (Format.HICOO, Format.COO): tx.hicoo_to_coo3,
-    (Format.HICOO, Format.DENSE): tx.hicoo_to_dense,
-}
+from repro.mint.graph import HopStats, conversion_graph
 
 
 @dataclass(frozen=True)
@@ -85,28 +34,20 @@ class ConversionReport:
 
 
 def find_path(
-    source: Format, target: Format, *, tensor: bool
+    source: Format,
+    target: Format,
+    *,
+    tensor: bool,
+    stats: HopStats | None = None,
 ) -> tuple[tuple[Format, Format], ...]:
     """Sequence of direct hops realizing source -> target.
 
-    Resolution order: identity, direct datapath, via COO, via Dense.
+    The hops are the cheapest route (estimated cycles for *stats*, or a
+    representative operand when omitted) through the registered conversion
+    graph.  Raises :class:`~repro.errors.ConversionError` when unreachable.
     """
-    table = _TENSOR_DIRECT if tensor else _MATRIX_DIRECT
-    if source is target:
-        return ()
-    if (source, target) in table:
-        return ((source, target),)
-    for hub in (Format.COO, Format.DENSE):
-        if hub in (source, target):
-            continue
-        first = (source, hub)
-        second = (hub, target)
-        if first in table and second in table:
-            return (first, second)
-    raise ConversionError(
-        f"no MINT datapath from {source} to {target} "
-        f"({'tensor' if tensor else 'matrix'})"
-    )
+    graph = conversion_graph(tensor=tensor)
+    return tuple(dp.pair for dp in graph.find_path(source, target, stats))
 
 
 class MintEngine:
@@ -128,25 +69,33 @@ class MintEngine:
     ) -> tuple[MatrixFormat | TensorFormat, ConversionReport]:
         """Convert *obj* to *target*, returning (result, cost report).
 
+        The route is planned against *obj*'s actual size and sparsity.
         ``kwargs`` (e.g. ``block_shape`` for BSR) are forwarded to the final
-        hop when it accepts them.
+        hop when its registered metadata says it accepts them.
         """
         tensor = isinstance(obj, TensorFormat)
-        table = _TENSOR_DIRECT if tensor else _MATRIX_DIRECT
-        hops = find_path(obj.format, target, tensor=tensor)
+        graph = conversion_graph(tensor=tensor)
+        hops = graph.find_path(obj.format, target, HopStats.of(obj))
+        if kwargs:
+            accepted = {name for dp in hops for name in dp.accepts}
+            unknown = sorted(set(kwargs) - accepted)
+            if unknown:
+                raise TypeError(
+                    f"no datapath on the {obj.format}->{target} route "
+                    f"accepts keyword argument(s) {', '.join(unknown)}"
+                )
         blocks = BlockSet()
         cycles = 0
         names: list[str] = []
         current: MatrixFormat | TensorFormat = obj
-        for idx, hop in enumerate(hops):
-            fn = table[hop]
+        for idx, dp in enumerate(hops):
             is_last = idx == len(hops) - 1
             if is_last and kwargs:
-                current, hop_cycles = fn(current, blocks, **kwargs)
+                current, hop_cycles = dp(current, blocks, **kwargs)
             else:
-                current, hop_cycles = fn(current, blocks)
+                current, hop_cycles = dp.fn(current, blocks)
             cycles += hop_cycles
-            names.append(fn.__name__)
+            names.append(dp.name)
         energy_j = blocks.energy_joules(obj.dtype_bits, self.energy)
         report = ConversionReport(
             source=obj.format,
@@ -160,15 +109,4 @@ class MintEngine:
 
     def supported_pairs(self, *, tensor: bool = False) -> list[tuple[Format, Format]]:
         """All (source, target) pairs this engine can realize."""
-        from repro.formats.registry import MATRIX_FORMATS, TENSOR_FORMATS
-
-        catalog = TENSOR_FORMATS if tensor else MATRIX_FORMATS
-        pairs = []
-        for s in catalog:
-            for t in catalog:
-                try:
-                    find_path(s, t, tensor=tensor)
-                except ConversionError:
-                    continue
-                pairs.append((s, t))
-        return pairs
+        return conversion_graph(tensor=tensor).supported_pairs()

@@ -15,7 +15,9 @@ from repro.formats.rlc import DEFAULT_RUN_BITS
 from repro.formats.tensor_coo import CooTensor
 from repro.formats.tensor_dense import DenseTensor
 from repro.formats.tensor_flat import RlcTensor, ZvcTensor
+from repro.formats.registry import Format
 from repro.mint.blockset import BlockSet
+from repro.mint.graph import register_conversion
 
 
 def _linear_to_coords(
@@ -28,6 +30,7 @@ def _linear_to_coords(
     return xs, ys, zs, c1 + c2
 
 
+@register_conversion(Format.DENSE, Format.COO, tensor=True)
 def dense_to_coo3(src: DenseTensor, blocks: BlockSet) -> tuple[CooTensor, int]:
     """Fig. 8f steps 1-4: nonzero scan, prefix-summed positions, divide/mod."""
     size = src.size
@@ -43,6 +46,7 @@ def dense_to_coo3(src: DenseTensor, blocks: BlockSet) -> tuple[CooTensor, int]:
     return out, max(c_read, c_scan, c_div) + c_write
 
 
+@register_conversion(Format.COO, Format.CSF, tensor=True)
 def coo3_to_csf(src: CooTensor, blocks: BlockSet) -> tuple[CsfTensor, int]:
     """Fig. 8f steps 5-7: tree construction from sorted COO.
 
@@ -63,6 +67,7 @@ def coo3_to_csf(src: CooTensor, blocks: BlockSet) -> tuple[CsfTensor, int]:
     return out, max(c_read, c_scan1 + c_scan2) + c_write
 
 
+@register_conversion(Format.DENSE, Format.CSF, tensor=True)
 def dense_to_csf(src: DenseTensor, blocks: BlockSet) -> tuple[CsfTensor, int]:
     """The full Fig. 8f pipeline: Dense -> COO -> CSF."""
     coo, c1 = dense_to_coo3(src, blocks)
@@ -70,6 +75,7 @@ def dense_to_csf(src: DenseTensor, blocks: BlockSet) -> tuple[CsfTensor, int]:
     return csf, c1 + c2
 
 
+@register_conversion(Format.CSF, Format.COO, tensor=True)
 def csf_to_coo3(src: CsfTensor, blocks: BlockSet) -> tuple[CooTensor, int]:
     """Pointer expansion down the tree."""
     nnz = len(src.values)
@@ -81,6 +87,7 @@ def csf_to_coo3(src: CsfTensor, blocks: BlockSet) -> tuple[CooTensor, int]:
     return out, max(c_read, c_write)
 
 
+@register_conversion(Format.COO, Format.DENSE, tensor=True)
 def coo3_to_dense(src: CooTensor, blocks: BlockSet) -> tuple[DenseTensor, int]:
     """Coordinate scatter into a zero-filled buffer."""
     size = src.size
@@ -90,6 +97,7 @@ def coo3_to_dense(src: CooTensor, blocks: BlockSet) -> tuple[DenseTensor, int]:
     return out, max(c_read, c_fill)
 
 
+@register_conversion(Format.CSF, Format.DENSE, tensor=True)
 def csf_to_dense(src: CsfTensor, blocks: BlockSet) -> tuple[DenseTensor, int]:
     """CSF -> COO -> Dense composition."""
     coo, c1 = csf_to_coo3(src, blocks)
@@ -97,6 +105,7 @@ def csf_to_dense(src: CsfTensor, blocks: BlockSet) -> tuple[DenseTensor, int]:
     return dense, c1 + c2
 
 
+@register_conversion(Format.DENSE, Format.ZVC, tensor=True)
 def dense_to_zvc3(src: DenseTensor, blocks: BlockSet) -> tuple[ZvcTensor, int]:
     """Zero-detect mask + value compaction on the flattened tensor."""
     size = src.size
@@ -110,6 +119,7 @@ def dense_to_zvc3(src: DenseTensor, blocks: BlockSet) -> tuple[ZvcTensor, int]:
     return out, max(c_read, c_scan) + c_write
 
 
+@register_conversion(Format.ZVC, Format.DENSE, tensor=True)
 def zvc3_to_dense(src: ZvcTensor, blocks: BlockSet) -> tuple[DenseTensor, int]:
     """Mask-driven expansion."""
     size = src.size
@@ -120,6 +130,7 @@ def zvc3_to_dense(src: ZvcTensor, blocks: BlockSet) -> tuple[DenseTensor, int]:
     return out, max(c_read, c_scan, c_fill)
 
 
+@register_conversion(Format.DENSE, Format.RLC, tensor=True)
 def dense_to_rlc3(src: DenseTensor, blocks: BlockSet) -> tuple[RlcTensor, int]:
     """Gap encoding of the flattened tensor."""
     size = src.size
@@ -135,6 +146,7 @@ def dense_to_rlc3(src: DenseTensor, blocks: BlockSet) -> tuple[RlcTensor, int]:
     return out, max(c_read, c_write)
 
 
+@register_conversion(Format.RLC, Format.COO, tensor=True)
 def rlc3_to_coo3(src: RlcTensor, blocks: BlockSet) -> tuple[CooTensor, int]:
     """Prefix-summed positions + divide/mod chain (Fig. 8d lifted to 3-D)."""
     entries = src.entries
@@ -155,6 +167,7 @@ def rlc3_to_coo3(src: RlcTensor, blocks: BlockSet) -> tuple[CooTensor, int]:
     return out, max(c_read, c_scan, c_div) + c_write
 
 
+@register_conversion(Format.RLC, Format.DENSE, tensor=True)
 def rlc3_to_dense(src: RlcTensor, blocks: BlockSet) -> tuple[DenseTensor, int]:
     """RLC decode into a zero-filled buffer."""
     entries = src.entries
@@ -165,6 +178,7 @@ def rlc3_to_dense(src: RlcTensor, blocks: BlockSet) -> tuple[DenseTensor, int]:
     return out, max(c_read, c_scan, c_fill)
 
 
+@register_conversion(Format.COO, Format.HICOO, tensor=True)
 def coo3_to_hicoo(src: CooTensor, blocks: BlockSet) -> tuple[HicooTensor, int]:
     """Block bucketing: divide/mod per axis + boundary detection."""
     nnz = src.stored
@@ -179,6 +193,7 @@ def coo3_to_hicoo(src: CooTensor, blocks: BlockSet) -> tuple[HicooTensor, int]:
     return out, max(c_read, c1 + c2 + c3) + c_write
 
 
+@register_conversion(Format.HICOO, Format.COO, tensor=True)
 def hicoo_to_coo3(src: HicooTensor, blocks: BlockSet) -> tuple[CooTensor, int]:
     """Block expansion back to absolute coordinates (multiply-add per axis)."""
     nnz = len(src.values)
@@ -191,6 +206,7 @@ def hicoo_to_coo3(src: HicooTensor, blocks: BlockSet) -> tuple[CooTensor, int]:
     return coo, max(c_read, c_write)
 
 
+@register_conversion(Format.DENSE, Format.HICOO, tensor=True)
 def dense_to_hicoo(src: DenseTensor, blocks: BlockSet) -> tuple[HicooTensor, int]:
     """Dense -> COO -> HiCOO composition."""
     coo, c1 = dense_to_coo3(src, blocks)
@@ -198,6 +214,7 @@ def dense_to_hicoo(src: DenseTensor, blocks: BlockSet) -> tuple[HicooTensor, int
     return out, c1 + c2
 
 
+@register_conversion(Format.HICOO, Format.DENSE, tensor=True)
 def hicoo_to_dense(src: HicooTensor, blocks: BlockSet) -> tuple[DenseTensor, int]:
     """HiCOO -> COO -> Dense composition."""
     coo, c1 = hicoo_to_coo3(src, blocks)

@@ -36,7 +36,7 @@ from repro.errors import PredictionError
 from repro.formats.registry import Format
 from repro.hardware.dram import DramChannel
 from repro.kernels.ops import expected_output_nnz
-from repro.mint.cost import ConversionCost, estimate_conversion_cost
+from repro.mint.cost import ConversionCost, shared_planner
 from repro.sage.spaces import OUTPUT_MCF
 from repro.workloads.spec import Kernel, MatrixWorkload, TensorWorkload
 
@@ -57,8 +57,14 @@ def mint_provider(
     dtype_bits: int,
     tensor: bool,
 ) -> ConversionCost:
-    """The default provider: MINT attached to the accelerator."""
-    return estimate_conversion_cost(
+    """The default provider: MINT attached to the accelerator.
+
+    Routed through the process-wide memoized
+    :class:`~repro.mint.cost.PathPlanner`, so the exhaustive combo search
+    (which revisits every (src, dst) pair once per surrounding combination)
+    prices each distinct conversion exactly once.
+    """
+    return shared_planner().estimate(
         src,
         dst,
         size=size,

@@ -9,12 +9,18 @@ hardware parameters.  The outputs are the ideal MCF and ACF combinations."
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.accelerator.config import AcceleratorConfig
 from repro.errors import PredictionError
 from repro.formats.registry import Format
 from repro.hardware.dram import DramChannel
+from repro.mint.cost import shared_planner
 from repro.sage.cost_model import (
     ConversionProvider,
     CostBreakdown,
@@ -128,9 +134,79 @@ class Sage:
                 candidates.append(cost)
         return self._decide(workload.name, candidates)
 
+    def predict(
+        self, workload: MatrixWorkload | TensorWorkload
+    ) -> SageDecision:
+        """Dispatch on workload arity (matrix vs 3-D tensor)."""
+        if isinstance(workload, TensorWorkload):
+            return self.predict_tensor(workload)
+        return self.predict_matrix(workload)
+
+    def predict_many(
+        self,
+        workloads: Sequence[MatrixWorkload | TensorWorkload],
+        *,
+        processes: int | None = None,
+    ) -> list[SageDecision]:
+        """Predict a whole workload suite, fanned across a process pool.
+
+        Decisions are returned in input order.  Each worker is seeded with
+        a snapshot of the parent's conversion-route cache
+        (:meth:`~repro.mint.cost.PathPlanner.export_routes`), so route
+        planning already amortized in this process is not redone per
+        worker.  ``processes=1`` (or a suite of one) runs sequentially;
+        if the platform cannot spawn a pool — or this predictor cannot be
+        shipped to one (e.g. a non-picklable custom provider) — the suite
+        degrades to sequential prediction rather than failing.
+        """
+        workloads = list(workloads)
+        if processes is None:
+            processes = min(len(workloads), multiprocessing.cpu_count())
+        if len(workloads) <= 1 or processes <= 1:
+            return [self.predict(wl) for wl in workloads]
+        routes = shared_planner().export_routes()
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=processes,
+                mp_context=ctx,
+                initializer=_seed_worker_planner,
+                initargs=(routes,),
+            ) as pool:
+                return list(
+                    pool.map(_predict_one, ((self, wl) for wl in workloads))
+                )
+        except (
+            OSError,
+            PermissionError,
+            BrokenProcessPool,
+            # Non-picklable predictor state (lambda providers etc.) surfaces
+            # as any of these three depending on the offending object.
+            pickle.PicklingError,
+            AttributeError,
+            TypeError,
+        ):
+            return [self.predict(wl) for wl in workloads]
+
     @staticmethod
     def _decide(name: str, candidates: list[CostBreakdown]) -> SageDecision:
         if not candidates:
             raise PredictionError(f"no feasible MCF/ACF candidate for {name}")
         ranking = tuple(sorted(candidates, key=lambda c: c.edp))
         return SageDecision(workload_name=name, best=ranking[0], ranking=ranking)
+
+
+def _seed_worker_planner(routes: dict) -> None:
+    """Pool initializer: adopt the parent's route-cache snapshot."""
+    shared_planner().seed_routes(routes)
+
+
+def _predict_one(
+    job: tuple[Sage, MatrixWorkload | TensorWorkload]
+) -> SageDecision:
+    """Pool task: one workload through the (pickled) predictor."""
+    sage, workload = job
+    return sage.predict(workload)

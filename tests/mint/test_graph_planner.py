@@ -1,0 +1,280 @@
+"""The conversion-graph registry and the memoized path/cost planner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConversionError
+from repro.formats import MATRIX_FORMATS, TENSOR_FORMATS, matrix_class
+from repro.formats.registry import Format
+from repro.mint.cost import PathPlanner, estimate_conversion_cost, shared_planner
+from repro.mint.graph import (
+    ConversionGraph,
+    Datapath,
+    HopStats,
+    conversion_graph,
+    register_conversion,
+)
+from tests.conftest import make_sparse
+
+STATS_GRID = [
+    HopStats(size=1 << 14, nnz=1 << 8, major_dim=1 << 7),
+    HopStats(size=1 << 20, nnz=1 << 14, major_dim=1 << 10),
+    HopStats(size=1 << 24, nnz=1 << 21, major_dim=1 << 12),
+]
+
+
+class TestRegistry:
+    def test_every_datapath_carries_metadata(self):
+        for tensor in (False, True):
+            graph = conversion_graph(tensor=tensor)
+            assert len(graph) > 0
+            for dp in graph:
+                assert dp.tensor is tensor
+                assert dp.estimator is not None
+                assert dp.cycles(HopStats.typical(tensor=tensor)) >= 1
+                assert callable(dp.fn) and dp.name == dp.fn.__name__
+
+    def test_no_static_dispatch_dicts_remain(self):
+        import repro.mint.engine as engine
+
+        assert not hasattr(engine, "_MATRIX_DIRECT")
+        assert not hasattr(engine, "_TENSOR_DIRECT")
+
+    def test_bsr_encoders_declare_block_shape(self):
+        graph = conversion_graph(tensor=False)
+        for pair in [(Format.CSR, Format.BSR), (Format.DENSE, Format.BSR)]:
+            dp = graph.direct(*pair)
+            assert dp is not None and "block_shape" in dp.accepts
+
+    def test_registration_is_open(self):
+        """A third-party format is one decorated function away."""
+        scratch = ConversionGraph(tensor=False)
+
+        @register_conversion(Format.CSR, Format.COO, graph=scratch)
+        def my_path(src, blocks):  # pragma: no cover - never executed
+            return src, 0
+
+        dp = scratch.direct(Format.CSR, Format.COO)
+        assert dp is not None and dp.fn is my_path
+        # Re-registration replaces the edge (latest wins).
+
+        @register_conversion(Format.CSR, Format.COO, graph=scratch)
+        def my_path2(src, blocks):  # pragma: no cover
+            return src, 0
+
+        assert scratch.direct(Format.CSR, Format.COO).fn is my_path2
+        assert len(scratch.edges_from(Format.CSR)) == 1
+
+    def test_datapath_call_filters_unknown_kwargs(self):
+        graph = conversion_graph(tensor=False)
+        dp = graph.direct(Format.CSR, Format.COO)
+        dense = np.eye(4)
+        src = matrix_class(Format.CSR).from_dense(dense)
+        from repro.mint.blockset import BlockSet
+
+        out, _cycles = dp(src, BlockSet(), block_shape=(2, 2), bogus=1)
+        assert np.array_equal(out.to_dense(), dense)
+
+
+class TestDijkstraRouting:
+    @pytest.mark.parametrize("tensor", [False, True])
+    @pytest.mark.parametrize("stats_idx", range(len(STATS_GRID)))
+    def test_route_never_costlier_than_hub_heuristic(self, tensor, stats_idx):
+        """The planner property: Dijkstra <= legacy hub route, all pairs."""
+        graph = conversion_graph(tensor=tensor)
+        catalog = TENSOR_FORMATS if tensor else MATRIX_FORMATS
+        base = STATS_GRID[stats_idx]
+        stats = HopStats(
+            size=base.size, nnz=base.nnz, major_dim=base.major_dim,
+            tensor=tensor,
+        )
+        for src in catalog:
+            for dst in catalog:
+                if src is dst:
+                    continue
+                route = graph.find_path(src, dst, stats)
+                hub = graph.hub_heuristic_path(src, dst)
+                assert graph.path_cycles(route, stats) <= graph.path_cycles(
+                    hub, stats
+                ), f"{src}->{dst} regressed vs the hub heuristic"
+
+    @pytest.mark.parametrize("tensor", [False, True])
+    def test_all_pairs_reachable(self, tensor):
+        graph = conversion_graph(tensor=tensor)
+        catalog = TENSOR_FORMATS if tensor else MATRIX_FORMATS
+        assert len(graph.supported_pairs()) == len(catalog) ** 2
+
+    def test_identity_is_empty_route(self):
+        graph = conversion_graph(tensor=False)
+        assert graph.find_path(Format.CSR, Format.CSR) == ()
+        assert graph.hub_heuristic_path(Format.CSR, Format.CSR) == ()
+
+    def test_unreachable_raises(self):
+        empty = ConversionGraph(tensor=False)
+        with pytest.raises(ConversionError):
+            empty.find_path(Format.CSR, Format.CSC)
+        with pytest.raises(ConversionError):
+            empty.hub_heuristic_path(Format.CSR, Format.CSC)
+
+    def test_route_respects_operand_size(self):
+        """Routes are planned against the operand, not a fixed table."""
+        graph = conversion_graph(tensor=False)
+        for stats in STATS_GRID:
+            route = graph.find_path(Format.ZVC, Format.CSR, stats)
+            assert [dp.pair for dp in route] == [
+                (Format.ZVC, Format.DENSE),
+                (Format.DENSE, Format.CSR),
+            ]
+
+
+class TestPathPlanner:
+    def test_cost_cache_hits_on_repeat(self):
+        planner = PathPlanner()
+        kwargs = dict(size=1 << 20, nnz=1 << 12, major_dim=1 << 10)
+        first = planner.estimate(Format.CSR, Format.CSC, **kwargs)
+        info = planner.cache_info()
+        assert info["cost"].misses == 1 and info["cost"].hits == 0
+        second = planner.estimate(Format.CSR, Format.CSC, **kwargs)
+        info = planner.cache_info()
+        assert info["cost"].hits == 1 and info["cost"].misses == 1
+        assert first == second
+
+    def test_route_cache_shared_within_size_class(self):
+        planner = PathPlanner()
+        planner.estimate(Format.RLC, Format.CSC, size=1000, nnz=100,
+                         major_dim=32)
+        # Same power-of-two buckets, different exact stats: route is reused,
+        # cost is recomputed exactly.
+        planner.estimate(Format.RLC, Format.CSC, size=1023, nnz=101,
+                         major_dim=33)
+        info = planner.cache_info()
+        assert info["route"].misses == 1 and info["route"].hits == 1
+        assert info["cost"].misses == 2
+
+    def test_cache_clear_resets(self):
+        planner = PathPlanner()
+        planner.estimate(Format.COO, Format.CSR, size=4096, nnz=64,
+                         major_dim=64)
+        planner.cache_clear()
+        info = planner.cache_info()
+        assert info["cost"].currsize == 0 and info["route"].currsize == 0
+        assert info["cost"].hits == 0 and info["cost"].misses == 0
+
+    def test_identity_costs_nothing_and_skips_cache(self):
+        planner = PathPlanner()
+        cost = planner.estimate(Format.CSR, Format.CSR, size=100, nnz=10,
+                                major_dim=10)
+        assert cost.cycles == 0 and planner.cache_info()["cost"].currsize == 0
+
+    def test_export_seed_roundtrip(self):
+        donor = PathPlanner()
+        donor.estimate(Format.RLC, Format.CSR, size=1 << 18, nnz=1 << 10,
+                       major_dim=1 << 9)
+        snapshot = donor.export_routes()
+        assert snapshot  # at least one route, as picklable format pairs
+        for pairs in snapshot.values():
+            assert all(isinstance(s, Format) and isinstance(t, Format)
+                       for s, t in pairs)
+        receiver = PathPlanner()
+        receiver.seed_routes(snapshot)
+        receiver.estimate(Format.RLC, Format.CSR, size=1 << 18, nnz=1 << 10,
+                          major_dim=1 << 9)
+        info = receiver.cache_info()
+        assert info["route"].hits == 1 and info["route"].misses == 0
+
+    def test_estimate_conversion_cost_uses_shared_planner(self):
+        before = shared_planner().cache_info()["cost"]
+        kwargs = dict(size=1 << 16, nnz=1 << 9, major_dim=1 << 8)
+        a = estimate_conversion_cost(Format.ZVC, Format.COO, **kwargs)
+        b = estimate_conversion_cost(Format.ZVC, Format.COO, **kwargs)
+        after = shared_planner().cache_info()["cost"]
+        assert a == b
+        assert after.hits >= before.hits + 1
+
+    def test_planner_matches_direct_graph_pricing(self):
+        """Memoization must not change the numbers, only the work."""
+        kwargs = dict(size=1 << 20, nnz=1 << 13, major_dim=1 << 10)
+        fresh = PathPlanner().estimate(Format.RLC, Format.COO, **kwargs)
+        again = PathPlanner().estimate(Format.RLC, Format.COO, **kwargs)
+        assert fresh == again and fresh.cycles > 0
+
+
+class TestCustomThroughputRouting:
+    def test_throughput_overrides_edge_estimates(self):
+        from repro.mint.cost import MintThroughput
+
+        graph = conversion_graph(tensor=False)
+        dp = graph.direct(Format.RLC, Format.COO)  # divmod-bound hop
+        stats = HopStats(size=1 << 24, nnz=1 << 20, major_dim=1 << 12)
+        starved = MintThroughput(divmod_units=1)
+        assert dp.cycles(stats, throughput=starved) > dp.cycles(stats)
+
+    def test_estimate_conversion_cost_custom_throughput(self):
+        from repro.mint.cost import MintThroughput
+
+        kwargs = dict(size=1 << 24, nnz=1 << 20, major_dim=1 << 12)
+        base = estimate_conversion_cost(Format.RLC, Format.COO, **kwargs)
+        starved = estimate_conversion_cost(
+            Format.RLC, Format.COO,
+            throughput=MintThroughput(divmod_units=1), **kwargs,
+        )
+        assert starved.cycles > base.cycles
+
+
+class TestEngineKwargsValidation:
+    def test_unknown_kwarg_raises(self, rng):
+        from repro.mint.engine import MintEngine
+
+        dense = make_sparse(rng, (8, 8), 0.3)
+        src = matrix_class(Format.CSR).from_dense(dense)
+        with pytest.raises(TypeError, match="blockshape"):
+            MintEngine().convert(src, Format.BSR, blockshape=(4, 4))
+
+    def test_kwarg_unused_by_route_raises(self, rng):
+        from repro.mint.engine import MintEngine
+
+        dense = make_sparse(rng, (8, 8), 0.3)
+        src = matrix_class(Format.CSR).from_dense(dense)
+        with pytest.raises(TypeError, match="block_shape"):
+            MintEngine().convert(src, Format.COO, block_shape=(4, 4))
+
+
+class TestVectorizedCsrToEll:
+    @pytest.mark.parametrize("density", [0.0, 0.1, 0.5, 1.0])
+    def test_element_exact_vs_dense_oracle(self, rng, density):
+        from repro.mint.blockset import BlockSet
+        from repro.mint.conversions import csr_to_ell
+
+        dense = make_sparse(rng, (13, 9), density)
+        dense[4, :] = 0.0  # force an empty row between populated ones
+        src = matrix_class(Format.CSR).from_dense(dense)
+        out, cycles = csr_to_ell(src, BlockSet())
+        assert out.format is Format.ELL
+        assert np.array_equal(out.to_dense(), dense)
+        assert cycles >= 0
+
+
+class TestPublicApi:
+    def test_ell_matrix_exported_at_package_root(self):
+        import repro
+
+        assert "EllMatrix" in repro.__all__
+        assert repro.EllMatrix is matrix_class(Format.ELL)
+
+    def test_graph_api_exported_at_package_root(self):
+        import repro
+
+        for name in ("ConversionGraph", "Datapath", "HopStats",
+                     "PathPlanner", "register_conversion",
+                     "conversion_graph", "find_path", "shared_planner"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_datapath_is_frozen_metadata(self):
+        graph = conversion_graph(tensor=False)
+        dp = graph.direct(Format.CSR, Format.CSC)
+        with pytest.raises(AttributeError):
+            dp.source = Format.COO
+        assert isinstance(dp, Datapath)

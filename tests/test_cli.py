@@ -19,6 +19,8 @@ class TestParser:
             ["sweep", "--m", "500", "--k", "500"],
             ["walkthrough"],
             ["suite", "journals"],
+            ["paths"],
+            ["paths", "--tensor", "--src", "COO", "--dst", "CSF"],
         ],
     )
     def test_commands_parse(self, argv):
@@ -58,3 +60,24 @@ class TestExecution:
     def test_suite_unknown_workload(self):
         with pytest.raises(KeyError):
             main(["suite", "nonexistent"])
+
+    def test_paths_prints_graph_and_routes(self, capsys):
+        assert main(["paths", "--m", "512", "--k", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "registered datapaths" in out
+        assert "csr_to_csc" in out
+        assert "planned routes" in out and "cycles" in out
+
+    def test_paths_single_pair_route(self, capsys):
+        assert main(["paths", "--src", "ZVC", "--dst", "CSR"]) == 0
+        out = capsys.readouterr().out
+        assert "ZVC -> Dense -> CSR" in out
+
+    def test_paths_tensor_graph(self, capsys):
+        assert main(["paths", "--tensor"]) == 0
+        out = capsys.readouterr().out
+        assert "coo3_to_csf" in out
+
+    def test_paths_unknown_format_exits(self):
+        with pytest.raises(SystemExit):
+            main(["paths", "--src", "NOPE", "--dst", "CSR"])
