@@ -1,0 +1,110 @@
+"""Serving throughput: naive per-request SAGE vs the warm serve stack.
+
+Replays the Table III matrix suite (both SpGEMM and SpMM scenarios, 20
+requests per pass) three ways:
+
+* **naive** — the pre-serve integration style: every request constructs
+  ``Sage()`` and runs the full MCF/ACF search in-process;
+* **server cold** — first pass through a freshly started
+  :class:`~repro.serve.server.SageServer` (every request is a cache miss
+  and fans out to the warm-seeded shard pool);
+* **server warm** — repeat passes, where the
+  :class:`~repro.serve.cache.DecisionCache` answers over TCP.
+
+The acceptance bar for the subsystem is warm server throughput >= 5x the
+naive baseline; the headline numbers land in ``benchmarks/out/serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.sage import Sage
+from repro.serve import SageServer, ServeClient, ServeConfig
+from repro.workloads import MATRIX_SUITE, Kernel
+
+OUT_PATH = Path(__file__).parent / "out" / "serve.json"
+WARM_ROUNDS = 5
+
+
+def _suite():
+    return [
+        entry.matrix_workload(kernel)
+        for entry in MATRIX_SUITE
+        for kernel in (Kernel.SPGEMM, Kernel.SPMM)
+    ]
+
+
+def measure() -> dict:
+    suite = _suite()
+    requests = len(suite)
+
+    # Naive baseline: one Sage() + full search per request.  (The shared
+    # planner cache stays process-global and warm, which only flatters
+    # the baseline — the measured serve advantage is a lower bound.)
+    t0 = time.perf_counter()
+    for wl in suite:
+        Sage().predict(wl)
+    naive_s = time.perf_counter() - t0
+
+    config = ServeConfig(port=0, shards=2, batch_window_ms=1.0)
+    with SageServer(serve=config) as server:
+        with ServeClient(*server.address) as client:
+            t0 = time.perf_counter()
+            client.predict_many(suite)  # cold: all misses, sharded fan-out
+            cold_s = time.perf_counter() - t0
+            warm_samples = []
+            for _ in range(WARM_ROUNDS):
+                t0 = time.perf_counter()
+                for wl in suite:  # warm: cache hits over TCP, one per RPC
+                    client.predict(wl)
+                warm_samples.append(time.perf_counter() - t0)
+            stats = client.stats()
+    warm_s = statistics.median(warm_samples)
+
+    result = {
+        "suite": "MATRIX_SUITE x {spgemm, spmm}",
+        "requests_per_pass": requests,
+        "warm_rounds": WARM_ROUNDS,
+        "naive_s": naive_s,
+        "server_cold_s": cold_s,
+        "server_warm_s": warm_s,
+        "naive_rps": requests / naive_s,
+        "server_cold_rps": requests / cold_s,
+        "server_warm_rps": requests / warm_s,
+        "speedup_warm_vs_naive": naive_s / warm_s,
+        "cache": stats["cache"],
+        "latency_ms": stats["latency_ms"],
+        "shards": len(stats["shards"]),
+    }
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def bench_serve(once, benchmark):
+    out = once(measure)
+    print()
+    print(f"{'pass':>12} | {'total':>9} | {'req/s':>9}")
+    for label, key in (
+        ("naive", "naive_s"),
+        ("server cold", "server_cold_s"),
+        ("server warm", "server_warm_s"),
+    ):
+        seconds = out[key]
+        rps = out["requests_per_pass"] / seconds
+        print(f"{label:>12} | {seconds * 1e3:>7.1f}ms | {rps:>9.1f}")
+    print(
+        f"warm server vs naive: {out['speedup_warm_vs_naive']:.1f}x "
+        f"(cache hit-rate {out['cache']['hit_rate']:.2f}, "
+        f"p50 {out['latency_ms']['p50']:.2f} ms)"
+    )
+    print(f"wrote {OUT_PATH}")
+    assert out["speedup_warm_vs_naive"] >= 5.0
+    benchmark.extra_info["speedup_warm_vs_naive"] = round(
+        out["speedup_warm_vs_naive"], 1
+    )
+    benchmark.extra_info["server_warm_rps"] = round(out["server_warm_rps"], 1)

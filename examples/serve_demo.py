@@ -1,0 +1,60 @@
+"""Serving demo: run SAGE as a service and query it over TCP.
+
+Starts a :class:`~repro.serve.server.SageServer` on an ephemeral port
+(two warm shard workers, near-hit cache on), drives it with a
+:class:`~repro.serve.client.ServeClient` — cold pass, warm repeat, a
+density-band near-hit — and prints the server's stats RPC.
+
+Run with ``PYTHONPATH=src python examples/serve_demo.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro import MATRIX_SUITE, Kernel, MatrixWorkload
+from repro.serve import SageServer, ServeClient, ServeConfig
+
+
+def main() -> None:
+    suite = [entry.matrix_workload(Kernel.SPMM) for entry in MATRIX_SUITE]
+    config = ServeConfig(port=0, shards=2, near_hit=True)
+    with SageServer(serve=config) as server:
+        host, port = server.address
+        print(f"server up on {host}:{port}\n")
+        with ServeClient(host, port) as client:
+            t0 = time.perf_counter()
+            decisions = client.predict_many(suite)
+            cold_ms = (time.perf_counter() - t0) * 1e3
+            print(f"cold pass: {len(suite)} suite workloads in {cold_ms:.1f} ms")
+            for decision in decisions[:3]:
+                best = decision.best
+                print(
+                    f"  {decision.workload_name:>16}: "
+                    f"MCF=({best.mcf[0]},{best.mcf[1]}) "
+                    f"ACF=({best.acf[0]},{best.acf[1]})"
+                )
+
+            t0 = time.perf_counter()
+            client.predict_many(suite)
+            warm_ms = (time.perf_counter() - t0) * 1e3
+            print(f"warm pass: same suite in {warm_ms:.1f} ms (decision cache)")
+
+            # A workload the server never saw, but in the same density
+            # band as a cached one: served as a near-hit.
+            speech2 = suite[4]
+            neighbour = MatrixWorkload(
+                "speech2-retrained", speech2.kernel, speech2.m, speech2.k,
+                speech2.n, speech2.nnz_a + 512, speech2.nnz_b,
+            )
+            client.predict(neighbour)
+            print("near-hit: unseen neighbour answered from the band cache\n")
+
+            print("server stats:")
+            print(json.dumps(client.stats(), indent=2))
+    print("\nserver shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -102,6 +102,14 @@ from repro.sage import (
     SageDecision,
     plan_chain,
 )
+from repro.serve import (
+    DecisionCache,
+    SageServer,
+    ServeClient,
+    ServeConfig,
+    WorkloadFingerprint,
+    fingerprint_of,
+)
 from repro.workloads import (
     CONV_LAYERS,
     MATRIX_SUITE,
@@ -114,6 +122,7 @@ from repro.workloads import (
     random_sparse_matrix,
     random_sparse_tensor,
     suite_by_name,
+    workload_from_dict,
 )
 
 __version__ = "1.0.0"
@@ -178,6 +187,13 @@ __all__ = [
     "CostBreakdown",
     "PipelinePlan",
     "plan_chain",
+    # serve
+    "SageServer",
+    "ServeClient",
+    "ServeConfig",
+    "DecisionCache",
+    "WorkloadFingerprint",
+    "fingerprint_of",
     # baselines
     "ALL_POLICIES",
     "AcceleratorPolicy",
@@ -195,6 +211,7 @@ __all__ = [
     "Kernel",
     "MatrixWorkload",
     "TensorWorkload",
+    "workload_from_dict",
     "MATRIX_SUITE",
     "TENSOR_SUITE",
     "suite_by_name",

@@ -4,7 +4,9 @@ Commands
 --------
 ``sage``
     Run SAGE on a workload described by its statistics and print the
-    decision ranking.
+    decision ranking (``--tensor`` for 3-D workloads).
+``serve``
+    Run the batched, cached SAGE prediction server (``repro.serve``).
 ``sweep``
     Print the Fig. 4-style compactness sweep for a matrix shape.
 ``walkthrough``
@@ -27,25 +29,79 @@ import numpy as np
 
 def _cmd_sage(args: argparse.Namespace) -> int:
     from repro.sage import Sage
-    from repro.workloads.spec import Kernel, MatrixWorkload
+    from repro.workloads.spec import Kernel, MatrixWorkload, TensorWorkload
 
-    nnz_a = int(args.density * args.m * args.k)
-    nnz_b = (
-        args.k * args.n
-        if args.kernel == "spmm"
-        else max(1, int(args.density * args.k * args.n))
-    )
-    wl = MatrixWorkload(
-        name="cli",
-        kernel=Kernel.SPMM if args.kernel == "spmm" else Kernel.SPGEMM,
-        m=args.m,
-        k=args.k,
-        n=args.n,
-        nnz_a=max(1, nnz_a),
-        nnz_b=nnz_b,
-    )
-    decision = Sage().predict_matrix(wl)
+    if args.tensor:
+        name = args.kernel or "spttm"
+        if name == "spttm":
+            kernel = Kernel.SPTTM
+        elif name == "mttkrp":
+            kernel = Kernel.MTTKRP
+        else:
+            raise SystemExit("--tensor supports --kernel spttm or mttkrp")
+        shape = (args.i, args.j, args.k)
+        nnz = max(1, int(args.density * shape[0] * shape[1] * shape[2]))
+        wl: MatrixWorkload | TensorWorkload = TensorWorkload(
+            name="cli",
+            kernel=kernel,
+            shape=shape,
+            nnz=nnz,
+            # Sec. VII-A default: rank = first mode / 2.
+            rank=args.rank if args.rank else max(1, args.i // 2),
+        )
+        decision = Sage().predict_tensor(wl)
+    elif args.kernel in ("spttm", "mttkrp"):
+        raise SystemExit(f"--kernel {args.kernel} needs --tensor")
+    else:
+        name = args.kernel or "spmm"
+        nnz_a = int(args.density * args.m * args.k)
+        nnz_b = (
+            args.k * args.n
+            if name == "spmm"
+            else max(1, int(args.density * args.k * args.n))
+        )
+        wl = MatrixWorkload(
+            name="cli",
+            kernel=Kernel.SPMM if name == "spmm" else Kernel.SPGEMM,
+            m=args.m,
+            k=args.k,
+            n=args.n,
+            nnz_a=max(1, nnz_a),
+            nnz_b=nnz_b,
+        )
+        decision = Sage().predict_matrix(wl)
     print(decision.summary(top=args.top))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import SageServer, ServeConfig
+
+    server = SageServer(
+        serve=ServeConfig(
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            batch_window_ms=args.batch_window_ms,
+            cache_size=args.cache_size,
+            near_hit=not args.exact,
+            ranking_top=args.top,
+        )
+    )
+    host, port = server.start()
+    mode = "exact-only" if args.exact else "near-hit"
+    print(
+        f"repro serve listening on {host}:{port} "
+        f"({args.shards} shard(s), {mode} cache; Ctrl-C or a "
+        f'{{"op": "shutdown"}} line stops it)',
+        flush=True,  # supervisors watching a pipe need the banner now
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -176,12 +232,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sage", help="run the SAGE format predictor")
     p.add_argument("--m", type=int, default=4096)
-    p.add_argument("--k", type=int, default=4096)
+    p.add_argument("--k", type=int, default=4096,
+                   help="matrix inner dim, or 3rd tensor extent with --tensor")
     p.add_argument("--n", type=int, default=2048)
     p.add_argument("--density", type=float, default=0.05)
-    p.add_argument("--kernel", choices=["spmm", "spgemm"], default="spmm")
+    p.add_argument("--kernel",
+                   choices=["spmm", "spgemm", "spttm", "mttkrp"],
+                   default=None,
+                   help="default: spmm, or spttm with --tensor")
     p.add_argument("--top", type=int, default=5)
+    p.add_argument("--tensor", action="store_true",
+                   help="3-D tensor workload (--i --j --k extents)")
+    p.add_argument("--i", type=int, default=256, help="1st tensor extent")
+    p.add_argument("--j", type=int, default=256, help="2nd tensor extent")
+    p.add_argument("--rank", type=int, default=0,
+                   help="factor rank (default: i // 2, Sec. VII-A)")
     p.set_defaults(fn=_cmd_sage)
+
+    p = sub.add_parser(
+        "serve", help="run the batched, cached SAGE prediction server"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7342,
+                   help="TCP port (0 picks an ephemeral one)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="warm worker processes (0 = in-process)")
+    p.add_argument("--batch-window-ms", type=float, default=2.0)
+    p.add_argument("--cache-size", type=int, default=4096)
+    p.add_argument("--exact", action="store_true",
+                   help="disable density-band near-hit cache answers")
+    p.add_argument("--top", type=int, default=8,
+                   help="ranking prefix shipped per decision")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("sweep", help="Fig. 4-style compactness sweep")
     p.add_argument("--m", type=int, default=11_000)

@@ -45,3 +45,12 @@ class PredictionError(ReproError):
 
 class ConfigError(ReproError):
     """An invalid hardware or model configuration was supplied."""
+
+
+class ServeError(ReproError):
+    """The prediction service rejected a request or the transport failed.
+
+    Raised client-side both for protocol-level failures (connection dropped,
+    malformed reply) and for errors the server reports in-band (e.g. a
+    workload dict the predictor cannot satisfy).
+    """

@@ -306,6 +306,24 @@ class PathPlanner:
             for key, path in self._routes.export().items()
         }
 
+    def export_snapshot(self) -> dict:
+        """Bundle both caches for warm-starting another process.
+
+        The serve layer ships this to each shard worker so a freshly forked
+        shard starts with every route *and* exact-stats cost the parent has
+        already paid for.  Values are plain picklable tuples/dataclasses;
+        pair with :meth:`seed_snapshot` on the receiving side.
+        """
+        return {
+            "routes": self.export_routes(),
+            "costs": self._costs.export(),
+        }
+
+    def seed_snapshot(self, snapshot: dict) -> None:
+        """Adopt a snapshot produced by :meth:`export_snapshot`."""
+        self.seed_routes(snapshot.get("routes", {}))
+        self._costs.seed(snapshot.get("costs", {}))
+
     def seed_routes(self, routes: dict) -> None:
         """Adopt a route snapshot produced by :meth:`export_routes`."""
         resolved = {}

@@ -94,7 +94,10 @@ class MintEngine:
                 current, hop_cycles = dp(current, blocks, **kwargs)
             else:
                 current, hop_cycles = dp.fn(current, blocks)
-            cycles += hop_cycles
+            # An engaged datapath occupies the converter for at least one
+            # cycle even when the operand is empty (it still has to read
+            # the descriptor to learn there is nothing to stream).
+            cycles += max(int(hop_cycles), 1)
             names.append(dp.name)
         energy_j = blocks.energy_joules(obj.dtype_bits, self.energy)
         report = ConversionReport(

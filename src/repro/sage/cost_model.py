@@ -127,6 +127,45 @@ class CostBreakdown:
         """Energy-delay product in joule-seconds (the SAGE objective)."""
         return self.total_energy_j * self.seconds
 
+    def to_wire(self) -> dict:
+        """JSON-safe wire form (inverse of :meth:`from_wire`).
+
+        Formats travel as their :class:`Format` enum values so any JSON
+        client can read them without this package's pickle machinery.
+        """
+        return {
+            "mcf": [self.mcf[0].value, self.mcf[1].value],
+            "acf": [self.acf[0].value, self.acf[1].value],
+            "mcf_out": self.mcf_out.value,
+            "dram_in_cycles": self.dram_in_cycles,
+            "dram_out_cycles": self.dram_out_cycles,
+            "dram_energy_j": self.dram_energy_j,
+            "conv_in_cycles": self.conv_in_cycles,
+            "conv_out_cycles": self.conv_out_cycles,
+            "conv_energy_j": self.conv_energy_j,
+            "compute_cycles": self.compute_cycles,
+            "compute_energy_j": self.compute_energy_j,
+            "clock_hz": self.clock_hz,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "CostBreakdown":
+        """Rebuild a breakdown from its :meth:`to_wire` form."""
+        return cls(
+            mcf=(Format(data["mcf"][0]), Format(data["mcf"][1])),
+            acf=(Format(data["acf"][0]), Format(data["acf"][1])),
+            mcf_out=Format(data["mcf_out"]),
+            dram_in_cycles=int(data["dram_in_cycles"]),
+            dram_out_cycles=int(data["dram_out_cycles"]),
+            dram_energy_j=float(data["dram_energy_j"]),
+            conv_in_cycles=int(data["conv_in_cycles"]),
+            conv_out_cycles=int(data["conv_out_cycles"]),
+            conv_energy_j=float(data["conv_energy_j"]),
+            compute_cycles=int(data["compute_cycles"]),
+            compute_energy_j=float(data["compute_energy_j"]),
+            clock_hz=float(data["clock_hz"]),
+        )
+
 
 def _output_plan(
     m: int,

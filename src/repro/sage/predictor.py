@@ -50,6 +50,31 @@ class SageDecision:
         """Chosen algorithm compression formats (per operand)."""
         return self.best.acf
 
+    def to_wire(self, top: int | None = None) -> dict:
+        """JSON-safe wire form (inverse of :meth:`from_wire`).
+
+        ``top`` truncates the shipped ranking (the serve layer defaults to
+        a small prefix so cache-hit responses stay compact); ``None`` ships
+        the full ranking, making the round trip lossless.
+        """
+        ranking = self.ranking if top is None else self.ranking[:top]
+        return {
+            "workload_name": self.workload_name,
+            "best": self.best.to_wire(),
+            "ranking": [cand.to_wire() for cand in ranking],
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "SageDecision":
+        """Rebuild a decision from its :meth:`to_wire` form."""
+        return cls(
+            workload_name=str(data["workload_name"]),
+            best=CostBreakdown.from_wire(data["best"]),
+            ranking=tuple(
+                CostBreakdown.from_wire(cand) for cand in data["ranking"]
+            ),
+        )
+
     def summary(self, top: int = 5) -> str:
         """Human-readable ranking of the best candidates."""
         lines = [f"SAGE decision for {self.workload_name}:"]
@@ -164,6 +189,14 @@ class Sage:
             processes = min(len(workloads), multiprocessing.cpu_count())
         if len(workloads) <= 1 or processes <= 1:
             return [self.predict(wl) for wl in workloads]
+        # Pre-flight everything the pool will pickle (the predictor and
+        # each workload): inputs that cannot ship to a worker (lambda
+        # providers etc.) degrade to sequential here, so exceptions
+        # escaping the pool below are genuine worker bugs and propagate.
+        try:
+            pickle.dumps((self, workloads))
+        except (pickle.PicklingError, AttributeError, TypeError):
+            return [self.predict(wl) for wl in workloads]
         routes = shared_planner().export_routes()
         try:
             ctx = multiprocessing.get_context("fork")
@@ -179,16 +212,8 @@ class Sage:
                 return list(
                     pool.map(_predict_one, ((self, wl) for wl in workloads))
                 )
-        except (
-            OSError,
-            PermissionError,
-            BrokenProcessPool,
-            # Non-picklable predictor state (lambda providers etc.) surfaces
-            # as any of these three depending on the offending object.
-            pickle.PicklingError,
-            AttributeError,
-            TypeError,
-        ):
+        except (OSError, PermissionError, BrokenProcessPool):
+            # Platforms that cannot spawn (or keep) a pool at all.
             return [self.predict(wl) for wl in workloads]
 
     @staticmethod

@@ -1,0 +1,48 @@
+"""``repro.serve`` — SAGE as a batched, cached, sharded prediction service.
+
+The serving subsystem (stdlib only) layered over the in-process predictor:
+
+* :mod:`repro.serve.fingerprint` — canonical workload identity (kernel,
+  dims, nnz, dtype, accelerator-config digest) with exact and
+  density-band keys plus stable shard assignment;
+* :mod:`repro.serve.cache` — thread-safe LRU
+  :class:`~repro.serve.cache.DecisionCache` with hit/miss/eviction
+  counters and an optional near-hit tier;
+* :mod:`repro.serve.server` — the JSON-lines TCP
+  :class:`~repro.serve.server.SageServer`: request coalescing, a shard
+  pool of warm-seeded worker processes, and a ``stats`` RPC;
+* :mod:`repro.serve.client` — the blocking
+  :class:`~repro.serve.client.ServeClient`.
+
+Quickstart::
+
+    from repro.serve import SageServer, ServeClient, ServeConfig
+
+    with SageServer(serve=ServeConfig(port=0, shards=2)) as server:
+        with ServeClient(*server.address) as client:
+            decision = client.predict(workload)
+
+or from a shell: ``python -m repro serve --port 7342``.
+"""
+
+from repro.serve.cache import CacheStats, DecisionCache
+from repro.serve.client import ServeClient
+from repro.serve.fingerprint import (
+    WorkloadFingerprint,
+    config_digest,
+    density_band,
+    fingerprint_of,
+)
+from repro.serve.server import SageServer, ServeConfig
+
+__all__ = [
+    "CacheStats",
+    "DecisionCache",
+    "SageServer",
+    "ServeClient",
+    "ServeConfig",
+    "WorkloadFingerprint",
+    "config_digest",
+    "density_band",
+    "fingerprint_of",
+]

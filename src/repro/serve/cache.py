@@ -1,0 +1,154 @@
+"""Thread-safe LRU cache of SAGE decisions, keyed by workload fingerprint.
+
+The serve front end consults this before dispatching anything to a shard:
+SAGE is a pure function of the fingerprint, so a hit skips the entire
+MCF/ACF search.  Two hit tiers exist:
+
+* **exact** — the fingerprint's full statistics match a cached entry;
+* **near** (optional) — no exact entry, but a workload in the same
+  per-operand density band has been decided; its decision is served
+  instead.  Within a band, operand footprints agree to within 2x, so the
+  chosen formats are almost always identical — the classic
+  accuracy-for-latency trade a production service wants switchable.
+
+Eviction is LRU over *exact* entries; the band index tracks the
+most-recently-decided representative per band.  All counters are
+monotonic and exposed through :meth:`DecisionCache.stats` for the
+server's ``stats`` RPC.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.serve.fingerprint import WorkloadFingerprint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sage.predictor import SageDecision
+
+__all__ = ["CacheStats", "DecisionCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Monotonic counters plus occupancy of one :class:`DecisionCache`."""
+
+    hits: int
+    near_hits: int
+    misses: int
+    evictions: int
+    currsize: int
+    maxsize: int
+
+    @property
+    def lookups(self) -> int:
+        """Total get() calls."""
+        return self.hits + self.near_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Served-from-cache fraction (exact + near) of all lookups."""
+        if self.lookups == 0:
+            return 0.0
+        return (self.hits + self.near_hits) / self.lookups
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for the ``stats`` RPC."""
+        return {
+            "hits": self.hits,
+            "near_hits": self.near_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "currsize": self.currsize,
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class DecisionCache:
+    """LRU ``fingerprint -> SageDecision`` map with a density-band tier."""
+
+    def __init__(self, maxsize: int = 4096, *, near_hit: bool = False) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.near_hit = near_hit
+        self._lock = threading.Lock()
+        #: exact key -> (decision, band key); the band rides along so
+        #: eviction can clean its index entry in O(1).
+        self._exact: OrderedDict[tuple, tuple["SageDecision", tuple]] = (
+            OrderedDict()
+        )
+        #: band key -> exact key of the band's latest decided representative
+        self._bands: dict[tuple, tuple] = {}
+        self._hits = 0
+        self._near_hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, fp: WorkloadFingerprint) -> "SageDecision | None":
+        """The cached decision for *fp*, or ``None`` on a miss.
+
+        Exact entries win; with ``near_hit`` enabled, a same-band
+        representative is served (and counted separately) when no exact
+        entry exists.
+        """
+        exact = fp.exact_key()
+        with self._lock:
+            entry = self._exact.get(exact)
+            if entry is not None:
+                self._exact.move_to_end(exact)
+                self._hits += 1
+                return entry[0]
+            if self.near_hit:
+                rep = self._bands.get(fp.band_key())
+                if rep is not None and rep in self._exact:
+                    self._exact.move_to_end(rep)
+                    self._near_hits += 1
+                    return self._exact[rep][0]
+            self._misses += 1
+            return None
+
+    def put(self, fp: WorkloadFingerprint, decision: "SageDecision") -> None:
+        """Insert (or refresh) the decision for *fp*."""
+        exact = fp.exact_key()
+        band = fp.band_key()
+        with self._lock:
+            self._exact[exact] = (decision, band)
+            self._exact.move_to_end(exact)
+            self._bands[band] = exact
+            while len(self._exact) > self.maxsize:
+                evicted_key, (_, evicted_band) = self._exact.popitem(
+                    last=False
+                )
+                self._evictions += 1
+                # Drop the band pointer if the eviction left it dangling.
+                if self._bands.get(evicted_band) == evicted_key:
+                    del self._bands[evicted_band]
+
+    def clear(self) -> None:
+        """Drop all entries and reset counters."""
+        with self._lock:
+            self._exact.clear()
+            self._bands.clear()
+            self._hits = self._near_hits = 0
+            self._misses = self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._exact)
+
+    def stats(self) -> CacheStats:
+        """Snapshot the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                near_hits=self._near_hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                currsize=len(self._exact),
+                maxsize=self.maxsize,
+            )

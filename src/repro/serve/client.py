@@ -1,0 +1,146 @@
+"""Blocking JSON-lines client for :class:`~repro.serve.server.SageServer`.
+
+One :class:`ServeClient` holds one TCP connection and issues one request
+at a time (the server multiplexes many clients; open more clients for
+client-side concurrency).  Workload objects are serialized with
+:meth:`~repro.workloads.spec.MatrixWorkload.to_dict`; decisions come back
+as :class:`~repro.sage.predictor.SageDecision` rebuilt from their wire
+form, so downstream code cannot tell a served decision from a local one.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Mapping, Sequence
+
+from repro.errors import ServeError
+from repro.sage.predictor import SageDecision
+from repro.workloads.spec import MatrixWorkload, TensorWorkload
+
+__all__ = ["ServeClient"]
+
+_Workload = MatrixWorkload | TensorWorkload
+
+
+def _wire_workload(workload: _Workload | Mapping) -> dict:
+    if isinstance(workload, (MatrixWorkload, TensorWorkload)):
+        return workload.to_dict()
+    return dict(workload)
+
+
+class ServeClient:
+    """Connect to a running server and predict over the wire."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 150.0
+    ) -> None:
+        # The default deliberately outlasts the server's request_timeout_s
+        # (120 s): a slow request should die server-side with a clean
+        # in-band error, not poison this connection.
+        try:
+            self._sock = socket.create_connection((host, port), timeout)
+        except OSError as exc:
+            raise ServeError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._file = self._sock.makefile("rwb")
+        self._timeout = timeout
+        self._broken = False
+
+    # ------------------------------------------------------------ transport
+    def _rpc(self, payload: dict, *, scale: int = 1) -> dict:
+        """One request line out, one response line in.
+
+        ``scale`` multiplies the socket deadline for requests whose
+        server-side processing time grows with payload size
+        (``predict_many`` waits per workload).
+
+        Any transport-level failure (timeout, dropped connection,
+        undecodable reply) poisons the connection: a late reply could
+        still be sitting in the socket buffer, and reading it on the
+        next call would pair it with the wrong request.  In-band
+        ``{"ok": false}`` errors keep the connection usable.
+        """
+        if self._broken:
+            raise ServeError("connection poisoned by an earlier transport "
+                             "failure; open a new ServeClient")
+        self._sock.settimeout(self._timeout * max(1, scale))
+        try:
+            self._file.write((json.dumps(payload) + "\n").encode())
+            self._file.flush()
+            line = self._file.readline()
+        except (OSError, ValueError) as exc:  # ValueError: closed file
+            self._poison()
+            raise ServeError(f"transport failed: {exc}") from exc
+        if not line:
+            self._poison()
+            raise ServeError("server closed the connection")
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:
+            self._poison()
+            raise ServeError(f"malformed reply: {exc}") from exc
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "unknown server error"))
+        return response
+
+    def _poison(self) -> None:
+        self._broken = True
+        try:
+            self.close()
+        except (OSError, ValueError):  # already torn down
+            pass
+
+    # ------------------------------------------------------------------ api
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return bool(self._rpc({"op": "ping"}).get("pong"))
+
+    def predict(
+        self, workload: _Workload | Mapping, *, top: int | None = None
+    ) -> SageDecision:
+        """One decision for one workload (object or wire dict).
+
+        ``top`` bounds the shipped ranking; ``0`` (or negative) requests
+        the full ranking, ``None`` accepts the server's default prefix.
+        """
+        payload: dict = {"op": "predict", "workload": _wire_workload(workload)}
+        if top is not None:
+            payload["top"] = top
+        return SageDecision.from_wire(self._rpc(payload)["decision"])
+
+    def predict_many(
+        self,
+        workloads: Sequence[_Workload | Mapping],
+        *,
+        top: int | None = None,
+    ) -> list[SageDecision]:
+        """Decisions for a suite, in input order, via one round trip."""
+        payload: dict = {
+            "op": "predict_many",
+            "workloads": [_wire_workload(wl) for wl in workloads],
+        }
+        if top is not None:
+            payload["top"] = top
+        reply = self._rpc(payload, scale=max(1, len(payload["workloads"])))
+        return [SageDecision.from_wire(wire) for wire in reply["decisions"]]
+
+    def stats(self) -> dict:
+        """The server's cache/batching/shard/latency counters."""
+        return self._rpc({"op": "stats"})["stats"]
+
+    def shutdown_server(self) -> None:
+        """Ask the server to stop accepting and wind down gracefully."""
+        self._rpc({"op": "shutdown"})
+
+    def close(self) -> None:
+        """Close this connection (the server keeps running)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,593 @@
+"""SAGE-as-a-service: a batched, cached JSON-lines TCP prediction server.
+
+The ROADMAP's north star is a system that serves sustained prediction
+traffic; this module is the layer that turns the in-process primitives
+(:class:`~repro.sage.predictor.Sage`, the memoized
+:class:`~repro.mint.cost.PathPlanner`, the
+:class:`~repro.serve.cache.DecisionCache`) into a long-lived service.
+Stdlib only — ``socketserver`` + ``multiprocessing`` + ``threading``.
+
+Request path
+------------
+
+1. A connection-handler thread parses one JSON line and consults the
+   :class:`DecisionCache` — hits (exact or density-band near-hits) are
+   answered immediately, bypassing the batcher entirely.
+2. Misses enter the **coalescing batcher**: requests arriving within one
+   batch window are collected, duplicates of an already-in-flight
+   fingerprint attach to the pending computation instead of dispatching
+   again, and the rest fan out to the shard pool.
+3. **Shards** are persistent worker processes, each warm-seeded at spawn
+   with the parent planner's :meth:`~repro.mint.cost.PathPlanner.
+   export_snapshot` (routes *and* exact-stats costs) and addressed by
+   the fingerprint's stable band-key hash — repeats of a workload always
+   hit the same worker, so every shard's planner and local decision
+   caches stay hot.  ``shards=0`` computes in-process instead (no extra
+   processes; useful on platforms without ``fork``).
+4. Results flow back through per-shard collector threads, populate the
+   front cache, and release every waiter that coalesced onto them.
+
+Wire protocol (one JSON object per line, response per request)::
+
+    {"op": "predict", "workload": {...}, "top": 8}
+    {"op": "predict_many", "workloads": [{...}, ...]}
+    {"op": "stats"} | {"op": "ping"} | {"op": "shutdown"}
+
+Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error": msg}``;
+decisions travel as :meth:`SageDecision.to_wire` dicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import queue
+import socketserver
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.mint.cost import shared_planner
+from repro.sage.predictor import Sage, SageDecision
+from repro.serve.cache import DecisionCache
+from repro.serve.fingerprint import WorkloadFingerprint, fingerprint_of
+from repro.workloads.spec import workload_from_dict
+
+__all__ = ["SageServer", "ServeConfig"]
+
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs of one :class:`SageServer`.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`SageServer.address`).
+    shards:
+        Persistent worker processes; ``0`` computes misses in-process.
+    batch_window_ms:
+        How long the batcher waits to coalesce concurrently-arriving
+        misses into one dispatch round.
+    max_batch:
+        Upper bound on requests gathered per round.
+    cache_size, near_hit:
+        Front :class:`DecisionCache` capacity and whether same-density-
+        band near-hits may be served (exactness off ↔ throughput up).
+    ranking_top:
+        Ranking prefix length shipped per decision unless the request
+        asks otherwise (``top <= 0`` requests the full ranking).
+    latency_window:
+        Number of most-recent request latencies kept for percentiles.
+    request_timeout_s:
+        Server-side cap on how long one request may stay in flight.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    shards: int = 2
+    batch_window_ms: float = 2.0
+    max_batch: int = 64
+    cache_size: int = 4096
+    near_hit: bool = True
+    ranking_top: int = 8
+    latency_window: int = 4096
+    request_timeout_s: float = 120.0
+
+
+class _PendingRequest:
+    """One in-flight prediction: waiters block on :attr:`done`."""
+
+    __slots__ = (
+        "workload", "parsed", "fp", "done", "decision", "error", "t_submit",
+    )
+
+    def __init__(self, workload: dict, parsed, fp: WorkloadFingerprint) -> None:
+        self.workload = workload
+        self.parsed = parsed  # the workload object, parsed once on submit
+        self.fp = fp
+        self.done = threading.Event()
+        self.decision: SageDecision | None = None
+        self.error: str | None = None
+        self.t_submit = time.perf_counter()
+
+
+def _shard_main(in_q, out_q, sage: Sage, snapshot: dict, near_hit: bool) -> None:
+    """Shard worker loop: predict forever until the ``None`` sentinel.
+
+    Seeds this process's shared planner from the parent's snapshot and
+    keeps a shard-local :class:`DecisionCache`, so a shard that has seen
+    a fingerprint (or its density band) never re-runs the search even if
+    the front cache has evicted it.
+    """
+    shared_planner().seed_snapshot(snapshot)
+    local = DecisionCache(maxsize=1024, near_hit=near_hit)
+    while True:
+        msg = in_q.get()
+        if msg is None:
+            out_q.put(None)
+            return
+        key, wl_dict = msg
+        try:
+            workload = workload_from_dict(wl_dict)
+            fp = fingerprint_of(workload, sage.config)
+            decision = local.get(fp)
+            if decision is None:
+                decision = sage.predict(workload)
+                local.put(fp, decision)
+            out_q.put((key, decision, None))
+        except Exception as exc:  # noqa: BLE001 - shipped to the client
+            out_q.put((key, None, f"{type(exc).__name__}: {exc}"))
+
+
+class _Shard:
+    """One worker process plus its request/response queues."""
+
+    def __init__(
+        self, ctx, sage: Sage, snapshot: dict, near_hit: bool
+    ) -> None:
+        self.in_q = ctx.Queue()
+        self.out_q = ctx.Queue()
+        self.proc = ctx.Process(
+            target=_shard_main,
+            args=(self.in_q, self.out_q, sage, snapshot, near_hit),
+            daemon=True,
+        )
+        self.proc.start()
+
+    def queue_depth(self) -> int | None:
+        try:
+            return self.in_q.qsize()
+        except NotImplementedError:  # pragma: no cover - macOS
+            return None
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    owner: "SageServer"
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One thread per connection; JSON-lines request/response."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        server = self.server.owner  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            op = None
+            try:
+                message = json.loads(line)
+                op = message.get("op")
+                response = server.handle_message(message)
+            except Exception as exc:  # noqa: BLE001 - reported in-band
+                response = {
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            self.wfile.write((json.dumps(response) + "\n").encode())
+            self.wfile.flush()
+            if op == "shutdown":
+                return
+
+
+class SageServer:
+    """The serving frontend: TCP listener, batcher, cache, shard pool.
+
+    Typical embedded use (tests, benchmarks, notebooks)::
+
+        with SageServer(serve=ServeConfig(port=0, shards=2)) as server:
+            host, port = server.address
+            ...
+
+    or blocking from the CLI via :meth:`serve_forever`.
+    """
+
+    def __init__(
+        self,
+        *,
+        sage: Sage | None = None,
+        serve: ServeConfig | None = None,
+    ) -> None:
+        self.serve = serve or ServeConfig()
+        self._sage = sage or Sage()
+        self._cache = DecisionCache(
+            self.serve.cache_size, near_hit=self.serve.near_hit
+        )
+        self._queue: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple, list[_PendingRequest]] = {}
+        self._latencies: deque[float] = deque(maxlen=self.serve.latency_window)
+        self._shards: list[_Shard] = []
+        self._collectors: list[threading.Thread] = []
+        self._tcp: _TcpServer | None = None
+        self._tcp_thread: threading.Thread | None = None
+        self._batcher: threading.Thread | None = None
+        self._closed = threading.Event()
+        self._started = False
+        self._degraded: str | None = None
+        self._t_start = 0.0
+        # Monotonic service counters (guarded by self._lock).
+        self._submitted = 0
+        self._served = 0
+        self._errors = 0
+        self._batches = 0
+        self._max_batch_seen = 0
+        self._coalesced = 0
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> tuple[str, int]:
+        """Spin up shards, batcher, and listener; return ``(host, port)``."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        self._t_start = time.monotonic()
+        if self.serve.shards > 0:
+            snapshot = shared_planner().export_snapshot()
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                ctx = multiprocessing.get_context()
+            try:
+                for _ in range(self.serve.shards):
+                    self._shards.append(
+                        _Shard(ctx, self._sage, snapshot, self.serve.near_hit)
+                    )
+            except (OSError, PermissionError) as exc:  # pragma: no cover
+                # Platforms that cannot spawn processes at all degrade to
+                # in-process compute; anything else (e.g. a genuinely
+                # broken predictor) propagates.  The degradation is loud:
+                # recorded here and surfaced by the stats RPC.
+                for shard in self._shards:
+                    shard.proc.terminate()
+                self._shards = []
+                self._degraded = (
+                    f"shard pool unavailable ({exc}); computing in-process"
+                )
+        for index, shard in enumerate(self._shards):
+            collector = threading.Thread(
+                target=self._collect_loop,
+                args=(shard,),
+                name=f"serve-collector-{index}",
+                daemon=True,
+            )
+            collector.start()
+            self._collectors.append(collector)
+        self._batcher = threading.Thread(
+            target=self._batch_loop, name="serve-batcher", daemon=True
+        )
+        self._batcher.start()
+        self._tcp = _TcpServer((self.serve.host, self.serve.port), _Handler)
+        self._tcp.owner = self
+        self._tcp_thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="serve-listener",
+            daemon=True,
+        )
+        self._tcp_thread.start()
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)`` (resolves ``port=0`` ephemeral binds)."""
+        if self._tcp is None:
+            raise RuntimeError("server not started")
+        host, port = self._tcp.server_address[:2]
+        return str(host), int(port)
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`close` is called (e.g. by a shutdown RPC)."""
+        self._closed.wait()
+
+    def close(self) -> None:
+        """Graceful shutdown: stop intake, fail in-flight work, reap shards."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self._tcp is not None:
+            self._tcp.shutdown()
+            self._tcp.server_close()
+        self._queue.put(_STOP)
+        if self._batcher is not None:
+            self._batcher.join(timeout=5)
+        while True:  # requests that raced past the batcher's stop
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                item.error = "server shutting down"
+                item.done.set()
+        with self._lock:
+            pending = list(self._inflight.values())
+            self._inflight.clear()
+        for waiters in pending:
+            for req in waiters:
+                req.error = "server shutting down"
+                req.done.set()
+        for shard in self._shards:
+            shard.in_q.put(None)
+        for collector in self._collectors:
+            collector.join(timeout=5)
+        for shard in self._shards:
+            shard.proc.join(timeout=5)
+            if shard.proc.is_alive():  # pragma: no cover - hung worker
+                shard.proc.terminate()
+
+    def __enter__(self) -> "SageServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- protocol
+    def handle_message(self, message: dict) -> dict:
+        """Dispatch one decoded request dict to its ``op`` handler."""
+        op = message.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "stats":
+            return {"ok": True, "stats": self.stats()}
+        if op == "shutdown":
+            threading.Thread(target=self.close, daemon=True).start()
+            return {"ok": True, "stopping": True}
+        if op == "predict":
+            workload = message.get("workload")
+            if not isinstance(workload, dict):
+                return {"ok": False, "error": "predict needs a workload dict"}
+            req = self._submit(workload)
+            return self._reply_one(req, message.get("top"))
+        if op == "predict_many":
+            workloads = message.get("workloads")
+            if not isinstance(workloads, list):
+                return {
+                    "ok": False,
+                    "error": "predict_many needs a workloads list",
+                }
+            requests = [self._submit(wl) for wl in workloads]
+            replies = [
+                self._reply_one(req, message.get("top")) for req in requests
+            ]
+            failed = next((r for r in replies if not r["ok"]), None)
+            if failed is not None:
+                # All-or-nothing reply; the siblings that did succeed are
+                # already cached, so a corrected resend costs only hits.
+                return failed
+            return {
+                "ok": True,
+                "decisions": [r["decision"] for r in replies],
+            }
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _reply_one(self, req: _PendingRequest, top) -> dict:
+        if not req.done.wait(timeout=self.serve.request_timeout_s):
+            # Un-wedge the fingerprint: without this, every future request
+            # for the same workload would coalesce onto a computation that
+            # will never resolve (e.g. a killed shard worker).
+            key = req.fp.exact_key()
+            with self._lock:
+                waiters = self._inflight.get(key)
+                if waiters is not None:
+                    try:
+                        waiters.remove(req)
+                    except ValueError:
+                        pass
+                    if not waiters:
+                        del self._inflight[key]
+            return {"ok": False, "error": "request timed out"}
+        if req.error is not None:
+            with self._lock:
+                self._errors += 1
+            return {"ok": False, "error": req.error}
+        assert req.decision is not None
+        decision = req.decision
+        if decision.workload_name != req.parsed.name:
+            # Cache keys exclude the (decision-irrelevant) workload name,
+            # so a hit may carry another caller's label; relabel the reply.
+            decision = dataclasses.replace(
+                decision, workload_name=req.parsed.name
+            )
+        limit = self.serve.ranking_top if top is None else int(top)
+        wire = decision.to_wire(top=None if limit <= 0 else limit)
+        with self._lock:
+            self._served += 1
+        return {"ok": True, "decision": wire}
+
+    # ------------------------------------------------------------ data path
+    def _submit(self, workload: dict) -> _PendingRequest:
+        """Cache-or-enqueue one workload dict; returns its pending handle."""
+        parsed = workload_from_dict(workload)
+        fp = fingerprint_of(parsed, self._sage.config)
+        req = _PendingRequest(workload, parsed, fp)
+        with self._lock:
+            self._submitted += 1
+        if self._closed.is_set():
+            # The batcher is gone; fail fast instead of timing out.
+            req.error = "server shutting down"
+            req.done.set()
+            return req
+        cached = self._cache.get(fp)
+        if cached is not None:
+            req.decision = cached
+            self._record_latency(req)
+            req.done.set()
+            return req
+        self._queue.put(req)
+        if self._closed.is_set() and not req.done.is_set():
+            # close() may have drained the queue between the check above
+            # and the put; fail the straggler rather than letting the
+            # client wait out the full request timeout.
+            req.error = "server shutting down"
+            req.done.set()
+        return req
+
+    def _batch_loop(self) -> None:
+        """Coalesce misses arriving within one window, then dispatch."""
+        window_s = self.serve.batch_window_ms / 1000.0
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            batch = [item]
+            deadline = time.monotonic() + window_s
+            while len(batch) < self.serve.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    self._dispatch(batch)
+                    return
+                batch.append(nxt)
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[_PendingRequest]) -> None:
+        with self._lock:
+            self._batches += 1
+            self._max_batch_seen = max(self._max_batch_seen, len(batch))
+        for req in batch:
+            key = req.fp.exact_key()
+            with self._lock:
+                waiters = self._inflight.get(key)
+                if waiters is not None:
+                    # Same fingerprint already being computed: attach.
+                    waiters.append(req)
+                    self._coalesced += 1
+                    continue
+                self._inflight[key] = [req]
+            shard = (
+                self._shards[req.fp.shard(len(self._shards))]
+                if self._shards
+                else None
+            )
+            if shard is not None and shard.proc.is_alive():
+                shard.in_q.put((key, req.workload))
+            else:
+                # No shards configured, or this one died (OOM, kill):
+                # don't blackhole its fingerprint partition — compute on a
+                # worker thread so the request completes without stalling
+                # dispatch to the healthy shards behind the search.
+                threading.Thread(
+                    target=self._compute_inline,
+                    args=(key, req.parsed),
+                    name="serve-inline",
+                    daemon=True,
+                ).start()
+
+    def _compute_inline(self, key: tuple, workload) -> None:
+        """Shardless fallback: run the search in this (worker) thread."""
+        try:
+            decision = self._sage.predict(workload)
+        except Exception as exc:  # noqa: BLE001 - reported in-band
+            self._resolve(key, None, f"{type(exc).__name__}: {exc}")
+        else:
+            self._resolve(key, decision, None)
+
+    def _collect_loop(self, shard: _Shard) -> None:
+        """Drain one shard's results until its exit sentinel."""
+        while True:
+            msg = shard.out_q.get()
+            if msg is None:
+                return
+            key, decision, error = msg
+            self._resolve(key, decision, error)
+
+    def _resolve(
+        self, key: tuple, decision: SageDecision | None, error: str | None
+    ) -> None:
+        with self._lock:
+            waiters = self._inflight.pop(key, [])
+        if not waiters:
+            return
+        if decision is not None:
+            self._cache.put(waiters[0].fp, decision)
+        for req in waiters:
+            req.decision = decision
+            req.error = error
+            self._record_latency(req)
+            req.done.set()
+
+    def _record_latency(self, req: _PendingRequest) -> None:
+        elapsed = time.perf_counter() - req.t_submit
+        with self._lock:
+            self._latencies.append(elapsed)
+
+    # --------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        """The ``stats`` RPC payload: cache, batching, shard, latency."""
+        with self._lock:
+            latencies = sorted(self._latencies)
+            counters = {
+                "submitted": self._submitted,
+                "served": self._served,
+                "errors": self._errors,
+            }
+            batches = {
+                "count": self._batches,
+                "max_size": self._max_batch_seen,
+                "coalesced": self._coalesced,
+            }
+        return {
+            "uptime_s": time.monotonic() - self._t_start,
+            "degraded": self._degraded,
+            "requests": counters,
+            "cache": self._cache.stats().to_dict(),
+            "batches": batches,
+            "shards": [
+                {
+                    "shard": index,
+                    "pid": shard.proc.pid,
+                    "alive": shard.proc.is_alive(),
+                    "queue_depth": shard.queue_depth(),
+                }
+                for index, shard in enumerate(self._shards)
+            ],
+            "latency_ms": _percentiles_ms(latencies),
+        }
+
+
+def _percentiles_ms(sorted_latencies_s: list[float]) -> dict:
+    """p50/p90/p99 (milliseconds) of an ascending latency sample."""
+    out: dict = {"count": len(sorted_latencies_s)}
+    for label, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+        if not sorted_latencies_s:
+            out[label] = None
+            continue
+        index = min(
+            len(sorted_latencies_s) - 1,
+            max(0, round(q * len(sorted_latencies_s)) - 1),
+        )
+        out[label] = sorted_latencies_s[index] * 1e3
+    return out

@@ -12,7 +12,12 @@
 """
 
 from repro.workloads.dnn import CONV_LAYERS, ConvLayer, PruningStrategy, layer_gemm
-from repro.workloads.spec import Kernel, MatrixWorkload, TensorWorkload
+from repro.workloads.spec import (
+    Kernel,
+    MatrixWorkload,
+    TensorWorkload,
+    workload_from_dict,
+)
 from repro.workloads.suite import (
     MATRIX_SUITE,
     TENSOR_SUITE,
@@ -25,6 +30,7 @@ __all__ = [
     "Kernel",
     "MatrixWorkload",
     "TensorWorkload",
+    "workload_from_dict",
     "random_sparse_matrix",
     "random_sparse_tensor",
     "MATRIX_SUITE",

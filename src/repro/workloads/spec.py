@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Any, Mapping
 
 
 class Kernel(Enum):
@@ -64,6 +65,34 @@ class MatrixWorkload:
         """True when operand B has no zeros (SpMM-style workloads)."""
         return self.nnz_b == self.k * self.n
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe wire form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": "matrix",
+            "name": self.name,
+            "kernel": self.kernel.value,
+            "m": self.m,
+            "k": self.k,
+            "n": self.n,
+            "nnz_a": self.nnz_a,
+            "nnz_b": self.nnz_b,
+            "dtype_bits": self.dtype_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MatrixWorkload":
+        """Rebuild a workload from its :meth:`to_dict` form."""
+        return cls(
+            name=str(data["name"]),
+            kernel=Kernel(data["kernel"]),
+            m=int(data["m"]),
+            k=int(data["k"]),
+            n=int(data["n"]),
+            nnz_a=int(data["nnz_a"]),
+            nnz_b=int(data["nnz_b"]),
+            dtype_bits=int(data.get("dtype_bits", 32)),
+        )
+
 
 @dataclass(frozen=True)
 class TensorWorkload:
@@ -99,3 +128,42 @@ class TensorWorkload:
     def density(self) -> float:
         """Tensor density."""
         return self.nnz / self.size
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe wire form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": "tensor",
+            "name": self.name,
+            "kernel": self.kernel.value,
+            "shape": list(self.shape),
+            "nnz": self.nnz,
+            "rank": self.rank,
+            "dtype_bits": self.dtype_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TensorWorkload":
+        """Rebuild a workload from its :meth:`to_dict` form."""
+        shape = tuple(int(d) for d in data["shape"])
+        if len(shape) != 3:
+            raise ValueError(f"tensor workload shape must be 3-D, got {shape}")
+        return cls(
+            name=str(data["name"]),
+            kernel=Kernel(data["kernel"]),
+            shape=shape,  # type: ignore[arg-type]
+            nnz=int(data["nnz"]),
+            rank=int(data["rank"]),
+            dtype_bits=int(data.get("dtype_bits", 32)),
+        )
+
+
+def workload_from_dict(
+    data: Mapping[str, Any],
+) -> MatrixWorkload | TensorWorkload:
+    """Dispatch on the wire ``kind`` tag (``matrix`` / ``tensor``)."""
+    kind = data.get("kind")
+    if kind == "matrix":
+        return MatrixWorkload.from_dict(data)
+    if kind == "tensor":
+        return TensorWorkload.from_dict(data)
+    raise ValueError(f"unknown workload kind {kind!r}")

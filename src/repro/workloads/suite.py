@@ -151,9 +151,15 @@ TENSOR_SUITE: tuple[SuiteEntry, ...] = (
 )
 
 
+#: Name index over both suites, built once at import time.
+_SUITE_INDEX: dict[str, SuiteEntry] = {
+    entry.name: entry for entry in MATRIX_SUITE + TENSOR_SUITE
+}
+
+
 def suite_by_name(name: str) -> SuiteEntry:
     """Look up a Table III entry by its workload name."""
-    for entry in MATRIX_SUITE + TENSOR_SUITE:
-        if entry.name == name:
-            return entry
-    raise KeyError(f"unknown suite workload {name!r}")
+    try:
+        return _SUITE_INDEX[name]
+    except KeyError:
+        raise KeyError(f"unknown suite workload {name!r}") from None

@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.sage import Sage
 from repro.workloads.spec import Kernel, MatrixWorkload, TensorWorkload
+
+
+class _WorkerBugSage(Sage):
+    """Picklable predictor whose bug only manifests inside pool workers."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._parent_pid = os.getpid()
+
+    def predict(self, workload):
+        if os.getpid() != self._parent_pid:
+            raise AttributeError("worker-side bug")
+        return super().predict(workload)
 
 
 def _suite() -> list[MatrixWorkload | TensorWorkload]:
@@ -63,6 +78,22 @@ class TestPredictMany:
         assert [d.best.mcf for d in decisions] == [
             d.best.mcf for d in reference
         ]
+
+    def test_unpicklable_workload_falls_back_to_sequential(self):
+        suite = _suite()[:2]
+        # Smuggle an unpicklable attribute onto the frozen dataclass.
+        object.__setattr__(suite[0], "_hook", lambda: None)
+        decisions = Sage().predict_many(suite, processes=2)
+        assert [d.workload_name for d in decisions] == [w.name for w in suite]
+
+    def test_worker_bug_propagates_instead_of_degrading(self):
+        # Before the pre-flight pickle check, any AttributeError/TypeError
+        # escaping a worker was misread as "non-picklable predictor" and
+        # silently retried sequentially.  _WorkerBugSage pickles fine, so
+        # its worker-side failure must now surface.
+        sage = _WorkerBugSage()
+        with pytest.raises(AttributeError, match="worker-side bug"):
+            sage.predict_many(_suite()[:2], processes=2)
 
     def test_predict_dispatches_on_arity(self):
         sage = Sage()

@@ -1,0 +1,249 @@
+"""End-to-end serve tests: client <-> server on an ephemeral port."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.sage import Sage
+from repro.serve import SageServer, ServeClient, ServeConfig
+from repro.workloads.spec import Kernel, MatrixWorkload, TensorWorkload
+
+
+def _wl(m: int = 256, nnz_a: int = 2_000) -> MatrixWorkload:
+    return MatrixWorkload("e2e", Kernel.SPMM, m=m, k=256, n=128,
+                          nnz_a=nnz_a, nnz_b=256 * 128)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with SageServer(
+        serve=ServeConfig(port=0, shards=1, batch_window_ms=1.0)
+    ) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(*server.address) as c:
+        yield c
+
+
+class TestRoundTrip:
+    def test_ping(self, client):
+        assert client.ping()
+
+    def test_predict_matches_local_sage(self, client):
+        wl = _wl()
+        served = client.predict(wl)
+        local = Sage().predict(wl)
+        assert served.workload_name == local.workload_name
+        assert served.best.mcf == local.best.mcf
+        assert served.best.acf == local.best.acf
+        assert served.best.edp == pytest.approx(local.best.edp)
+
+    def test_predict_tensor_over_the_wire(self, client):
+        wl = TensorWorkload("t-e2e", Kernel.SPTTM, (32, 32, 32), 800, rank=8)
+        served = client.predict(wl)
+        local = Sage().predict(wl)
+        assert served.best.mcf == local.best.mcf
+
+    def test_cache_hit_is_relabeled_for_the_requester(self, client):
+        alice = MatrixWorkload("alice", Kernel.SPMM, m=224, k=224, n=96,
+                               nnz_a=1_700, nnz_b=224 * 96)
+        bob = MatrixWorkload("bob", Kernel.SPMM, m=224, k=224, n=96,
+                             nnz_a=1_700, nnz_b=224 * 96)
+        assert client.predict(alice).workload_name == "alice"
+        served = client.predict(bob)  # identical stats: a cache hit
+        assert served.workload_name == "bob"
+
+    def test_repeat_is_served_from_cache(self, client):
+        wl = _wl(m=260)
+        first = client.predict(wl)
+        before = client.stats()["cache"]["hits"]
+        again = client.predict(wl)
+        assert again.best == first.best
+        assert client.stats()["cache"]["hits"] > before
+
+    def test_predict_many_preserves_order(self, client):
+        suite = [_wl(m=200 + 10 * i) for i in range(4)]
+        decisions = client.predict_many(suite)
+        assert [d.workload_name for d in decisions] == ["e2e"] * 4
+        singles = [client.predict(wl) for wl in suite]
+        assert [d.best.mcf for d in decisions] == [d.best.mcf for d in singles]
+
+    def test_top_controls_shipped_ranking(self, client):
+        wl = _wl(m=272)
+        assert len(client.predict(wl, top=2).ranking) == 2
+        full = client.predict(wl, top=0)
+        assert len(full.ranking) > 8  # server default prefix exceeded
+
+    def test_stats_shape(self, client):
+        client.predict(_wl())
+        stats = client.stats()
+        assert stats["requests"]["served"] >= 1
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+        assert len(stats["shards"]) == 1
+        assert stats["shards"][0]["alive"]
+        assert stats["latency_ms"]["p50"] is not None
+        assert stats["batches"]["count"] >= 1
+
+    def test_malformed_workload_reports_in_band(self, client):
+        with pytest.raises(ServeError, match="kind"):
+            client.predict({"kind": "graph"})
+        # The connection survives an in-band error.
+        assert client.ping()
+
+    def test_invalid_json_line_reports_in_band(self, server):
+        import json
+        import socket
+
+        with socket.create_connection(server.address, timeout=30) as sock:
+            f = sock.makefile("rwb")
+            f.write(b"this is not json\n")
+            f.flush()
+            reply = json.loads(f.readline())
+            assert reply["ok"] is False
+
+    def test_unknown_op_rejected(self, client):
+        with pytest.raises(ServeError, match="unknown op"):
+            client._rpc({"op": "transmogrify"})
+
+
+class TestConcurrency:
+    def test_concurrent_clients_coalesce_identical_requests(self, server):
+        wl = _wl(m=384, nnz_a=3_000)  # not seen by other tests
+        results: list = []
+        errors: list = []
+        barrier = threading.Barrier(6)
+
+        def hit() -> None:
+            try:
+                with ServeClient(*server.address) as c:
+                    barrier.wait()
+                    results.append(c.predict(wl))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hit) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len({d.best.mcf for d in results}) == 1
+        stats = ServeClient(*server.address).stats()
+        # At least some of the 6 identical in-flight requests coalesced
+        # (cache hits absorb the rest).
+        assert stats["batches"]["coalesced"] + stats["cache"]["hits"] >= 1
+
+    def test_many_distinct_requests_across_clients(self, server):
+        errors: list = []
+
+        def sweep(offset: int) -> None:
+            try:
+                with ServeClient(*server.address) as c:
+                    suite = [_wl(m=300 + offset + 4 * i) for i in range(3)]
+                    decisions = c.predict_many(suite)
+                    assert len(decisions) == 3
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=sweep, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestModes:
+    def test_in_process_mode_no_shards(self):
+        with SageServer(serve=ServeConfig(port=0, shards=0)) as srv:
+            with ServeClient(*srv.address) as c:
+                decision = c.predict(_wl())
+                assert decision.best is not None
+                assert c.stats()["shards"] == []
+
+    def test_near_hit_mode_serves_banded_neighbour(self):
+        config = ServeConfig(port=0, shards=0, near_hit=True)
+        with SageServer(serve=config) as srv:
+            with ServeClient(*srv.address) as c:
+                c.predict(_wl(nnz_a=2_100))
+                c.predict(_wl(nnz_a=2_500))  # same density band
+                assert c.stats()["cache"]["near_hits"] >= 1
+
+    def test_exact_mode_recomputes_banded_neighbour(self):
+        config = ServeConfig(port=0, shards=0, near_hit=False)
+        with SageServer(serve=config) as srv:
+            with ServeClient(*srv.address) as c:
+                c.predict(_wl(nnz_a=2_100))
+                c.predict(_wl(nnz_a=2_500))
+                stats = c.stats()["cache"]
+                assert stats["near_hits"] == 0
+                assert stats["misses"] >= 2
+
+    def test_shutdown_rpc_stops_server(self):
+        srv = SageServer(serve=ServeConfig(port=0, shards=0))
+        address = srv.start()
+        with ServeClient(*address) as c:
+            c.shutdown_server()
+        srv.serve_forever()  # returns: close() ran
+        with pytest.raises(ServeError):
+            ServeClient(*address, timeout=2).ping()
+
+    def test_close_is_idempotent(self):
+        srv = SageServer(serve=ServeConfig(port=0, shards=0))
+        srv.start()
+        srv.close()
+        srv.close()
+
+    def test_dead_shard_falls_back_to_inline_compute(self):
+        with SageServer(serve=ServeConfig(port=0, shards=1)) as srv:
+            srv._shards[0].proc.terminate()
+            srv._shards[0].proc.join(timeout=5)
+            with ServeClient(*srv.address) as c:
+                decision = c.predict(_wl(m=444, nnz_a=1_234))
+                assert decision.best is not None
+
+    def test_client_poisons_connection_on_transport_failure(self):
+        import socket as socket_mod
+
+        with SageServer(serve=ServeConfig(port=0, shards=0)) as srv:
+            c = ServeClient(*srv.address)
+            assert c.ping()
+            # Simulate a dropped transport mid-session.
+            c._sock.shutdown(socket_mod.SHUT_RDWR)
+            with pytest.raises(
+                ServeError, match="transport failed|closed the connection"
+            ):
+                c.ping()
+            with pytest.raises(ServeError, match="poisoned"):
+                c.ping()
+
+    def test_timeout_unwedges_inflight_fingerprint(self):
+        # A result that never arrives (e.g. a killed shard) must not leave
+        # its fingerprint permanently coalescing onto a dead computation.
+        from repro.serve.fingerprint import fingerprint_of
+        from repro.serve.server import _PendingRequest
+
+        srv = SageServer(
+            serve=ServeConfig(port=0, shards=0, request_timeout_s=0.05)
+        )
+        wl = _wl()
+        fp = fingerprint_of(wl)
+        req = _PendingRequest(wl.to_dict(), wl, fp)
+        srv._inflight[fp.exact_key()] = [req]  # dispatched, never resolved
+        reply = srv._reply_one(req, None)
+        assert reply == {"ok": False, "error": "request timed out"}
+        assert fp.exact_key() not in srv._inflight
+
+    def test_submit_after_close_fails_fast(self):
+        srv = SageServer(serve=ServeConfig(port=0, shards=0))
+        srv.start()
+        srv.close()
+        req = srv._submit(_wl().to_dict())
+        assert req.done.is_set()
+        assert req.error == "server shutting down"

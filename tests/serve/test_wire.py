@@ -1,0 +1,84 @@
+"""Wire-dict round trips: workloads, CostBreakdown, SageDecision."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sage import Sage
+from repro.sage.cost_model import CostBreakdown
+from repro.sage.predictor import SageDecision
+from repro.workloads.spec import (
+    Kernel,
+    MatrixWorkload,
+    TensorWorkload,
+    workload_from_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def decision() -> SageDecision:
+    wl = MatrixWorkload("wire", Kernel.SPGEMM, m=128, k=128, n=64,
+                        nnz_a=1_000, nnz_b=800)
+    return Sage().predict_matrix(wl)
+
+
+class TestWorkloadDicts:
+    def test_matrix_round_trip(self):
+        wl = MatrixWorkload("w", Kernel.SPMM, m=64, k=32, n=16,
+                            nnz_a=100, nnz_b=32 * 16, dtype_bits=16)
+        assert workload_from_dict(wl.to_dict()) == wl
+
+    def test_tensor_round_trip(self):
+        wl = TensorWorkload("t", Kernel.MTTKRP, (16, 8, 4), 50, rank=8)
+        assert workload_from_dict(wl.to_dict()) == wl
+
+    def test_dict_is_json_safe(self):
+        wl = TensorWorkload("t", Kernel.SPTTM, (16, 8, 4), 50, rank=8)
+        assert workload_from_dict(json.loads(json.dumps(wl.to_dict()))) == wl
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            workload_from_dict({"kind": "graph"})
+
+    def test_bad_shape_rejected(self):
+        data = TensorWorkload("t", Kernel.SPTTM, (4, 4, 4), 5, rank=2).to_dict()
+        data["shape"] = [4, 4]
+        with pytest.raises(ValueError):
+            workload_from_dict(data)
+
+
+class TestCostBreakdownWire:
+    def test_round_trip_equality(self, decision):
+        cand = decision.best
+        assert CostBreakdown.from_wire(cand.to_wire()) == cand
+
+    def test_wire_is_json_safe_and_formats_readable(self, decision):
+        wire = json.loads(json.dumps(decision.best.to_wire()))
+        assert wire["mcf"][0] in {
+            "Dense", "COO", "CSR", "CSC", "RLC", "ZVC", "BSR", "DIA", "ELL",
+        }
+        rebuilt = CostBreakdown.from_wire(wire)
+        assert rebuilt.edp == pytest.approx(decision.best.edp)
+
+
+class TestSageDecisionWire:
+    def test_full_round_trip_equality(self, decision):
+        rebuilt = SageDecision.from_wire(decision.to_wire())
+        assert rebuilt == decision  # dataclass equality: best + full ranking
+
+    def test_json_round_trip_preserves_choice(self, decision):
+        rebuilt = SageDecision.from_wire(
+            json.loads(json.dumps(decision.to_wire()))
+        )
+        assert rebuilt.best.mcf == decision.best.mcf
+        assert rebuilt.best.acf == decision.best.acf
+        assert rebuilt.best.edp == pytest.approx(decision.best.edp)
+        assert len(rebuilt.ranking) == len(decision.ranking)
+
+    def test_top_truncates_ranking_but_keeps_best(self, decision):
+        rebuilt = SageDecision.from_wire(decision.to_wire(top=3))
+        assert len(rebuilt.ranking) == 3
+        assert rebuilt.best == decision.best
+        assert rebuilt.ranking[0] == decision.ranking[0]

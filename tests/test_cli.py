@@ -16,6 +16,9 @@ class TestParser:
         "argv",
         [
             ["sage", "--m", "100", "--k", "100", "--n", "50"],
+            ["sage", "--tensor", "--i", "32", "--j", "32", "--k", "16",
+             "--rank", "8"],
+            ["serve", "--port", "0", "--shards", "1"],
             ["sweep", "--m", "500", "--k", "500"],
             ["walkthrough"],
             ["suite", "journals"],
@@ -39,6 +42,26 @@ class TestExecution:
         assert main(["sage", "--m", "300", "--k", "300", "--n", "150",
                      "--density", "0.01", "--kernel", "spgemm"]) == 0
         assert "EDP" in capsys.readouterr().out
+
+    def test_sage_tensor_mode(self, capsys):
+        assert main(["sage", "--tensor", "--i", "32", "--j", "32",
+                     "--k", "16", "--density", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "SAGE decision" in out and "MCF=" in out
+
+    def test_sage_tensor_mttkrp(self, capsys):
+        assert main(["sage", "--tensor", "--i", "32", "--j", "16", "--k", "8",
+                     "--rank", "4", "--kernel", "mttkrp"]) == 0
+        assert "EDP" in capsys.readouterr().out
+
+    def test_sage_tensor_kernel_requires_tensor_flag(self):
+        with pytest.raises(SystemExit):
+            main(["sage", "--kernel", "spttm"])
+
+    @pytest.mark.parametrize("kernel", ["spgemm", "spmm"])
+    def test_sage_tensor_rejects_matrix_kernel(self, kernel):
+        with pytest.raises(SystemExit):
+            main(["sage", "--tensor", "--kernel", kernel])
 
     def test_sweep_prints_ladder(self, capsys):
         assert main(["sweep", "--m", "2000", "--k", "2000"]) == 0
