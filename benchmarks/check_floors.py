@@ -1,0 +1,73 @@
+"""Bench-smoke regression floors: fail CI when headline speedups regress.
+
+Each bench writes its headline numbers to ``benchmarks/out/*.json``; this
+script re-reads them and enforces conservative floors — far below the
+currently measured values, so only a genuine regression (or a broken
+bench) trips them, not machine noise.
+
+Run after the benches::
+
+    PYTHONPATH=src python benchmarks/check_floors.py
+
+Exit status is non-zero if any floor is violated or a bench JSON is
+missing, listing every failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: file -> {json key: minimum value}.  Measured values at the time the
+#: floors were set: path_planning warm-route speedup ~1.5x and estimate-
+#: layer memoization ~220x; serve warm-vs-naive ~130x; simulate_many
+#: vectorized-vs-reference ~130x.
+FLOORS: dict[str, dict[str, float]] = {
+    "path_planning.json": {
+        "speedup": 1.1,
+        "estimate_layer_speedup": 20.0,
+    },
+    "serve.json": {
+        "speedup_warm_vs_naive": 5.0,
+    },
+    "simulate_many.json": {
+        "speedup_vectorized_vs_reference": 5.0,
+        "speedup_batch_vs_reference": 5.0,
+    },
+}
+
+
+def check(out_dir: Path = OUT_DIR) -> list[str]:
+    """Return a list of floor violations (empty = all good)."""
+    failures: list[str] = []
+    for filename, floors in sorted(FLOORS.items()):
+        path = out_dir / filename
+        if not path.is_file():
+            failures.append(f"{filename}: missing (did its bench run?)")
+            continue
+        data = json.loads(path.read_text())
+        for key, floor in sorted(floors.items()):
+            value = data.get(key)
+            if not isinstance(value, (int, float)):
+                failures.append(f"{filename}: {key} absent or non-numeric")
+            elif value < floor:
+                failures.append(
+                    f"{filename}: {key} = {value:.2f} below floor {floor:g}"
+                )
+            else:
+                print(f"ok: {filename} {key} = {value:.2f} (floor {floor:g})")
+    return failures
+
+
+def main() -> int:
+    failures = check()
+    for failure in failures:
+        print(f"FLOOR VIOLATION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,18 +22,44 @@ from repro.accelerator.perf_model import (
     analytical_mttkrp,
     analytical_spttm,
 )
+from repro.accelerator.protocols import (
+    StationaryLayout,
+    StreamProtocol,
+    register_stationary_layout,
+    register_stream_protocol,
+    stationary_formats,
+    stationary_layout_for,
+    stream_protocol_for,
+    streamable_formats,
+)
 from repro.accelerator.report import CycleReport, EnergyReport, RunReport
 from repro.accelerator.simulator import WeightStationarySimulator
-from repro.accelerator.stream import StreamSpec, stream_beats, stream_spec_for
+from repro.accelerator.stream import (
+    BeatPlan,
+    StreamSpec,
+    build_beat_plan,
+    stream_beats,
+    stream_spec_for,
+)
 
 __all__ = [
     "AcceleratorConfig",
+    "BeatPlan",
     "CycleReport",
     "EnergyReport",
     "RunReport",
+    "StationaryLayout",
+    "StreamProtocol",
     "StreamSpec",
+    "build_beat_plan",
+    "register_stationary_layout",
+    "register_stream_protocol",
+    "stationary_formats",
+    "stationary_layout_for",
     "stream_beats",
+    "stream_protocol_for",
     "stream_spec_for",
+    "streamable_formats",
     "WeightStationarySimulator",
     "analytical_gemm",
     "analytical_gemm_stats",

@@ -66,7 +66,14 @@ class PE:
 
     # ------------------------------------------------------------ matching --
     def process(self, i: int, k: int, value: float) -> None:
-        """Consume one streamed element (output row i, reduction index k)."""
+        """Consume one streamed element (output row i, reduction index k).
+
+        ``k < 0`` marks a padding slot of a fixed-width ACF (e.g. ELL): it
+        occupied a bus slot but carries no element, so the PE discards it
+        without issuing a MAC, comparing metadata or touching Rreg/Oreg.
+        """
+        if k < 0:
+            return
         if self.stationary_format is Format.DENSE:
             assert self._dense_values is not None
             stationary = float(self._dense_values[k - self._k_lo])

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.accelerator.accounting import energy_report
 from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.protocols import stationary_layout_for
 from repro.accelerator.report import CycleReport, RunReport
 from repro.accelerator.scheduler import (
     CSC_ENTRY_COST,
@@ -63,7 +64,10 @@ def _group_sizes_for_tile(
         return counts
     if acf_a is Format.CSC:
         return tile.sum(axis=0).astype(np.int64)
-    raise SimulationError(f"{acf_a} is not a streamable ACF")
+    raise SimulationError(
+        f"{acf_a} has no exact analytical streaming model "
+        f"(modelled: Dense, CSR, COO, CSC)"
+    )
 
 
 def _csc_stream_spill_runs(pa_tile: np.ndarray, pb_col: np.ndarray | None) -> int:
@@ -96,8 +100,7 @@ def analytical_gemm(
     cfg = config or AcceleratorConfig.paper_default()
     if a.ncols != b.nrows:
         raise SimulationError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
-    if acf_b not in (Format.DENSE, Format.CSC):
-        raise SimulationError(f"{acf_b} is not a stationary ACF")
+    stationary_layout_for(acf_b)  # raises naming the registered layouts
     m, k, n = a.nrows, a.ncols, b.ncols
     spec = stream_spec_for(acf_a)
     pa = _streamed_pattern(a)
@@ -236,8 +239,7 @@ def analytical_gemm_stats(
     literally, as the microarchitecture walkthrough does.
     """
     cfg = config or AcceleratorConfig.paper_default()
-    if acf_b not in (Format.DENSE, Format.CSC):
-        raise SimulationError(f"{acf_b} is not a stationary ACF")
+    stationary_layout_for(acf_b)  # raises naming the registered layouts
     spec = stream_spec_for(acf_a)
     w = cfg.bus_slots
     cap = cfg.pe_buffer_entries
@@ -280,7 +282,10 @@ def analytical_gemm_stats(
         per_tile = stream_cycles_estimate(nnz_tile, nonempty_cols, spec, w)
         streamed_entries = float(nnz_a)
     else:
-        raise SimulationError(f"{acf_a} is not a streamable ACF")
+        raise SimulationError(
+            f"{acf_a} has no statistical streaming model "
+            f"(modelled: Dense, CSR, COO, CSC)"
+        )
     stream_cycles = float(per_tile) * k_tiles * rounds
 
     # --- MACs, compares, spills ----------------------------------------------
@@ -418,7 +423,10 @@ def _tensor_kernel(
         )
         streamed_entries = float(nnz)
     else:
-        raise SimulationError(f"{acf_t} is not a tensor streaming ACF")
+        raise SimulationError(
+            f"{acf_t} has no tensor streaming model "
+            f"(modelled: Dense, COO, CSF)"
+        )
     stream_cycles = float(per_stream) * k_tiles * rounds
 
     issued = float(macs_per_nnz) * nnz * rank

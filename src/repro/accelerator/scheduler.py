@@ -10,10 +10,12 @@ The weight-stationary dataflow pins one column of the stationary operand B
   tiles, and A is streamed once per tile (restricted to that tile's
   k-range).
 
-Footprints follow Fig. 6: a Dense column occupies ``k_hi - k_lo`` buffer
-entries (zeros included, "to maintain correct buffer indexing"); a CSC
-column occupies ``2 * nnz`` entries (value + row-id metadata, the flexible
-buffer partition of Sec. IV).
+Footprints follow Fig. 6, but are no longer hard-coded per format: each
+registered :class:`~repro.accelerator.protocols.StationaryLayout` declares
+its buffer entries per stored element over its stored pattern — a Dense
+column stores every position (zeros included, "to maintain correct buffer
+indexing", 1 entry each), a CSC column stores ``2 * nnz`` entries (value +
+row-id metadata, the flexible buffer partition of Sec. IV).
 """
 
 from __future__ import annotations
@@ -22,9 +24,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import SchedulingError, SimulationError
+from repro.accelerator.protocols import (
+    StationaryOperand,
+    stationary_layout_for,
+)
+from repro.errors import SchedulingError
 from repro.formats.base import MatrixFormat
-from repro.formats.csc import CscMatrix
 from repro.formats.registry import Format
 from repro.util.bits import ceil_div
 
@@ -56,49 +61,56 @@ def _uniform_tiles(k: int, num_tiles: int) -> tuple[tuple[int, int], ...]:
     return tuple((int(bounds[t]), int(bounds[t + 1])) for t in range(num_tiles))
 
 
-def _csc_tile_footprints(
-    b: CscMatrix, tiles: tuple[tuple[int, int], ...]
+def _tile_footprints(
+    csum: np.ndarray, entry_cost: int, tiles: tuple[tuple[int, int], ...]
 ) -> np.ndarray:
-    """Max per-column CSC footprint within each tile, vectorized.
+    """Max per-column buffer footprint within each tile, vectorized.
 
-    Returns an array of shape (num_tiles,) with the worst-column footprint.
+    ``csum`` is the running per-column count of stored positions — the
+    (K, N) stored-position mask's ``cumsum(axis=0)``, computed once by the
+    caller since it does not depend on the tiling; the footprint of a
+    (tile, column) cell is ``entry_cost`` per stored position.  Returns an
+    array of shape (num_tiles,) with the worst-column footprint.
     """
-    # 2-D histogram of nonzeros over (tile, column).
-    edges = np.asarray([lo for lo, _ in tiles] + [tiles[-1][1]], dtype=np.int64)
-    tile_of_entry = np.searchsorted(edges, b.row_ids, side="right") - 1
-    cols = np.repeat(np.arange(b.ncols), b.col_lengths())
-    counts = np.zeros((len(tiles), b.ncols), dtype=np.int64)
-    np.add.at(counts, (tile_of_entry, cols), 1)
-    return CSC_ENTRY_COST * counts.max(axis=1)
+    cum = np.zeros((len(tiles) + 1, csum.shape[1]), dtype=np.int64)
+    for t, (lo, hi) in enumerate(tiles):
+        cum[t + 1] = csum[hi - 1] if hi > lo else (csum[lo - 1] if lo else 0)
+    counts = np.diff(cum, axis=0)
+    return entry_cost * counts.max(axis=1)
 
 
 def compute_k_tiles(
-    b: MatrixFormat, acf_b: Format, capacity_entries: int
+    b: MatrixFormat | StationaryOperand,
+    acf_b: Format,
+    capacity_entries: int,
 ) -> tuple[tuple[int, int], ...]:
-    """Minimal uniform K-tiling so every (column, tile) footprint fits."""
-    k = b.nrows
-    if acf_b is Format.DENSE:
-        num = ceil_div(k, capacity_entries)
-        return _uniform_tiles(k, max(1, num))
-    if acf_b is Format.CSC:
-        if not isinstance(b, CscMatrix):
-            raise SimulationError("CSC stationary operand must be a CscMatrix")
-        max_footprint = (
-            CSC_ENTRY_COST * int(b.col_lengths().max()) if b.stored else 0
-        )
-        num = max(1, ceil_div(max(1, max_footprint), capacity_entries))
-        while num <= k:
-            tiles = _uniform_tiles(k, num)
-            if max_footprint == 0 or _csc_tile_footprints(b, tiles).max() <= (
-                capacity_entries
-            ):
-                return tiles
-            num += 1
-        raise SchedulingError(
-            f"PE buffer of {capacity_entries} entries cannot hold even a "
-            f"single-k CSC column slice"
-        )
-    raise SimulationError(f"{acf_b} is not a supported stationary ACF")
+    """Minimal uniform K-tiling so every (column, tile) footprint fits.
+
+    Accepts either the stationary operand object or an already-prepared
+    :class:`~repro.accelerator.protocols.StationaryOperand` view.
+    """
+    layout = stationary_layout_for(acf_b)
+    op = b if isinstance(b, StationaryOperand) else layout.prepare(b)
+    k = op.stored.shape[0]
+    per_col = op.stored.sum(axis=0)
+    max_footprint = (
+        layout.entry_cost * int(per_col.max()) if per_col.size else 0
+    )
+    if max_footprint == 0:
+        return _uniform_tiles(k, 1)
+    csum = op.stored.cumsum(axis=0, dtype=np.int64)
+    num = max(1, ceil_div(max_footprint, capacity_entries))
+    while num <= k:
+        tiles = _uniform_tiles(k, num)
+        if _tile_footprints(csum, layout.entry_cost, tiles).max() <= (
+            capacity_entries
+        ):
+            return tiles
+        num += 1
+    raise SchedulingError(
+        f"PE buffer of {capacity_entries} entries cannot hold even a "
+        f"single-k {acf_b} column slice"
+    )
 
 
 def compute_rounds(n_cols: int, num_pes: int) -> tuple[tuple[int, int], ...]:
@@ -126,12 +138,8 @@ def stationary_entries_loaded(
     """Total buffer entries written while loading B across all tiles/rounds.
 
     Every column is loaded exactly once per tile that intersects it, so the
-    total is independent of the round structure.
+    total is independent of the round structure (and of the tiling: each
+    stored position belongs to exactly one tile).
     """
-    if acf_b is Format.DENSE:
-        return b.ncols * b.nrows  # zeros stored too
-    if acf_b is Format.CSC:
-        if not isinstance(b, CscMatrix):
-            raise SimulationError("CSC stationary operand must be a CscMatrix")
-        return CSC_ENTRY_COST * b.stored
-    raise SimulationError(f"{acf_b} is not a supported stationary ACF")
+    layout = stationary_layout_for(acf_b)
+    return layout.entries_loaded(layout.prepare(b))

@@ -1,36 +1,63 @@
 """Cycle-level functional simulator of the weight-stationary accelerator.
 
 Executes ``O = A @ B`` (GEMM / SpMM / SpGEMM / SpMV are all this, per
-Fig. 2) under any supported ACF pair, producing both the numerical output
+Fig. 2) under any registered ACF pair, producing both the numerical output
 and a :class:`~repro.accelerator.report.RunReport`.
 
 The simulator is the operational ground truth: it packs real bus beats
-(:mod:`repro.accelerator.stream`), performs per-PE metadata matching
-(:mod:`repro.accelerator.pe`) and walks the (k-tile x round) schedule
-(:mod:`repro.accelerator.scheduler`).  The test suite pins it to the Fig. 6
-walkthrough (8 / 3 / 4 cycles to stream A) and cross-checks it against the
-closed-form analytical model on randomized cases.
+(:mod:`repro.accelerator.stream`), matches streamed elements against the
+stationary buffers and walks the (k-tile x round) schedule
+(:mod:`repro.accelerator.scheduler`).  Which ACFs can stream or sit
+stationary is decided by the protocol registries of
+:mod:`repro.accelerator.protocols` — adding a format there is enough for
+it to run here.
+
+Two engines share the registries:
+
+* ``engine="vectorized"`` (default) — consumes array-resident
+  :class:`~repro.accelerator.stream.BeatPlan` objects and computes every
+  per-PE statistic with numpy segment ops; no per-entry Python loops.
+* ``engine="reference"`` — the seed per-beat path: materialized
+  :class:`Beat` objects driving one :class:`~repro.accelerator.pe.PE`
+  object per column.  Kept as the differential-testing ground truth and
+  the baseline ``benchmarks/bench_simulate_many.py`` measures against.
+
+Both engines produce identical cycle/energy reports (pinned by the test
+suite, along with the Fig. 6 walkthrough's 8 / 3 / 4 streaming cycles and
+the closed-form analytical cross-check).
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
 from repro.accelerator.config import AcceleratorConfig
 from repro.accelerator.pe import PE
+from repro.accelerator.protocols import (
+    StationaryLayout,
+    StreamProtocol,
+    stationary_layout_for,
+    stream_protocol_for,
+    streamable_formats,
+)
 from repro.accelerator.report import CycleReport, EnergyReport, RunReport
-from repro.accelerator.scheduler import build_schedule
-from repro.accelerator.stream import stream_beats
+from repro.accelerator.scheduler import (
+    Schedule,
+    compute_k_tiles,
+    compute_rounds,
+)
+from repro.accelerator.stream import build_beat_plan
 from repro.errors import SimulationError
 from repro.formats.base import MatrixFormat
-from repro.formats.csc import CscMatrix
 from repro.formats.registry import Format
 from repro.util.bits import ceil_div
+from repro.util.pool import fork_map
 
-#: Streaming ACFs accepted for the streamed operand A.
-STREAMED_ACFS = (Format.DENSE, Format.COO, Format.CSR, Format.CSC)
-#: Stationary ACFs accepted for the pinned operand B.
-STATIONARY_ACFS = (Format.DENSE, Format.CSC)
+#: One simulate_many job: (streamed operand, its ACF, stationary operand,
+#: its ACF) — exactly the run_gemm signature.
+SimJob = tuple[MatrixFormat, Format, MatrixFormat, Format]
 
 
 class WeightStationarySimulator:
@@ -46,16 +73,21 @@ class WeightStationarySimulator:
         acf_a: Format,
         b: MatrixFormat,
         acf_b: Format,
+        *,
+        engine: str = "vectorized",
     ) -> tuple[np.ndarray, RunReport]:
         """Execute ``O = A @ B`` and return (output, report).
 
         ``a`` must be encoded in ``acf_a`` (its class must match) and ``b``
         is re-encoded to the stationary layout internally if needed.
         """
-        if acf_a not in STREAMED_ACFS:
-            raise SimulationError(f"{acf_a} is not a streamable ACF")
-        if acf_b not in STATIONARY_ACFS:
-            raise SimulationError(f"{acf_b} is not a stationary ACF")
+        proto = stream_protocol_for(acf_a)
+        if not proto.streamable:
+            raise SimulationError(
+                f"{acf_a} is not a streamable ACF "
+                f"(streamable: {', '.join(f.value for f in streamable_formats())})"
+            )
+        layout = stationary_layout_for(acf_b)
         if a.format is not acf_a:
             raise SimulationError(
                 f"streamed operand is encoded as {a.format}, ACF says {acf_a}"
@@ -64,19 +96,122 @@ class WeightStationarySimulator:
             raise SimulationError(
                 f"inner dimensions disagree: {a.shape} @ {b.shape}"
             )
-        cfg = self.config
-        m, n = a.nrows, b.ncols
-        b_dense = b.to_dense() if acf_b is Format.DENSE else None
-        b_csc = (
-            b
-            if (acf_b is Format.CSC and isinstance(b, CscMatrix))
-            else (CscMatrix.from_dense(b.to_dense()) if acf_b is Format.CSC else None)
+        stationary = layout.prepare(b)
+        if self.config.pe_buffer_entries < 1:  # pragma: no cover - config guard
+            raise SimulationError("PE buffer must hold at least one entry")
+        schedule = Schedule(
+            k_tiles=compute_k_tiles(
+                stationary, acf_b, self.config.pe_buffer_entries
+            ),
+            rounds=compute_rounds(b.ncols, self.config.num_pes),
         )
-        sched_operand: MatrixFormat = b_csc if acf_b is Format.CSC else b  # type: ignore[assignment]
-        schedule = build_schedule(
-            sched_operand, acf_b, cfg.pe_buffer_entries, cfg.num_pes
-        )
+        if engine == "vectorized":
+            return self._run_vectorized(a, proto, layout, stationary, schedule)
+        if engine == "reference":
+            return self._run_reference(a, proto, layout, stationary, schedule)
+        raise SimulationError(f"unknown engine {engine!r}")
 
+    # ------------------------------------------------- vectorized engine --
+    def _run_vectorized(
+        self, a, proto: StreamProtocol, layout: StationaryLayout,
+        stationary, schedule,
+    ) -> tuple[np.ndarray, RunReport]:
+        cfg = self.config
+        w = cfg.bus_slots
+        m, n = a.nrows, stationary.values.shape[1]
+        bd, smask = stationary.values, stationary.stored
+        out = np.zeros((m, n), dtype=np.float64)
+        load_cycles = stream_cycles = 0
+        issued = matched = compares = spills = 0
+        entries_loaded_total = 0
+
+        for k_lo, k_hi in schedule.k_tiles:
+            kt = k_hi - k_lo
+            plan = build_beat_plan(a, proto.format, w, (k_lo, k_hi))
+            tile_cycles = plan.total_cycles
+            valid = plan.k >= 0  # padding slots never reach the datapath
+            i_e = plan.i[valid]
+            k_e = plan.k[valid] - k_lo
+            v_e = plan.v[valid]
+            num = len(v_e)
+            if num:
+                # Per-k processed / nonzero streamed-entry histograms and the
+                # scatter views of the streamed tile.
+                c_all = np.bincount(k_e, minlength=kt)
+                c_nz = np.bincount(
+                    k_e[v_e != 0.0], minlength=kt
+                )
+                s_vals = np.zeros((m, kt), dtype=np.float64)
+                s_vals[i_e, k_e] = v_e
+                p_mask = np.zeros((m, kt), dtype=bool)
+                p_mask[i_e, k_e] = True
+                runs_all = 1 + int(np.count_nonzero(i_e[1:] != i_e[:-1]))
+            else:
+                c_all = c_nz = np.zeros(kt, dtype=np.int64)
+                s_vals = p_mask = None
+                runs_all = 0
+
+            for col_lo, col_hi in schedule.rounds:
+                ncols = col_hi - col_lo
+                sm_t = smask[k_lo:k_hi, col_lo:col_hi]
+                loaded = layout.entry_cost * int(sm_t.sum())
+                if loaded:
+                    load_cycles += ceil_div(loaded, w)
+                entries_loaded_total += loaded
+                stream_cycles += tile_cycles
+                if not num:
+                    continue
+                bd_t = bd[k_lo:k_hi, col_lo:col_hi]
+                out[:, col_lo:col_hi] += s_vals @ bd_t
+                if layout.matcher == "direct":
+                    # Indexable buffers answer every streamed element.
+                    issued += num * ncols
+                    matched += int(np.dot(c_nz, (bd_t != 0.0).sum(axis=1)))
+                    spills += runs_all * ncols
+                else:
+                    # Metadata (CAM) matching against the stored pattern.
+                    stored_per_k = sm_t.sum(axis=1)
+                    issued += int(np.dot(c_all, stored_per_k))
+                    matched += int(np.dot(c_nz, stored_per_k))
+                    compares += num * int(sm_t.sum())
+                    if proto.row_grouped:
+                        # Row-grouped streams open one Oreg run per
+                        # (row with >= 1 metadata match, PE).
+                        spills += int(np.count_nonzero(p_mask @ sm_t))
+                    else:
+                        spills += _interleaved_runs(i_e, k_e, sm_t)
+
+        drain_cycles = ceil_div(spills, w) if spills else 0
+        compute_cycles = ceil_div(issued, cfg.total_macs) if issued else 0
+        cycles = CycleReport(
+            load_cycles=load_cycles,
+            stream_cycles=stream_cycles,
+            drain_cycles=drain_cycles,
+            compute_cycles=compute_cycles,
+            rounds=schedule.num_rounds,
+            k_tiles=schedule.num_tiles,
+            issued_macs=issued,
+            matched_macs=matched,
+            output_spills=spills,
+        )
+        energy = self._energy(
+            stream_cycles, entries_loaded_total, issued, compares, spills
+        )
+        return out, RunReport(cycles=cycles, energy=energy)
+
+    # -------------------------------------------------- reference engine --
+    def _run_reference(
+        self, a, proto: StreamProtocol, layout: StationaryLayout,
+        stationary, schedule,
+    ) -> tuple[np.ndarray, RunReport]:
+        """The seed per-beat path: Beat objects into per-column PE models."""
+        cfg = self.config
+        if layout.format not in (Format.DENSE, Format.CSC):
+            raise SimulationError(
+                f"the reference engine models Dense/CSC PE buffers only, "
+                f"not {layout.format}"
+            )
+        m, n = a.nrows, stationary.values.shape[1]
         out = np.zeros((m, n), dtype=np.float64)
         load_cycles = stream_cycles = 0
         issued = matched = compares = spills = 0
@@ -86,21 +221,21 @@ class WeightStationarySimulator:
         for k_lo, k_hi in schedule.k_tiles:
             # Beats are identical across rounds of the same tile; enumerate
             # once and replay per round.
-            tile_beats = list(stream_beats(a, acf_a, cfg.bus_slots, (k_lo, k_hi)))
+            plan = build_beat_plan(a, proto.format, cfg.bus_slots, (k_lo, k_hi))
+            tile_beats = list(plan.iter_beats())
             tile_beat_cycles = sum(bt.cycles for bt in tile_beats)
             for col_lo, col_hi in schedule.rounds:
                 pes: list[PE] = []
                 entries_loaded = 0
                 for j in range(col_lo, col_hi):
                     pe = PE(j)
-                    if acf_b is Format.DENSE:
-                        assert b_dense is not None
-                        pe.load_dense(b_dense[k_lo:k_hi, j], k_lo)
+                    if layout.format is Format.DENSE:
+                        pe.load_dense(stationary.values[k_lo:k_hi, j], k_lo)
                     else:
-                        assert b_csc is not None
-                        rows, vals = b_csc.col_slice(j)
-                        sel = (rows >= k_lo) & (rows < k_hi)
-                        pe.load_csc(rows[sel], vals[sel])
+                        rows = np.flatnonzero(stationary.stored[k_lo:k_hi, j])
+                        pe.load_csc(
+                            rows + k_lo, stationary.values[rows + k_lo, j]
+                        )
                     entries_loaded += pe.footprint_entries
                     pes.append(pe)
                 load_cycles += ceil_div(entries_loaded, cfg.bus_slots) if (
@@ -125,9 +260,7 @@ class WeightStationarySimulator:
                     spills += pe.spills
 
         drain_cycles = ceil_div(spills, cfg.bus_slots) if spills else 0
-        compute_cycles = (
-            ceil_div(issued, cfg.total_macs) if issued else 0
-        )
+        compute_cycles = ceil_div(issued, cfg.total_macs) if issued else 0
         cycles = CycleReport(
             load_cycles=load_cycles,
             stream_cycles=stream_cycles,
@@ -143,6 +276,28 @@ class WeightStationarySimulator:
             beat_cycles_total, entries_loaded_total, issued, compares, spills
         )
         return out, RunReport(cycles=cycles, energy=energy)
+
+    # ------------------------------------------------------------- batch --
+    def simulate_many(
+        self,
+        jobs: Sequence[SimJob],
+        *,
+        processes: int | None = None,
+        engine: str = "vectorized",
+    ) -> list[tuple[np.ndarray, RunReport]]:
+        """Run a batch of GEMMs, fanned across a process pool.
+
+        Results are returned in input order.  Mirrors
+        :meth:`~repro.sage.predictor.Sage.predict_many`: the batch rides the
+        shared :func:`~repro.util.pool.fork_map` machinery, so platforms
+        (or callers, e.g. daemonic serve shards) that cannot spawn workers
+        degrade to sequential simulation rather than failing.
+        """
+        return fork_map(
+            _simulate_one,
+            [(self, job, engine) for job in jobs],
+            processes=processes,
+        )
 
     # ----------------------------------------------------------- accounting
     def _energy(
@@ -167,6 +322,53 @@ class WeightStationarySimulator:
     # ---------------------------------------------------- convenience APIs --
     def stream_cycles_only(self, a: MatrixFormat, acf_a: Format) -> int:
         """Cycles to broadcast operand A once, untiled (the Fig. 6 number)."""
-        return sum(
-            bt.cycles for bt in stream_beats(a, acf_a, self.config.bus_slots)
-        )
+        return build_beat_plan(a, acf_a, self.config.bus_slots).total_cycles
+
+
+def _interleaved_runs(
+    i_e: np.ndarray, k_e: np.ndarray, sm_t: np.ndarray, chunk_cells: int = 1 << 22
+) -> int:
+    """Oreg spill runs for streams that interleave output rows (e.g. CSC).
+
+    For each PE column, the matched subsequence is the streamed entries
+    whose reduction index is stored in that column's buffer; a spill run
+    starts at the first match and at every match whose row differs from
+    the previous match.  Computed column-chunked to bound the (entries x
+    columns) working set.
+    """
+    num = len(i_e)
+    if not num:
+        return 0
+    ncols = sm_t.shape[1]
+    step = max(1, chunk_cells // num)
+    total = 0
+    arange = np.arange(num, dtype=np.int64)[:, None]
+    for lo in range(0, ncols, step):
+        mask = sm_t[k_e, lo : lo + step]  # (entries, cols) matched pattern
+        pos = np.where(mask, arange, -1)
+        last = np.maximum.accumulate(pos, axis=0)
+        prev = np.empty_like(last)
+        prev[0] = -1
+        prev[1:] = last[:-1]
+        same = mask & (prev >= 0) & (i_e[prev] == i_e[:, None])
+        total += int(mask.sum()) - int(same.sum())
+    return total
+
+
+def _simulate_one(
+    job: tuple["WeightStationarySimulator", SimJob, str]
+) -> tuple[np.ndarray, RunReport]:
+    """Pool task: one GEMM through the (pickled) simulator."""
+    sim, (a, acf_a, b, acf_b), engine = job
+    return sim.run_gemm(a, acf_a, b, acf_b, engine=engine)
+
+
+def __getattr__(name: str):
+    # Back-compat for the seed module constants: derive from the registries.
+    if name == "STREAMED_ACFS":
+        return streamable_formats()
+    if name == "STATIONARY_ACFS":
+        from repro.accelerator.protocols import stationary_formats
+
+        return stationary_formats()
+    raise AttributeError(name)

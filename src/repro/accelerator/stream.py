@@ -13,9 +13,20 @@ the slot cost of one streamed entry and of a per-group shared header:
   header fits, which at W=5 it cannot;
 * **CSC**   — CSR mirrored column-wise;
 * **COO**   — 3 slots per (value, col id, row id), no shared header;
+* **ELL**   — 2 slots per (value, col id) like CSR, but every row streams
+  its full fixed width, padding slots included (the ELL trade-off);
 * **CSF**   — (matricized 3-D tensors) 2 shared fiber coordinates + 2 slots
   per (value, leaf id);
 * **COO3**  — 4 slots per (value, x, y, z).
+
+Which ACFs stream, with what slot costs and which entry extraction, is no
+longer hard-coded here: it lives in the **streaming-protocol registry**
+(:mod:`repro.accelerator.protocols`), mirroring the conversion-graph
+registry of :mod:`repro.mint.graph`.  This module owns the format-agnostic
+machinery: the :class:`StreamSpec` slot algebra, the **vectorized packer**
+producing array-resident :class:`BeatPlan` objects (a single O(#groups)
+integer scan for beat boundaries; all per-entry work is numpy prefix-sum /
+segment ops — no per-entry Python loops), and the closed-form estimate.
 
 Packing is greedy and order-preserving: entries fill the current beat as
 long as their slots (plus their group's header, if the group is not yet
@@ -28,18 +39,18 @@ suite pins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.formats.base import MatrixFormat
-from repro.formats.coo import CooMatrix
-from repro.formats.csc import CscMatrix
-from repro.formats.csr import CsrMatrix
-from repro.formats.dense import DenseMatrix
 from repro.formats.registry import Format
 from repro.util.bits import ceil_div
+
+#: Reduction-coordinate sentinel for padding slots (fixed-width ACFs such
+#: as ELL stream them; PEs discard them without issuing a MAC).
+PAD_K = -1
 
 
 @dataclass(frozen=True)
@@ -59,80 +70,188 @@ class StreamSpec:
         return ceil_div(self.entry_slots + self.shared_slots, bus_slots)
 
 
-#: Matrix streaming specs (streamed operand A of the WS dataflow).
-_MATRIX_SPECS: dict[Format, StreamSpec] = {
-    Format.DENSE: StreamSpec(entry_slots=1, shared_slots=1, grouped=True),
-    Format.CSR: StreamSpec(entry_slots=2, shared_slots=1, grouped=True),
-    Format.CSC: StreamSpec(entry_slots=2, shared_slots=1, grouped=True),
-    Format.COO: StreamSpec(entry_slots=3, shared_slots=0, grouped=False),
-}
-
-#: Matricized 3-D tensor streaming specs.
-_TENSOR_SPECS: dict[Format, StreamSpec] = {
-    Format.DENSE: StreamSpec(entry_slots=1, shared_slots=1, grouped=True),
-    Format.COO: StreamSpec(entry_slots=4, shared_slots=0, grouped=False),
-    Format.CSF: StreamSpec(entry_slots=2, shared_slots=2, grouped=True),
-}
-
-
 def stream_spec_for(fmt: Format, *, tensor: bool = False) -> StreamSpec:
-    """Return the streaming spec for an ACF (matrix by default)."""
-    table = _TENSOR_SPECS if tensor else _MATRIX_SPECS
-    try:
-        return table[fmt]
-    except KeyError:
-        raise SimulationError(
-            f"{fmt} is not a supported streaming ACF "
-            f"({'tensor' if tensor else 'matrix'})"
-        ) from None
+    """Return the streaming spec for an ACF (matrix by default).
+
+    Delegates to the streaming-protocol registry; unsupported formats raise
+    :class:`~repro.errors.SimulationError` naming the registered ACFs.
+    """
+    from repro.accelerator.protocols import stream_protocol_for
+
+    return stream_protocol_for(fmt, tensor=tensor).spec
 
 
 # --------------------------------------------------------------------------
-# greedy packer (single source of truth for beat boundaries)
+# vectorized greedy packer (single source of truth for beat boundaries)
 # --------------------------------------------------------------------------
+
+
+def _pack_layout(
+    sizes: Sequence[int], es: int, ss: int, bus_slots: int
+) -> tuple[list[int], list[int], int, int]:
+    """Greedy per-group packing layout: ``(first_beat, first_take, epb, beats)``.
+
+    The only sequential state the greedy packer carries between groups is
+    one integer (the open beat's free slots), so this scan is O(#groups)
+    in plain Python ints; everything per-entry is done vectorized on top
+    of the returned layout.  ``first_take`` is how many of a group's
+    entries land in its first beat; all continuation beats carry ``epb``
+    entries except the last.
+    """
+    epb = (bus_slots - ss) // es
+    first_beat: list[int] = []
+    first_take: list[int] = []
+    beat = 0
+    free = bus_slots
+    any_entries = False
+    for n in sizes:
+        n = int(n)
+        if free < ss + es:
+            beat += 1
+            free = bus_slots
+        take = (free - ss) // es
+        if take > n:
+            take = n
+        first_beat.append(beat)
+        first_take.append(take)
+        free -= ss + take * es
+        rem = n - take
+        if rem:
+            more = -(-rem // epb)  # ceil
+            last = rem - (more - 1) * epb
+            beat += more
+            free = bus_slots - ss - last * es
+        any_entries = True
+    return first_beat, first_take, epb, (beat + 1 if any_entries else 0)
+
+
+def _entry_beats(
+    sizes: np.ndarray, first_beat: np.ndarray, first_take: np.ndarray, epb: int
+) -> np.ndarray:
+    """Per-entry beat index from the per-group layout (pure segment ops)."""
+    total = int(sizes.sum())
+    group_start = np.zeros(len(sizes), dtype=np.int64)
+    np.cumsum(sizes[:-1], out=group_start[1:])
+    t_in_group = np.arange(total, dtype=np.int64) - np.repeat(group_start, sizes)
+    b0 = np.repeat(first_beat, sizes)
+    over = t_in_group - np.repeat(first_take, sizes)
+    return np.where(over < 0, b0, b0 + 1 + over // max(1, epb))
 
 
 @dataclass(frozen=True)
-class _Span:
-    """A contiguous run of one group's entries placed in one beat."""
+class Beat:
+    """One bus cycle's worth of streamed entries.
 
-    group_index: int
-    lo: int
-    hi: int
-
-
-def _pack_spans(
-    sizes: Sequence[int], spec: StreamSpec, bus_slots: int
-) -> Iterator[tuple[list[_Span], int]]:
-    """Greedily pack per-group entry counts into beats.
-
-    Yields (spans, cycles) per beat; ``cycles`` exceeds 1 only in the
-    degenerate case where a single entry plus header is wider than the bus.
+    ``entries`` holds (i, k, value) triples: output-row coordinate,
+    reduction coordinate and data value of each element on the bus
+    (``k == PAD_K`` marks a padding slot of a fixed-width ACF).
+    ``cycles`` > 1 models a single wide entry spanning several bus beats.
     """
+
+    entries: tuple[tuple[int, int, float], ...]
+    cycles: int = 1
+
+
+@dataclass(frozen=True)
+class BeatPlan:
+    """Array-resident beat packing of one streamed operand (or k-tile).
+
+    The plan is what the vectorized simulator consumes: parallel entry
+    arrays in stream order plus each entry's owning beat — no Python-object
+    beats on the hot path.  ``k == PAD_K`` entries are padding slots: they
+    occupy bus slots (and therefore cycles) but are discarded by the PEs.
+    """
+
+    i: np.ndarray  # int64 output-row coordinate per entry
+    k: np.ndarray  # int64 reduction coordinate per entry (PAD_K = padding)
+    v: np.ndarray  # float64 data value per entry
+    entry_beat: np.ndarray  # int64 owning beat per entry (non-decreasing)
+    beat_cycles: np.ndarray  # int64 bus cycles per beat
+    spec: StreamSpec
+    bus_slots: int
+
+    @property
+    def num_entries(self) -> int:
+        """Streamed entries, padding slots included."""
+        return len(self.v)
+
+    @property
+    def num_beats(self) -> int:
+        """Packed beat count."""
+        return len(self.beat_cycles)
+
+    @property
+    def total_cycles(self) -> int:
+        """Bus cycles to stream the whole plan."""
+        return int(self.beat_cycles.sum())
+
+    def iter_beats(self) -> Iterator[Beat]:
+        """Materialize :class:`Beat` objects (traces, tests, teaching)."""
+        bounds = np.searchsorted(
+            self.entry_beat, np.arange(self.num_beats + 1)
+        )
+        for b in range(self.num_beats):
+            lo, hi = int(bounds[b]), int(bounds[b + 1])
+            entries = tuple(
+                (int(self.i[t]), int(self.k[t]), float(self.v[t]))
+                for t in range(lo, hi)
+            )
+            yield Beat(entries=entries, cycles=int(self.beat_cycles[b]))
+
+
+def pack_entries(
+    i: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    group_sizes: np.ndarray,
+    spec: StreamSpec,
+    bus_slots: int,
+) -> BeatPlan:
+    """Pack entry arrays (concatenated group-major) into a :class:`BeatPlan`.
+
+    ``group_sizes`` gives per-group entry counts in stream order; empty
+    groups contribute no entries and no header.
+    """
+    i = np.asarray(i, dtype=np.int64)
+    k = np.asarray(k, dtype=np.int64)
+    v = np.asarray(v, dtype=np.float64)
+    sizes = np.asarray(group_sizes, dtype=np.int64)
+    sizes = sizes[sizes > 0]
+    total = int(sizes.sum())
+    if total != len(v):
+        raise SimulationError(
+            f"group sizes sum to {total} but {len(v)} entries were extracted"
+        )
     es, ss = spec.entry_slots, spec.shared_slots
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return BeatPlan(i, k, v, empty, empty.copy(), spec, bus_slots)
     if es + ss > bus_slots:
-        span_cycles = spec.span_cycles(bus_slots)
-        for gi, n in enumerate(sizes):
-            for t in range(int(n)):
-                yield [_Span(gi, t, t + 1)], span_cycles
-        return
-    current: list[_Span] = []
-    free = bus_slots
-    for gi, n in enumerate(sizes):
-        placed = 0
-        n = int(n)
-        while placed < n:
-            if free >= ss + es:
-                take = min(n - placed, (free - ss) // es)
-                current.append(_Span(gi, placed, placed + take))
-                free -= ss + take * es
-                placed += take
-            if placed < n:
-                yield current, 1
-                current = []
-                free = bus_slots
-    if current:
-        yield current, 1
+        # Degenerate wide-entry case: every entry is its own multi-cycle beat.
+        span = spec.span_cycles(bus_slots)
+        return BeatPlan(
+            i, k, v,
+            entry_beat=np.arange(total, dtype=np.int64),
+            beat_cycles=np.full(total, span, dtype=np.int64),
+            spec=spec,
+            bus_slots=bus_slots,
+        )
+    first_beat, first_take, epb, beats = _pack_layout(
+        sizes.tolist(), es, ss, bus_slots
+    )
+    entry_beat = _entry_beats(
+        sizes,
+        np.asarray(first_beat, dtype=np.int64),
+        np.asarray(first_take, dtype=np.int64),
+        epb,
+    )
+    return BeatPlan(
+        i, k, v,
+        entry_beat=entry_beat,
+        beat_cycles=np.ones(beats, dtype=np.int64),
+        spec=spec,
+        bus_slots=bus_slots,
+    )
 
 
 def stream_cycle_count(
@@ -142,13 +261,19 @@ def stream_cycle_count(
 ) -> int:
     """Beat count for the given per-group entry counts.
 
-    Runs the same greedy packer the simulator streams with, so the
+    Runs the same greedy layout the simulator streams with, so the
     analytical exact mode and the simulator agree beat-for-beat.  For
     ungrouped specs (COO) pass a single total as ``[total]``.
     """
     sizes = np.asarray(group_sizes, dtype=np.int64)
     sizes = sizes[sizes > 0]
-    return sum(cycles for _spans, cycles in _pack_spans(sizes, spec, bus_slots))
+    if not len(sizes):
+        return 0
+    es, ss = spec.entry_slots, spec.shared_slots
+    if es + ss > bus_slots:
+        return int(sizes.sum()) * spec.span_cycles(bus_slots)
+    *_rest, beats = _pack_layout(sizes.tolist(), es, ss, bus_slots)
+    return beats
 
 
 def stream_cycles_estimate(
@@ -182,62 +307,25 @@ def stream_cycles_estimate(
 # --------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
-class Beat:
-    """One bus cycle's worth of streamed entries.
+def build_beat_plan(
+    a: MatrixFormat,
+    fmt: Format,
+    bus_slots: int,
+    k_range: tuple[int, int] | None = None,
+) -> BeatPlan:
+    """Pack the streamed operand *a* (in ACF *fmt*) into a beat plan.
 
-    ``entries`` holds (i, k, value) triples: output-row coordinate,
-    reduction coordinate and data value of each element on the bus.
-    ``cycles`` > 1 models a single wide entry spanning several bus beats.
+    ``k_range`` restricts streaming to a reduction-dimension tile, as the
+    scheduler requires when the stationary operand is K-tiled.  The
+    extraction itself is the registered protocol's vectorized kernel.
     """
+    from repro.accelerator.protocols import stream_protocol_for
 
-    entries: tuple[tuple[int, int, float], ...]
-    cycles: int = 1
-
-
-def _matrix_groups(
-    a: MatrixFormat, fmt: Format, k_range: tuple[int, int]
-) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
-    """Per-group (i, k, value) arrays for the streamed operand, in order."""
-    lo, hi = k_range
-    groups: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-    if fmt is Format.DENSE:
-        dense = a.values if isinstance(a, DenseMatrix) else a.to_dense()
-        ks = np.arange(lo, hi, dtype=np.int64)
-        for i in range(dense.shape[0]):
-            groups.append(
-                (np.full(hi - lo, i, dtype=np.int64), ks, dense[i, lo:hi])
-            )
-    elif fmt is Format.CSR:
-        if not isinstance(a, CsrMatrix):
-            raise SimulationError("CSR streaming requires a CsrMatrix operand")
-        for i in range(a.nrows):
-            cols, vals = a.row_slice(i)
-            sel = (cols >= lo) & (cols < hi)
-            if sel.any():
-                count = int(sel.sum())
-                groups.append(
-                    (np.full(count, i, dtype=np.int64), cols[sel], vals[sel])
-                )
-    elif fmt is Format.CSC:
-        if not isinstance(a, CscMatrix):
-            raise SimulationError("CSC streaming requires a CscMatrix operand")
-        for k in range(lo, hi):
-            rows, vals = a.col_slice(k)
-            if len(rows):
-                groups.append(
-                    (rows, np.full(len(rows), k, dtype=np.int64), vals)
-                )
-    elif fmt is Format.COO:
-        if not isinstance(a, CooMatrix):
-            raise SimulationError("COO streaming requires a CooMatrix operand")
-        coo = a.sorted_row_major()
-        sel = (coo.col_ids >= lo) & (coo.col_ids < hi)
-        if sel.any():
-            groups.append((coo.row_ids[sel], coo.col_ids[sel], coo.values[sel]))
-    else:  # pragma: no cover - guarded by stream_spec_for
-        raise SimulationError(f"unsupported streaming ACF {fmt}")
-    return groups
+    proto = stream_protocol_for(fmt)
+    if k_range is None:
+        k_range = (0, a.ncols)
+    i, k, v, sizes = proto.extract_entries(a, k_range[0], k_range[1])
+    return pack_entries(i, k, v, sizes, proto.spec, bus_slots)
 
 
 def stream_beats(
@@ -246,20 +334,5 @@ def stream_beats(
     bus_slots: int,
     k_range: tuple[int, int] | None = None,
 ) -> Iterator[Beat]:
-    """Pack the streamed operand *a* (in ACF *fmt*) into bus beats.
-
-    ``k_range`` restricts streaming to a reduction-dimension tile, as the
-    scheduler requires when the stationary operand is K-tiled.
-    """
-    spec = stream_spec_for(fmt)
-    if k_range is None:
-        k_range = (0, a.ncols)
-    groups = _matrix_groups(a, fmt, k_range)
-    sizes = [len(g[2]) for g in groups]
-    for spans, cycles in _pack_spans(sizes, spec, bus_slots):
-        entries: list[tuple[int, int, float]] = []
-        for span in spans:
-            i_arr, k_arr, v_arr = groups[span.group_index]
-            for t in range(span.lo, span.hi):
-                entries.append((int(i_arr[t]), int(k_arr[t]), float(v_arr[t])))
-        yield Beat(entries=tuple(entries), cycles=cycles)
+    """Beat-object view of :func:`build_beat_plan` (traces and tests)."""
+    return build_beat_plan(a, fmt, bus_slots, k_range).iter_beats()

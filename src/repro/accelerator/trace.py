@@ -56,10 +56,13 @@ def trace_stream(
                 header = f"c{group}" if acf is Format.CSC else f"r{group}"
                 slots.append(header)
                 used += spec.shared_slots
-            if acf is Format.DENSE:
+            if k < 0:  # padding slot of a fixed-width ACF (e.g. ELL)
+                slots.extend(["pad"] * spec.entry_slots)
+                used += spec.entry_slots
+            elif acf is Format.DENSE:
                 slots.append(f"v{v:g}")
                 used += 1
-            elif acf is Format.CSR:
+            elif acf in (Format.CSR, Format.ELL):
                 slots.extend([f"v{v:g}", f"k{k}"])
                 used += 2
             elif acf is Format.CSC:

@@ -4,7 +4,8 @@ Commands
 --------
 ``sage``
     Run SAGE on a workload described by its statistics and print the
-    decision ranking (``--tensor`` for 3-D workloads).
+    decision ranking (``--tensor`` for 3-D workloads, ``--fidelity cycle``
+    to validate the analytical top-k on the cycle-level simulator).
 ``serve``
     Run the batched, cached SAGE prediction server (``repro.serve``).
 ``sweep``
@@ -16,15 +17,24 @@ Commands
 ``paths``
     Print the registered conversion graph and the cost-aware route the
     planner chooses for a given operand size.
+
+``sage``, ``suite`` and ``sweep`` accept ``--json``, emitting one
+machine-readable JSON document on stdout instead of the human tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 import numpy as np
+
+
+def _emit_json(payload: dict) -> None:
+    json.dump(payload, sys.stdout, indent=2)
+    sys.stdout.write("\n")
 
 
 def _cmd_sage(args: argparse.Namespace) -> int:
@@ -32,6 +42,11 @@ def _cmd_sage(args: argparse.Namespace) -> int:
     from repro.workloads.spec import Kernel, MatrixWorkload, TensorWorkload
 
     if args.tensor:
+        if args.fidelity == "cycle":
+            raise SystemExit(
+                "--fidelity cycle needs a matrix workload (the cycle "
+                "simulator does not stream 3-D tensors)"
+            )
         name = args.kernel or "spttm"
         if name == "spttm":
             kernel = Kernel.SPTTM
@@ -49,7 +64,7 @@ def _cmd_sage(args: argparse.Namespace) -> int:
             # Sec. VII-A default: rank = first mode / 2.
             rank=args.rank if args.rank else max(1, args.i // 2),
         )
-        decision = Sage().predict_tensor(wl)
+        decision = Sage().predict_tensor(wl, fidelity=args.fidelity)
     elif args.kernel in ("spttm", "mttkrp"):
         raise SystemExit(f"--kernel {args.kernel} needs --tensor")
     else:
@@ -69,8 +84,11 @@ def _cmd_sage(args: argparse.Namespace) -> int:
             nnz_a=max(1, nnz_a),
             nnz_b=nnz_b,
         )
-        decision = Sage().predict_matrix(wl)
-    print(decision.summary(top=args.top))
+        decision = Sage().predict_matrix(wl, fidelity=args.fidelity)
+    if args.json:
+        _emit_json(decision.to_wire(top=args.top))
+    else:
+        print(decision.summary(top=args.top))
     return 0
 
 
@@ -86,13 +104,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             near_hit=not args.exact,
             ranking_top=args.top,
+            fidelity=args.fidelity,
         )
     )
     host, port = server.start()
     mode = "exact-only" if args.exact else "near-hit"
     print(
         f"repro serve listening on {host}:{port} "
-        f"({args.shards} shard(s), {mode} cache; Ctrl-C or a "
+        f"({args.shards} shard(s), {mode} cache, "
+        f"{args.fidelity} fidelity; Ctrl-C or a "
         f'{{"op": "shutdown"}} line stops it)',
         flush=True,  # supervisors watching a pipe need the banner now
     )
@@ -115,6 +135,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = transfer_energy_sweep(
         (args.m, args.k), densities, fmts, args.bits
     )
+    if args.json:
+        _emit_json(
+            {
+                "shape": [args.m, args.k],
+                "dtype_bits": args.bits,
+                "formats": [f.value for f in fmts],
+                "rows": [
+                    {
+                        "density": d,
+                        "relative_energy": {
+                            f.value: sweep[f][i] for f in fmts
+                        },
+                        "best": min(fmts, key=lambda f: sweep[f][i]).value,
+                    }
+                    for i, d in enumerate(densities)
+                ],
+            }
+        )
+        return 0
     print(f"{'density':>9} | " + " ".join(f"{f.value:>7}" for f in fmts) + " | best")
     for i, d in enumerate(densities):
         vals = {f: sweep[f][i] for f in fmts}
@@ -152,8 +191,27 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     kernel = Kernel.SPMM if args.kernel == "spmm" else Kernel.SPGEMM
     results = evaluate_all(entry.matrix_workload(kernel))
     ours = results["Flex_Flex_HW"].edp
+    ranked = sorted(results.items(), key=lambda kv: kv[1].edp)
+    if args.json:
+        _emit_json(
+            {
+                "workload": entry.name,
+                "kernel": kernel.value,
+                "density_pct": entry.density_pct,
+                "baseline": "Flex_Flex_HW",
+                "policies": [
+                    {
+                        "policy": name,
+                        "edp_vs_baseline": result.edp / ours,
+                        "best": result.best.to_wire(),
+                    }
+                    for name, result in ranked
+                ],
+            }
+        )
+        return 0
     print(f"{entry.name} ({entry.density_pct:g}% dense, {kernel.value}):")
-    for name, result in sorted(results.items(), key=lambda kv: kv[1].edp):
+    for name, result in ranked:
         b = result.best
         print(
             f"  {name:>15}: {result.edp / ours:9.2f}x  "
@@ -247,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--j", type=int, default=256, help="2nd tensor extent")
     p.add_argument("--rank", type=int, default=0,
                    help="factor rank (default: i // 2, Sec. VII-A)")
+    p.add_argument("--fidelity", choices=["analytical", "cycle"],
+                   default="analytical",
+                   help="cycle: re-rank the analytical top-k on the "
+                   "cycle-level simulator (matrix workloads)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the decision as JSON (to_wire form)")
     p.set_defaults(fn=_cmd_sage)
 
     p = sub.add_parser(
@@ -263,12 +327,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable density-band near-hit cache answers")
     p.add_argument("--top", type=int, default=8,
                    help="ranking prefix shipped per decision")
+    p.add_argument("--fidelity", choices=["analytical", "cycle"],
+                   default="analytical",
+                   help="prediction tier the server answers with")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("sweep", help="Fig. 4-style compactness sweep")
     p.add_argument("--m", type=int, default=11_000)
     p.add_argument("--k", type=int, default=11_000)
     p.add_argument("--bits", type=int, default=32)
+    p.add_argument("--json", action="store_true",
+                   help="emit the sweep as JSON")
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("walkthrough", help="render the Fig. 6 bus traces")
@@ -278,6 +347,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("suite", help="Table II policies on a Table III workload")
     p.add_argument("workload", help="e.g. speech2, m3plates, journals")
     p.add_argument("--kernel", choices=["spmm", "spgemm"], default="spgemm")
+    p.add_argument("--json", action="store_true",
+                   help="emit the policy comparison as JSON")
     p.set_defaults(fn=_cmd_suite)
 
     p = sub.add_parser(

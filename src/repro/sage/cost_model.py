@@ -184,7 +184,48 @@ def _output_plan(
     return best
 
 
-def evaluate_matrix_combo(
+@dataclass(frozen=True)
+class MatrixIoPlan:
+    """Everything about a matrix candidate except its compute stage.
+
+    DRAM traffic and conversion cost depend only on (workload, MCF, ACF) —
+    not on how the compute stage is modelled — so both fidelity tiers
+    share this pricing: the analytical tier completes it with
+    :func:`~repro.accelerator.perf_model.analytical_gemm_stats`, the cycle
+    tier with a :class:`~repro.accelerator.report.RunReport` from the
+    simulator (:meth:`complete`).
+    """
+
+    mcf: tuple[Format, Format]
+    acf: tuple[Format, Format]
+    mcf_out: Format
+    dram_in_cycles: int
+    dram_out_cycles: int
+    dram_energy_j: float
+    conv: ConversionCost
+    clock_hz: float
+
+    def complete(
+        self, compute_cycles: int, compute_energy_j: float
+    ) -> CostBreakdown:
+        """Attach a compute stage, closing the breakdown."""
+        return CostBreakdown(
+            mcf=self.mcf,
+            acf=self.acf,
+            mcf_out=self.mcf_out,
+            dram_in_cycles=self.dram_in_cycles,
+            dram_out_cycles=self.dram_out_cycles,
+            dram_energy_j=self.dram_energy_j,
+            conv_in_cycles=self.conv.cycles,
+            conv_out_cycles=0,
+            conv_energy_j=self.conv.energy_j,
+            compute_cycles=compute_cycles,
+            compute_energy_j=compute_energy_j,
+            clock_hz=self.clock_hz,
+        )
+
+
+def price_matrix_io(
     workload: MatrixWorkload,
     mcf: tuple[Format, Format],
     acf: tuple[Format, Format],
@@ -192,13 +233,10 @@ def evaluate_matrix_combo(
     config: AcceleratorConfig | None = None,
     dram: DramChannel | None = None,
     provider: ConversionProvider | None = mint_provider,
-    flexible_noc: bool = True,
-) -> CostBreakdown | None:
-    """Price one candidate; ``None`` when it needs an unavailable converter.
+) -> MatrixIoPlan | None:
+    """DRAM + conversion pricing of one matrix candidate (no compute).
 
-    ``flexible_noc=False`` models designs whose fabric cannot skip
-    zero-valued operands (TPU, NVDLA): dense ACFs then stream and multiply
-    every element.
+    ``None`` when the candidate needs a conversion no provider offers.
     """
     cfg = config or AcceleratorConfig.paper_default()
     dram = dram or DramChannel(clock_hz=cfg.clock_hz)
@@ -224,30 +262,50 @@ def evaluate_matrix_combo(
             size, nnz, major = wl.k * wl.n, wl.nnz_b, wl.k
         conv_in = conv_in + provider(src, dst, size, nnz, major, b, False)
 
-    # --- compute ---------------------------------------------------------------
-    run = analytical_gemm_stats(
-        wl.m, wl.k, wl.n, wl.nnz_a, wl.nnz_b, acf[0], acf[1], cfg,
-        flexible_noc=flexible_noc,
-    )
-
     # --- DRAM out --------------------------------------------------------------
     out_nnz = expected_output_nnz(wl.m, wl.n, wl.k, wl.nnz_a, wl.nnz_b)
     mcf_out, out_bits = _output_plan(wl.m, wl.n, out_nnz, b)
 
-    return CostBreakdown(
+    return MatrixIoPlan(
         mcf=mcf,
         acf=acf,
         mcf_out=mcf_out,
         dram_in_cycles=dram_in_cycles,
         dram_out_cycles=dram.transfer_cycles(int(out_bits)),
         dram_energy_j=dram_in_energy + dram.transfer_energy(int(out_bits)),
-        conv_in_cycles=conv_in.cycles,
-        conv_out_cycles=0,
-        conv_energy_j=conv_in.energy_j,
-        compute_cycles=run.cycles.total_cycles,
-        compute_energy_j=run.energy.total_j,
+        conv=conv_in,
         clock_hz=cfg.clock_hz,
     )
+
+
+def evaluate_matrix_combo(
+    workload: MatrixWorkload,
+    mcf: tuple[Format, Format],
+    acf: tuple[Format, Format],
+    *,
+    config: AcceleratorConfig | None = None,
+    dram: DramChannel | None = None,
+    provider: ConversionProvider | None = mint_provider,
+    flexible_noc: bool = True,
+) -> CostBreakdown | None:
+    """Price one candidate; ``None`` when it needs an unavailable converter.
+
+    ``flexible_noc=False`` models designs whose fabric cannot skip
+    zero-valued operands (TPU, NVDLA): dense ACFs then stream and multiply
+    every element.
+    """
+    cfg = config or AcceleratorConfig.paper_default()
+    io = price_matrix_io(
+        workload, mcf, acf, config=cfg, dram=dram, provider=provider
+    )
+    if io is None:
+        return None
+    wl = workload
+    run = analytical_gemm_stats(
+        wl.m, wl.k, wl.n, wl.nnz_a, wl.nnz_b, acf[0], acf[1], cfg,
+        flexible_noc=flexible_noc,
+    )
+    return io.complete(run.cycles.total_cycles, run.energy.total_j)
 
 
 def evaluate_tensor_combo(

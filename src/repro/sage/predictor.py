@@ -5,20 +5,41 @@ energy-delay product (EDP).  The inputs to SAGE are workload size,
 datatype, density region, MINT format conversion cost, and accelerator
 hardware parameters.  The outputs are the ideal MCF and ACF combinations."
 (Sec. VI)
+
+Two **fidelity tiers** are exposed through ``fidelity=``:
+
+* ``"analytical"`` (default) — the paper's closed-form cost model over the
+  full MCF/ACF cross-product; fast enough for exhaustive search.
+* ``"cycle"`` — the analytical top-k is validated (or re-ranked) by the
+  cycle-level simulator (Sec. IV's operational ground truth): concrete
+  operands with the workload's exact statistics are materialized, encoded
+  per candidate, and batch-simulated via
+  :meth:`~repro.accelerator.simulator.WeightStationarySimulator.
+  simulate_many`.  Any extra streamable ACF registered in the
+  streaming-protocol registry but absent from the analytical search space
+  (e.g. ELL) joins the candidate set here — the cycle tier is how newly
+  registered protocols enter SAGE decisions before anyone writes a
+  closed-form model for them.  Very large workloads are simulated through
+  a density-preserving proxy capped at :data:`SIM_CAP_ELEMENTS` elements
+  per operand, so the tier stays interactive; all candidates are priced at
+  the same scale, keeping the ranking meaningful, and the scaling is
+  declared on the decision (:attr:`SageDecision.sim_scale` travels on the
+  wire), so absolute cycle/energy numbers are never mistaken for
+  full-scale measurements.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import pickle
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.accelerator.config import AcceleratorConfig
-from repro.errors import PredictionError
-from repro.formats.registry import Format
+from repro.accelerator.protocols import streamable_formats
+from repro.accelerator.simulator import WeightStationarySimulator
+from repro.errors import ConversionError, PredictionError
+from repro.formats.csc import CscMatrix
+from repro.formats.dense import DenseMatrix
+from repro.formats.registry import Format, matrix_class
 from repro.hardware.dram import DramChannel
 from repro.mint.cost import shared_planner
 from repro.sage.cost_model import (
@@ -27,9 +48,22 @@ from repro.sage.cost_model import (
     evaluate_matrix_combo,
     evaluate_tensor_combo,
     mint_provider,
+    price_matrix_io,
 )
-from repro.sage.spaces import matrix_combos, tensor_combos
+from repro.sage.spaces import MATRIX_ACF_STREAMED, matrix_combos, tensor_combos
+from repro.util.pool import fork_map
 from repro.workloads.spec import MatrixWorkload, TensorWorkload
+from repro.workloads.synthetic import random_sparse_matrix
+
+#: Recognized fidelity tiers.
+FIDELITIES = ("analytical", "cycle")
+
+#: Largest operand (in logical elements) the cycle tier simulates directly;
+#: bigger workloads are validated through a density-preserving proxy.
+SIM_CAP_ELEMENTS = 1 << 18
+
+#: Analytical candidates the cycle tier re-simulates.
+CYCLE_TOP_K = 4
 
 
 @dataclass(frozen=True)
@@ -39,6 +73,12 @@ class SageDecision:
     workload_name: str
     best: CostBreakdown
     ranking: tuple[CostBreakdown, ...]
+    fidelity: str = "analytical"
+    #: Fraction of the workload's (m*k*n) volume the cycle tier actually
+    #: simulated: 1.0 = exact scale; < 1.0 = a density-preserving proxy
+    #: stood in, so absolute cycles/energy/EDP are at proxy scale (the
+    #: ranking is still comparable — every candidate shares the scale).
+    sim_scale: float = 1.0
 
     @property
     def mcf(self) -> tuple[Format, Format]:
@@ -60,6 +100,8 @@ class SageDecision:
         ranking = self.ranking if top is None else self.ranking[:top]
         return {
             "workload_name": self.workload_name,
+            "fidelity": self.fidelity,
+            "sim_scale": self.sim_scale,
             "best": self.best.to_wire(),
             "ranking": [cand.to_wire() for cand in ranking],
         }
@@ -73,11 +115,19 @@ class SageDecision:
             ranking=tuple(
                 CostBreakdown.from_wire(cand) for cand in data["ranking"]
             ),
+            fidelity=str(data.get("fidelity", "analytical")),
+            sim_scale=float(data.get("sim_scale", 1.0)),
         )
 
     def summary(self, top: int = 5) -> str:
         """Human-readable ranking of the best candidates."""
-        lines = [f"SAGE decision for {self.workload_name}:"]
+        if self.fidelity == "analytical":
+            tier = ""
+        elif self.sim_scale < 1.0:
+            tier = f" [{self.fidelity}, proxy at {self.sim_scale:.1e}x volume]"
+        else:
+            tier = f" [{self.fidelity}]"
+        lines = [f"SAGE decision for {self.workload_name}{tier}:"]
         for i, cand in enumerate(self.ranking[:top]):
             marker = "*" if i == 0 else " "
             lines.append(
@@ -88,6 +138,14 @@ class SageDecision:
                 f"conv {cand.conv_cycles} cyc, compute {cand.compute_cycles} cyc)"
             )
         return "\n".join(lines)
+
+
+def _check_fidelity(fidelity: str) -> None:
+    if fidelity not in FIDELITIES:
+        raise PredictionError(
+            f"unknown fidelity {fidelity!r} (choose from "
+            f"{', '.join(FIDELITIES)})"
+        )
 
 
 class Sage:
@@ -110,6 +168,7 @@ class Sage:
         fixed_mcf: tuple[Format, Format] | None = None,
         mcf_a_space: tuple[Format, ...] | None = None,
         mcf_b_space: tuple[Format, ...] | None = None,
+        fidelity: str = "analytical",
     ) -> SageDecision:
         """Search the matrix MCF/ACF space for *workload*.
 
@@ -117,8 +176,10 @@ class Sage:
         when the programmer has already committed a storage format;
         ``mcf_a_space`` / ``mcf_b_space`` restrict single operands (used by
         the pipeline planner, where a stage inherits its predecessor's
-        output format).
+        output format).  ``fidelity="cycle"`` re-ranks the analytical top-k
+        through the cycle simulator (see the module docstring).
         """
+        _check_fidelity(fidelity)
         combo_kwargs: dict = {"fixed_mcf": fixed_mcf}
         if mcf_a_space is not None:
             combo_kwargs["mcf_a"] = mcf_a_space
@@ -136,15 +197,25 @@ class Sage:
             )
             if cost is not None:
                 candidates.append(cost)
-        return self._decide(workload.name, candidates)
+        decision = self._decide(workload.name, candidates)
+        if fidelity == "cycle":
+            decision = self._cycle_rerank(workload, decision)
+        return decision
 
     def predict_tensor(
         self,
         workload: TensorWorkload,
         *,
         fixed_mcf: tuple[Format, Format] | None = None,
+        fidelity: str = "analytical",
     ) -> SageDecision:
         """Search the 3-D tensor MCF/ACF space for *workload*."""
+        _check_fidelity(fidelity)
+        if fidelity == "cycle":
+            raise PredictionError(
+                "cycle fidelity requires the matrix simulator; 3-D tensor "
+                "kernels are analytical-only (matricized streaming specs)"
+            )
         candidates: list[CostBreakdown] = []
         for mcf, acf in tensor_combos(fixed_mcf=fixed_mcf):
             cost = evaluate_tensor_combo(
@@ -160,61 +231,119 @@ class Sage:
         return self._decide(workload.name, candidates)
 
     def predict(
-        self, workload: MatrixWorkload | TensorWorkload
+        self,
+        workload: MatrixWorkload | TensorWorkload,
+        *,
+        fidelity: str = "analytical",
     ) -> SageDecision:
         """Dispatch on workload arity (matrix vs 3-D tensor)."""
         if isinstance(workload, TensorWorkload):
-            return self.predict_tensor(workload)
-        return self.predict_matrix(workload)
+            return self.predict_tensor(workload, fidelity=fidelity)
+        return self.predict_matrix(workload, fidelity=fidelity)
 
     def predict_many(
         self,
         workloads: Sequence[MatrixWorkload | TensorWorkload],
         *,
         processes: int | None = None,
+        fidelity: str = "analytical",
     ) -> list[SageDecision]:
         """Predict a whole workload suite, fanned across a process pool.
 
-        Decisions are returned in input order.  Each worker is seeded with
-        a snapshot of the parent's conversion-route cache
-        (:meth:`~repro.mint.cost.PathPlanner.export_routes`), so route
-        planning already amortized in this process is not redone per
-        worker.  ``processes=1`` (or a suite of one) runs sequentially;
-        if the platform cannot spawn a pool — or this predictor cannot be
-        shipped to one (e.g. a non-picklable custom provider) — the suite
-        degrades to sequential prediction rather than failing.
+        Decisions are returned in input order.  The fan-out is the shared
+        :func:`~repro.util.pool.fork_map` machinery (sequential degradation
+        on pool-less platforms, unpicklable inputs, daemonic callers); each
+        worker is seeded with a snapshot of the parent's conversion-route
+        cache (:meth:`~repro.mint.cost.PathPlanner.export_routes`), so
+        route planning already amortized in this process is not redone per
+        worker.
         """
-        workloads = list(workloads)
-        if processes is None:
-            processes = min(len(workloads), multiprocessing.cpu_count())
-        if len(workloads) <= 1 or processes <= 1:
-            return [self.predict(wl) for wl in workloads]
-        # Pre-flight everything the pool will pickle (the predictor and
-        # each workload): inputs that cannot ship to a worker (lambda
-        # providers etc.) degrade to sequential here, so exceptions
-        # escaping the pool below are genuine worker bugs and propagate.
-        try:
-            pickle.dumps((self, workloads))
-        except (pickle.PicklingError, AttributeError, TypeError):
-            return [self.predict(wl) for wl in workloads]
-        routes = shared_planner().export_routes()
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            ctx = multiprocessing.get_context()
-        try:
-            with ProcessPoolExecutor(
-                max_workers=processes,
-                mp_context=ctx,
-                initializer=_seed_worker_planner,
-                initargs=(routes,),
-            ) as pool:
-                return list(
-                    pool.map(_predict_one, ((self, wl) for wl in workloads))
+        _check_fidelity(fidelity)
+        return fork_map(
+            _predict_one,
+            [(self, wl, fidelity) for wl in workloads],
+            processes=processes,
+            initializer=_seed_worker_planner,
+            initargs=(shared_planner().export_routes(),),
+        )
+
+    # ------------------------------------------------------ cycle fidelity --
+    def _cycle_rerank(
+        self,
+        workload: MatrixWorkload,
+        analytical: SageDecision,
+        *,
+        top: int = CYCLE_TOP_K,
+        seed: int = 0,
+    ) -> SageDecision:
+        """Re-rank the analytical top-k with the cycle-level simulator.
+
+        Operands with the workload's exact statistics are materialized
+        (seeded, hence deterministic), encoded once per distinct ACF, and
+        batch-simulated.  Extra streamable ACFs outside the analytical
+        space join paired with the analytical winner's stationary ACF and
+        MCFs.  All candidates share DRAM/conversion pricing from
+        :func:`~repro.sage.cost_model.price_matrix_io` at the simulated
+        scale, so EDPs are comparable within the ranking.
+        """
+        sim_wl = _proxy_workload(workload, SIM_CAP_ELEMENTS)
+        combos: list[tuple[tuple[Format, Format], tuple[Format, Format]]] = []
+        for cand in analytical.ranking[:top]:
+            if (cand.mcf, cand.acf) not in combos:
+                combos.append((cand.mcf, cand.acf))
+        best = analytical.best
+        for fmt in streamable_formats():
+            if fmt in MATRIX_ACF_STREAMED:
+                continue  # already searched analytically
+            extra = (best.mcf, (fmt, best.acf[1]))
+            if extra not in combos:
+                combos.append(extra)
+
+        a_dense = random_sparse_matrix(sim_wl.m, sim_wl.k, sim_wl.nnz_a, seed)
+        b_dense = random_sparse_matrix(
+            sim_wl.k, sim_wl.n, sim_wl.nnz_b, seed + 1
+        )
+        encoded_a: dict[Format, object] = {}
+        encoded_b: dict[Format, object] = {}
+        jobs, plans = [], []
+        for mcf, acf in combos:
+            try:
+                io = price_matrix_io(
+                    sim_wl, mcf, acf,
+                    config=self.config, dram=self.dram, provider=self.provider,
                 )
-        except (OSError, PermissionError, BrokenProcessPool):
-            # Platforms that cannot spawn (or keep) a pool at all.
-            return [self.predict(wl) for wl in workloads]
+            except ConversionError:
+                continue  # no MINT route to this ACF from this MCF
+            if io is None:
+                continue
+            if acf[0] not in encoded_a:
+                encoded_a[acf[0]] = matrix_class(acf[0]).from_dense(a_dense)
+            if acf[1] not in encoded_b:
+                cls = CscMatrix if acf[1] is Format.CSC else DenseMatrix
+                encoded_b[acf[1]] = cls.from_dense(b_dense)
+            jobs.append((encoded_a[acf[0]], acf[0], encoded_b[acf[1]], acf[1]))
+            plans.append(io)
+        if not jobs:
+            raise PredictionError(
+                f"no cycle-simulatable candidate for {workload.name}"
+            )
+        sim = WeightStationarySimulator(self.config)
+        results = sim.simulate_many(jobs)
+        measured = [
+            io.complete(run.cycles.total_cycles, run.energy.total_j)
+            for io, (_out, run) in zip(plans, results)
+        ]
+        ranking = tuple(sorted(measured, key=lambda c: c.edp))
+        return SageDecision(
+            workload_name=workload.name,
+            best=ranking[0],
+            ranking=ranking,
+            fidelity="cycle",
+            sim_scale=(
+                (sim_wl.m * sim_wl.k * sim_wl.n)
+                / (workload.m * workload.k * workload.n)
+            ),
+        )
 
     @staticmethod
     def _decide(name: str, candidates: list[CostBreakdown]) -> SageDecision:
@@ -224,14 +353,48 @@ class Sage:
         return SageDecision(workload_name=name, best=ranking[0], ranking=ranking)
 
 
+def _proxy_workload(wl: MatrixWorkload, cap_elements: int) -> MatrixWorkload:
+    """A density-preserving stand-in small enough to simulate.
+
+    Workloads whose operands already fit the cap pass through unchanged
+    (the common case for interactive use and tests); larger ones are
+    scaled down uniformly, keeping per-operand density and B's
+    dense/sparse character, so the simulated ACF ranking reflects the
+    original's streaming behaviour.
+    """
+    biggest = max(wl.m * wl.k, wl.k * wl.n)
+    if biggest <= cap_elements:
+        return wl
+    f = (cap_elements / biggest) ** 0.5
+
+    def scale(d: int) -> int:
+        return max(1, int(round(d * f)))
+
+    m, k, n = scale(wl.m), scale(wl.k), scale(wl.n)
+    nnz_a = min(m * k, max(1, int(round(wl.density_a * m * k))))
+    nnz_b = (
+        k * n
+        if wl.b_is_dense
+        else min(k * n, max(1, int(round(wl.density_b * k * n))))
+    )
+    return MatrixWorkload(
+        name=wl.name,
+        kernel=wl.kernel,
+        m=m, k=k, n=n,
+        nnz_a=nnz_a,
+        nnz_b=nnz_b,
+        dtype_bits=wl.dtype_bits,
+    )
+
+
 def _seed_worker_planner(routes: dict) -> None:
     """Pool initializer: adopt the parent's route-cache snapshot."""
     shared_planner().seed_routes(routes)
 
 
 def _predict_one(
-    job: tuple[Sage, MatrixWorkload | TensorWorkload]
+    job: tuple[Sage, MatrixWorkload | TensorWorkload, str]
 ) -> SageDecision:
     """Pool task: one workload through the (pickled) predictor."""
-    sage, workload = job
-    return sage.predict(workload)
+    sage, workload, fidelity = job
+    return sage.predict(workload, fidelity=fidelity)

@@ -50,7 +50,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.mint.cost import shared_planner
-from repro.sage.predictor import Sage, SageDecision
+from repro.sage.predictor import FIDELITIES, Sage, SageDecision
 from repro.serve.cache import DecisionCache
 from repro.serve.fingerprint import WorkloadFingerprint, fingerprint_of
 from repro.workloads.spec import workload_from_dict
@@ -82,6 +82,11 @@ class ServeConfig:
     ranking_top:
         Ranking prefix length shipped per decision unless the request
         asks otherwise (``top <= 0`` requests the full ranking).
+    fidelity:
+        Prediction tier every miss is computed at: ``"analytical"``
+        (closed-form search, the default) or ``"cycle"`` (the analytical
+        top-k re-ranked on the cycle-level simulator).  Fidelity is a
+        server-level property so the decision cache stays tier-consistent.
     latency_window:
         Number of most-recent request latencies kept for percentiles.
     request_timeout_s:
@@ -96,6 +101,7 @@ class ServeConfig:
     cache_size: int = 4096
     near_hit: bool = True
     ranking_top: int = 8
+    fidelity: str = "analytical"
     latency_window: int = 4096
     request_timeout_s: float = 120.0
 
@@ -117,7 +123,9 @@ class _PendingRequest:
         self.t_submit = time.perf_counter()
 
 
-def _shard_main(in_q, out_q, sage: Sage, snapshot: dict, near_hit: bool) -> None:
+def _shard_main(
+    in_q, out_q, sage: Sage, snapshot: dict, near_hit: bool, fidelity: str
+) -> None:
     """Shard worker loop: predict forever until the ``None`` sentinel.
 
     Seeds this process's shared planner from the parent's snapshot and
@@ -138,7 +146,7 @@ def _shard_main(in_q, out_q, sage: Sage, snapshot: dict, near_hit: bool) -> None
             fp = fingerprint_of(workload, sage.config)
             decision = local.get(fp)
             if decision is None:
-                decision = sage.predict(workload)
+                decision = sage.predict(workload, fidelity=fidelity)
                 local.put(fp, decision)
             out_q.put((key, decision, None))
         except Exception as exc:  # noqa: BLE001 - shipped to the client
@@ -149,13 +157,13 @@ class _Shard:
     """One worker process plus its request/response queues."""
 
     def __init__(
-        self, ctx, sage: Sage, snapshot: dict, near_hit: bool
+        self, ctx, sage: Sage, snapshot: dict, near_hit: bool, fidelity: str
     ) -> None:
         self.in_q = ctx.Queue()
         self.out_q = ctx.Queue()
         self.proc = ctx.Process(
             target=_shard_main,
-            args=(self.in_q, self.out_q, sage, snapshot, near_hit),
+            args=(self.in_q, self.out_q, sage, snapshot, near_hit, fidelity),
             daemon=True,
         )
         self.proc.start()
@@ -217,6 +225,11 @@ class SageServer:
         serve: ServeConfig | None = None,
     ) -> None:
         self.serve = serve or ServeConfig()
+        if self.serve.fidelity not in FIDELITIES:
+            raise ValueError(
+                f"unknown serve fidelity {self.serve.fidelity!r} "
+                f"(choose from {', '.join(FIDELITIES)})"
+            )
         self._sage = sage or Sage()
         self._cache = DecisionCache(
             self.serve.cache_size, near_hit=self.serve.near_hit
@@ -258,7 +271,13 @@ class SageServer:
             try:
                 for _ in range(self.serve.shards):
                     self._shards.append(
-                        _Shard(ctx, self._sage, snapshot, self.serve.near_hit)
+                        _Shard(
+                            ctx,
+                            self._sage,
+                            snapshot,
+                            self.serve.near_hit,
+                            self.serve.fidelity,
+                        )
                     )
             except (OSError, PermissionError) as exc:  # pragma: no cover
                 # Platforms that cannot spawn processes at all degrade to
@@ -509,7 +528,9 @@ class SageServer:
     def _compute_inline(self, key: tuple, workload) -> None:
         """Shardless fallback: run the search in this (worker) thread."""
         try:
-            decision = self._sage.predict(workload)
+            decision = self._sage.predict(
+                workload, fidelity=self.serve.fidelity
+            )
         except Exception as exc:  # noqa: BLE001 - reported in-band
             self._resolve(key, None, f"{type(exc).__name__}: {exc}")
         else:
@@ -561,6 +582,7 @@ class SageServer:
             }
         return {
             "uptime_s": time.monotonic() - self._t_start,
+            "fidelity": self.serve.fidelity,
             "degraded": self._degraded,
             "requests": counters,
             "cache": self._cache.stats().to_dict(),

@@ -1,0 +1,77 @@
+"""Shared fork-pool fan-out with graceful sequential degradation.
+
+Both batch frontends — :meth:`repro.sage.predictor.Sage.predict_many` and
+:meth:`repro.accelerator.simulator.WeightStationarySimulator.simulate_many`
+— need the same shape of machinery: fan a list of picklable jobs across a
+fork-context process pool, preserve input order, optionally seed each
+worker (snapshot initializers), and degrade to in-process execution on any
+platform that cannot run a pool at all instead of failing.  This module is
+that machinery, factored once.
+
+Degradation triggers (all run the jobs sequentially in this process):
+
+* a single job or ``processes <= 1`` — no pool worth spawning;
+* unpicklable inputs (lambda providers, open handles) — caught by an
+  explicit pre-flight so exceptions escaping the pool are genuine worker
+  bugs and propagate;
+* a daemonic caller (e.g. a serve shard worker) — daemons may not have
+  children;
+* platforms that cannot spawn (or keep) a pool: ``OSError`` /
+  ``PermissionError`` / ``BrokenProcessPool``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["fork_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def fork_map(
+    fn: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    *,
+    processes: int | None = None,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+) -> list[R]:
+    """``[fn(item) for item in items]``, fanned across a fork pool.
+
+    Results are returned in input order.  ``fn`` must be a module-level
+    callable (the pool pickles it); ``initializer(*initargs)`` runs once
+    per worker, e.g. to seed a process-global cache snapshot.
+    """
+    items = list(items)
+    if processes is None:
+        processes = min(len(items), multiprocessing.cpu_count())
+    if len(items) <= 1 or processes <= 1:
+        return [fn(item) for item in items]
+    if multiprocessing.current_process().daemon:
+        # Daemonic processes (serve shards) may not have children.
+        return [fn(item) for item in items]
+    try:
+        pickle.dumps((fn, items, initargs))
+    except (pickle.PicklingError, AttributeError, TypeError):
+        return [fn(item) for item in items]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context()
+    try:
+        with ProcessPoolExecutor(
+            max_workers=processes,
+            mp_context=ctx,
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, PermissionError, BrokenProcessPool):
+        # Platforms that cannot spawn (or keep) a pool at all.
+        return [fn(item) for item in items]

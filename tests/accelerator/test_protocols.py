@@ -1,0 +1,228 @@
+"""Streaming-protocol / stationary-layout registries and the two engines.
+
+Covers the pluggable dispatch that replaced the seed's hard-coded format
+tuples: registry lookups and their error messages, the ELL protocol
+end-to-end, vectorized-vs-reference engine equivalence, the
+``simulate_many`` batch API, and dynamic registration of a new protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator import AcceleratorConfig, WeightStationarySimulator
+from repro.accelerator import simulator as simulator_module
+from repro.accelerator.protocols import (
+    MATRIX_STREAM_PROTOCOLS,
+    STATIONARY_LAYOUTS,
+    StationaryOperand,
+    StreamProtocol,
+    register_stationary_layout,
+    register_stream_protocol,
+    stationary_formats,
+    stationary_layout_for,
+    stream_protocol_for,
+    streamable_formats,
+)
+from repro.accelerator.stream import StreamSpec
+from repro.errors import SimulationError
+from repro.formats import CscMatrix, CsrMatrix, DenseMatrix, EllMatrix
+from repro.formats.registry import Format, matrix_class
+from tests.conftest import make_sparse
+
+
+@pytest.fixture
+def sim():
+    return WeightStationarySimulator(AcceleratorConfig.walkthrough())
+
+
+class TestRegistryLookups:
+    def test_streamable_includes_seed_acfs_and_ell(self):
+        fmts = streamable_formats()
+        for fmt in (Format.DENSE, Format.CSR, Format.CSC, Format.COO,
+                    Format.ELL):
+            assert fmt in fmts
+
+    def test_stationary_formats(self):
+        assert set(stationary_formats()) == {Format.DENSE, Format.CSC}
+
+    def test_unregistered_stream_lookup_names_registered(self):
+        with pytest.raises(SimulationError) as err:
+            stream_protocol_for(Format.RLC)
+        message = str(err.value)
+        assert "RLC" in message and "registered" in message
+        assert "CSR" in message and "ELL" in message
+
+    def test_unregistered_stationary_lookup_names_registered(self):
+        with pytest.raises(SimulationError) as err:
+            stationary_layout_for(Format.BSR)
+        message = str(err.value)
+        assert "BSR" in message and "CSC" in message and "Dense" in message
+
+    def test_spec_only_tensor_protocol_cannot_extract(self, small_matrix):
+        proto = stream_protocol_for(Format.CSF, tensor=True)
+        assert not proto.streamable
+        with pytest.raises(SimulationError) as err:
+            proto.extract_entries(DenseMatrix.from_dense(small_matrix), 0, 2)
+        assert "slot costs only" in str(err.value)
+
+    def test_wrong_operand_class_rejected(self, small_matrix):
+        proto = stream_protocol_for(Format.CSR)
+        with pytest.raises(SimulationError) as err:
+            proto.extract_entries(DenseMatrix.from_dense(small_matrix), 0, 2)
+        assert "CsrMatrix" in str(err.value)
+
+    def test_seed_module_constants_derive_from_registries(self):
+        assert simulator_module.STREAMED_ACFS == streamable_formats()
+        assert simulator_module.STATIONARY_ACFS == stationary_formats()
+
+
+class TestEllEndToEnd:
+    @pytest.mark.parametrize("acf_b", [Format.DENSE, Format.CSC])
+    @pytest.mark.parametrize("density", [0.05, 0.4, 1.0])
+    def test_run_gemm_matches_numpy(self, sim, rng, acf_b, density):
+        a_dense = make_sparse(rng, (9, 11), density)
+        b_dense = make_sparse(rng, (11, 6), 0.5)
+        a = EllMatrix.from_dense(a_dense)
+        b_cls = CscMatrix if acf_b is Format.CSC else DenseMatrix
+        out, report = sim.run_gemm(a, Format.ELL, b_cls.from_dense(b_dense),
+                                   acf_b)
+        np.testing.assert_allclose(out, a_dense @ b_dense)
+        assert report.cycles.total_cycles > 0
+
+    def test_padding_slots_cost_cycles_but_no_macs(self, sim):
+        # One long row forces heavy ELL padding on the others: ELL must
+        # stream more cycles than CSR but issue the same matched MACs.
+        a_dense = np.zeros((4, 8))
+        a_dense[0, :6] = 1.0
+        a_dense[1, 0] = a_dense[2, 3] = a_dense[3, 7] = 2.0
+        b = DenseMatrix.from_dense(np.ones((8, 3)))
+        _, rep_ell = sim.run_gemm(
+            EllMatrix.from_dense(a_dense), Format.ELL, b, Format.DENSE
+        )
+        _, rep_csr = sim.run_gemm(
+            CsrMatrix.from_dense(a_dense), Format.CSR, b, Format.DENSE
+        )
+        assert rep_ell.cycles.stream_cycles > rep_csr.cycles.stream_cycles
+        assert rep_ell.cycles.matched_macs == rep_csr.cycles.matched_macs
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("acf_a", [Format.DENSE, Format.CSR, Format.CSC,
+                                       Format.COO, Format.ELL])
+    @pytest.mark.parametrize("acf_b", [Format.DENSE, Format.CSC])
+    def test_reports_identical(self, sim, rng, acf_a, acf_b):
+        a_dense = make_sparse(rng, (8, 10), 0.3)
+        b_dense = make_sparse(rng, (10, 5), 0.4)
+        a = matrix_class(acf_a).from_dense(a_dense)
+        b_cls = CscMatrix if acf_b is Format.CSC else DenseMatrix
+        b = b_cls.from_dense(b_dense)
+        out_v, rep_v = sim.run_gemm(a, acf_a, b, acf_b, engine="vectorized")
+        out_r, rep_r = sim.run_gemm(a, acf_a, b, acf_b, engine="reference")
+        np.testing.assert_allclose(out_v, out_r)
+        assert rep_v.cycles == rep_r.cycles
+        assert rep_v.energy == rep_r.energy
+
+    def test_unknown_engine_rejected(self, sim, small_matrix):
+        a = CsrMatrix.from_dense(small_matrix)
+        b = DenseMatrix.from_dense(np.ones((small_matrix.shape[1], 2)))
+        with pytest.raises(SimulationError):
+            sim.run_gemm(a, Format.CSR, b, Format.DENSE, engine="quantum")
+
+
+class TestSimulateMany:
+    def _jobs(self, rng, count=5):
+        jobs = []
+        for index in range(count):
+            a_dense = make_sparse(rng, (6 + index, 8), 0.3)
+            b_dense = make_sparse(rng, (8, 4), 0.5)
+            acf_a = (Format.CSR, Format.DENSE, Format.COO, Format.ELL,
+                     Format.CSC)[index % 5]
+            jobs.append((
+                matrix_class(acf_a).from_dense(a_dense), acf_a,
+                DenseMatrix.from_dense(b_dense), Format.DENSE,
+            ))
+        return jobs
+
+    def test_matches_sequential_in_order(self, sim, rng):
+        jobs = self._jobs(rng)
+        batch = sim.simulate_many(jobs, processes=2)
+        assert len(batch) == len(jobs)
+        for job, (out, report) in zip(jobs, batch):
+            out_seq, rep_seq = sim.run_gemm(*job)
+            np.testing.assert_allclose(out, out_seq)
+            assert report == rep_seq
+
+    def test_sequential_degradation(self, sim, rng):
+        jobs = self._jobs(rng, count=2)
+        batch = sim.simulate_many(jobs, processes=1)
+        for job, (out, _report) in zip(jobs, batch):
+            np.testing.assert_allclose(out, sim.run_gemm(*job)[0])
+
+
+class TestDynamicRegistration:
+    def test_new_stream_protocol_reaches_run_gemm(self, sim, rng):
+        # Registering a protocol is all a format needs to stream: plug a
+        # BSR extractor in (via its dense view), run it end-to-end, then
+        # restore the registry.
+        assert Format.BSR not in MATRIX_STREAM_PROTOCOLS
+
+        @register_stream_protocol(
+            Format.BSR,
+            spec=StreamSpec(entry_slots=2, shared_slots=1, grouped=True),
+        )
+        def _extract_bsr(a, lo, hi):
+            dense = a.to_dense()[:, lo:hi]
+            i, k = np.nonzero(dense)
+            return (
+                i.astype(np.int64),
+                (k + lo).astype(np.int64),
+                dense[i, k],
+                np.bincount(i, minlength=dense.shape[0]).astype(np.int64),
+            )
+
+        try:
+            assert Format.BSR in streamable_formats()
+            a_dense = make_sparse(rng, (8, 8), 0.4)
+            b_dense = make_sparse(rng, (8, 3), 0.5)
+            a = matrix_class(Format.BSR).from_dense(a_dense)
+            out, _report = sim.run_gemm(
+                a, Format.BSR, DenseMatrix.from_dense(b_dense), Format.DENSE
+            )
+            np.testing.assert_allclose(out, a_dense @ b_dense)
+        finally:
+            del MATRIX_STREAM_PROTOCOLS._table[Format.BSR]
+        assert Format.BSR not in MATRIX_STREAM_PROTOCOLS
+
+    def test_new_stationary_layout_reaches_run_gemm(self, sim, rng):
+        assert Format.ELL not in STATIONARY_LAYOUTS
+
+        @register_stationary_layout(Format.ELL, entry_cost=2,
+                                    matcher="metadata")
+        def _prepare_ell(b) -> StationaryOperand:
+            values = b.to_dense()
+            return StationaryOperand(values=values, stored=values != 0.0)
+
+        try:
+            a_dense = make_sparse(rng, (6, 7), 0.4)
+            b_dense = make_sparse(rng, (7, 4), 0.5)
+            out, _report = sim.run_gemm(
+                CsrMatrix.from_dense(a_dense), Format.CSR,
+                EllMatrix.from_dense(b_dense), Format.ELL,
+            )
+            np.testing.assert_allclose(out, a_dense @ b_dense)
+        finally:
+            del STATIONARY_LAYOUTS._table[Format.ELL]
+
+    def test_spec_only_registration_is_not_streamable(self):
+        proto = StreamProtocol(
+            Format.RLC, StreamSpec(entry_slots=2, shared_slots=0,
+                                   grouped=False)
+        )
+        MATRIX_STREAM_PROTOCOLS.register(proto)
+        try:
+            assert Format.RLC not in streamable_formats()
+            assert stream_protocol_for(Format.RLC) is proto
+        finally:
+            del MATRIX_STREAM_PROTOCOLS._table[Format.RLC]

@@ -17,10 +17,10 @@ class _WorkerBugSage(Sage):
         super().__init__()
         self._parent_pid = os.getpid()
 
-    def predict(self, workload):
+    def predict(self, workload, **kwargs):
         if os.getpid() != self._parent_pid:
             raise AttributeError("worker-side bug")
-        return super().predict(workload)
+        return super().predict(workload, **kwargs)
 
 
 def _suite() -> list[MatrixWorkload | TensorWorkload]:

@@ -185,6 +185,22 @@ class TestModes:
                 assert stats["near_hits"] == 0
                 assert stats["misses"] >= 2
 
+    def test_cycle_fidelity_server(self):
+        # A cycle-tier server answers with simulator-validated decisions;
+        # the small workload stays under the simulation proxy cap.
+        config = ServeConfig(port=0, shards=1, fidelity="cycle")
+        wl = MatrixWorkload("cyc", Kernel.SPMM, m=96, k=96, n=64,
+                            nnz_a=900, nnz_b=96 * 64)
+        with SageServer(serve=config) as srv:
+            with ServeClient(*srv.address) as c:
+                decision = c.predict(wl)
+                assert decision.fidelity == "cycle"
+                assert c.stats()["fidelity"] == "cycle"
+
+    def test_unknown_fidelity_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown serve fidelity"):
+            SageServer(serve=ServeConfig(port=0, fidelity="oracular"))
+
     def test_shutdown_rpc_stops_server(self):
         srv = SageServer(serve=ServeConfig(port=0, shards=0))
         address = srv.start()

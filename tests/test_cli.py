@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -63,6 +65,16 @@ class TestExecution:
         with pytest.raises(SystemExit):
             main(["sage", "--tensor", "--kernel", kernel])
 
+    def test_sage_tensor_rejects_cycle_fidelity(self):
+        with pytest.raises(SystemExit, match="matrix workload"):
+            main(["sage", "--tensor", "--i", "32", "--j", "32", "--k", "16",
+                  "--fidelity", "cycle"])
+
+    def test_sage_cycle_fidelity(self, capsys):
+        assert main(["sage", "--m", "96", "--k", "96", "--n", "64",
+                     "--density", "0.1", "--fidelity", "cycle"]) == 0
+        assert "[cycle]" in capsys.readouterr().out
+
     def test_sweep_prints_ladder(self, capsys):
         assert main(["sweep", "--m", "2000", "--k", "2000"]) == 0
         out = capsys.readouterr().out
@@ -104,3 +116,43 @@ class TestExecution:
     def test_paths_unknown_format_exits(self):
         with pytest.raises(SystemExit):
             main(["paths", "--src", "NOPE", "--dst", "CSR"])
+
+
+class TestJsonOutput:
+    def test_sage_json_is_wire_decision(self, capsys):
+        assert main(["sage", "--m", "200", "--k", "200", "--n", "100",
+                     "--density", "0.05", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workload_name"] == "cli"
+        assert doc["fidelity"] == "analytical"
+        assert doc["best"]["mcf"] and doc["best"]["acf"]
+        assert len(doc["ranking"]) >= 1
+
+    def test_sage_json_cycle_fidelity(self, capsys):
+        assert main(["sage", "--m", "96", "--k", "96", "--n", "64",
+                     "--density", "0.1", "--fidelity", "cycle",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["fidelity"] == "cycle"
+        assert {"ELL"} <= {cand["acf"][0] for cand in doc["ranking"]}
+
+    def test_suite_json_ranks_policies(self, capsys):
+        assert main(["suite", "journals", "--kernel", "spgemm",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workload"] == "journals"
+        assert doc["baseline"] == "Flex_Flex_HW"
+        names = [p["policy"] for p in doc["policies"]]
+        assert "Flex_Flex_HW" in names
+        ratios = [p["edp_vs_baseline"] for p in doc["policies"]]
+        assert ratios == sorted(ratios)
+        assert min(ratios) == pytest.approx(1.0)
+
+    def test_sweep_json_reports_best_per_density(self, capsys):
+        assert main(["sweep", "--m", "2000", "--k", "2000", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["shape"] == [2000, 2000]
+        assert "Dense" in doc["formats"]
+        for row in doc["rows"]:
+            assert row["best"] in doc["formats"]
+            assert set(row["relative_energy"]) == set(doc["formats"])
