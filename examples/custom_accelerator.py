@@ -3,35 +3,38 @@
 
 Uses the cycle-level simulator and the analytical model to compare fabric
 configurations (bus width, PE buffer, PE count) on a sparse GEMM — the kind
-of what-if a hardware architect would run before committing a design.  Also
-demonstrates defining a *custom format policy* (an accelerator that only
-speaks COO) and evaluating it against the built-in Table II designs.
+of what-if a hardware architect would run before committing a design.  The
+cycle-level check runs through ``Session.run`` bound to a custom fabric, so
+the SAGE decision, MINT conversion and simulation all share that config.
+Also demonstrates defining a *custom format policy* (an accelerator that
+only speaks COO) and evaluating it against the built-in Table II designs.
 
 Run: ``python examples/custom_accelerator.py``
+(set ``REPRO_EXAMPLE_SMOKE=1`` for smaller sweeps)
 """
 
 from __future__ import annotations
 
-import numpy as np
+import os
 
 from repro import (
     AcceleratorConfig,
     Format,
     Kernel,
     MatrixWorkload,
-    WeightStationarySimulator,
+    Session,
     analytical_gemm_stats,
     evaluate_all,
     evaluate_policy,
-    random_sparse_matrix,
 )
 from repro.baselines.policies import AcceleratorPolicy, ConverterKind
-from repro.formats import CooMatrix, CscMatrix
+
+SMOKE = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
 
 
 def sweep_fabrics() -> None:
     print("=== Fabric sweep on a 2k x 2k x 1k SpMM at 3% density ===")
-    m, k, n = 2000, 2000, 1000
+    m, k, n = (400, 400, 200) if SMOKE else (2000, 2000, 1000)
     nnz = int(0.03 * m * k)
     print(f"{'config':>34} | {'total cycles':>12} {'energy J':>10} {'EDP':>10}")
     for name, cfg in [
@@ -52,25 +55,20 @@ def sweep_fabrics() -> None:
         )
 
 
-def simulate_small_instance() -> None:
+def run_on_custom_fabric() -> None:
     print()
-    print("=== Cycle-level check of the winning ACF on a small instance ===")
-    a_dense = random_sparse_matrix(24, 32, 24, rng=5)
-    b_dense = random_sparse_matrix(32, 12, 64, rng=6)
+    print("=== End-to-end run on an edge-scale fabric (Session.run) ===")
     cfg = AcceleratorConfig(
         num_pes=6, vector_lanes=4, pe_buffer_bytes=16 * 4, bus_bits=8 * 32
     )
-    sim = WeightStationarySimulator(cfg)
-    a = CooMatrix.from_dense(a_dense)
-    b = CscMatrix.from_dense(b_dense)
-    out, rep = sim.run_gemm(a, Format.COO, b, Format.CSC)
-    assert np.allclose(out, a_dense @ b_dense)
-    c = rep.cycles
-    print(
-        f"COO(A)-CSC(B): {c.total_cycles} cycles over {c.k_tiles} k-tiles x "
-        f"{c.rounds} rounds, utilization {c.utilization:.0%}, "
-        f"output verified"
+    m, k, n = (16, 24, 8) if SMOKE else (24, 32, 12)
+    wl = MatrixWorkload(
+        "edge", Kernel.SPGEMM, m=m, k=k, n=n,
+        nnz_a=m * 2, nnz_b=k * n // 6,
     )
+    with Session(config=cfg) as session:
+        result = session.run(wl)
+    print(result.summary())
 
 
 def custom_policy() -> None:
@@ -84,9 +82,10 @@ def custom_policy() -> None:
         converter=ConverterKind.HW,  # COO memory, CSC stationary buffers
         reference="example custom design",
     )
+    m, k, n = (1000, 1000, 500) if SMOKE else (5000, 5000, 2500)
     wl = MatrixWorkload(
-        "custom", Kernel.SPGEMM, m=5000, k=5000, n=2500,
-        nnz_a=12_000, nnz_b=6_000,
+        "custom", Kernel.SPGEMM, m=m, k=k, n=n,
+        nnz_a=max(1, m * 12 // 5), nnz_b=max(1, k * 6 // 5),
     )
     results = {p: r.edp for p, r in evaluate_all(wl).items()}
     results["COO_Only"] = evaluate_policy(wl, coo_only).edp
@@ -102,5 +101,5 @@ def custom_policy() -> None:
 
 if __name__ == "__main__":
     sweep_fabrics()
-    simulate_small_instance()
+    run_on_custom_fabric()
     custom_policy()

@@ -3,29 +3,43 @@
 
 Interactive-style tour of the paper's Sec. III analysis on a matrix shape
 of your choice: which MCF is most compact where (Fig. 4), where the format
-crossovers fall, and which GPU ACF algorithm wins where (Fig. 5).
+crossovers fall, which GPU ACF algorithm wins where (Fig. 5) — and, to
+close the loop, what SAGE actually picks across the same densities (one
+batched ``Session.predict``).
 
-Run: ``python examples/format_explorer.py [M] [K]``  (defaults 11000 11000)
+Run: ``python examples/format_explorer.py [M] [K]``  (defaults 11000 11000;
+set ``REPRO_EXAMPLE_SMOKE=1`` for a small headless-CI shape)
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
-from repro import Format, GpuModel, MMAlgorithm
+from repro import (
+    Format,
+    GpuModel,
+    Kernel,
+    MatrixWorkload,
+    MMAlgorithm,
+    Session,
+)
 from repro.analysis.compactness import (
     crossover_density,
     storage_bits,
     transfer_energy_sweep,
 )
 
+SMOKE = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
+
 FORMATS = [Format.DENSE, Format.COO, Format.CSR, Format.CSC, Format.RLC, Format.ZVC]
 DENSITIES = [1e-8, 1e-6, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0]
 
 
 def main() -> None:
-    m = int(sys.argv[1]) if len(sys.argv) > 1 else 11_000
-    k = int(sys.argv[2]) if len(sys.argv) > 2 else 11_000
+    default = 500 if SMOKE else 11_000
+    m = int(sys.argv[1]) if len(sys.argv) > 1 else default
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else default
     dims = (m, k)
 
     print(f"=== Storage footprint relative to CSR ({m} x {k}, 32-bit) ===")
@@ -70,6 +84,25 @@ def main() -> None:
         times = {a: gpu.mm_time(a, m, k, k, d).seconds for a in MMAlgorithm}
         best = min(times, key=times.get)
         print(f"  {d:>9.0e}: {best.value:<28} ({times[best]:.3g} s)")
+
+    print()
+    print(f"=== What SAGE picks at each density (SpMM, {m}x{k}x{k}) ===")
+    densities = [1e-4, 1e-2, 0.1, 0.5] if SMOKE else [1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5]
+    workloads = [
+        MatrixWorkload(
+            name=f"d={d:g}", kernel=Kernel.SPMM, m=m, k=k, n=k,
+            nnz_a=max(1, int(d * m * k)), nnz_b=k * k,
+        )
+        for d in densities
+    ]
+    with Session() as session:
+        for wl, dec in zip(workloads, session.predict(workloads)):
+            b = dec.best
+            print(
+                f"  {wl.name:>8}: MCF=({b.mcf[0].value},{b.mcf[1].value}) "
+                f"ACF=({b.acf[0].value},{b.acf[1].value}) "
+                f"EDP {b.edp:.2e}"
+            )
 
 
 if __name__ == "__main__":

@@ -9,18 +9,28 @@ into the streamed-operand search of stage i+1 and reports what the chain
 costs versus planning each layer in isolation (which would silently assume
 free re-encoding in DRAM between layers).
 
+The isolated lower bound is computed through the ``Session`` facade with a
+per-stage ``mcf_a_space`` restriction — the same typed option the chain
+planner uses internally.
+
 Run: ``python examples/pipeline_planning.py``
+(set ``REPRO_EXAMPLE_SMOKE=1`` for a shorter chain)
 """
 
 from __future__ import annotations
 
-from repro import Format, Sage, plan_chain
+import os
+
+from repro import Format, Session, plan_chain
 from repro.workloads.dnn import CONV_LAYERS, PruningStrategy, layer_gemm
+
+SMOKE = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
 
 
 def main() -> None:
+    layers = CONV_LAYERS[:3] if SMOKE else CONV_LAYERS
     workloads = [
-        layer_gemm(layer, PruningStrategy.GLOBAL_70) for layer in CONV_LAYERS
+        layer_gemm(layer, PruningStrategy.GLOBAL_70) for layer in layers
     ]
 
     print("=== Chained plan (output format carried between layers) ===")
@@ -39,8 +49,9 @@ def main() -> None:
 
     print()
     print("=== Versus isolated per-layer planning (lower bound) ===")
-    sage = Sage()
-    isolated = sum(sage.predict_matrix(wl).best.edp for wl in workloads)
+    with Session() as session:
+        isolated_decisions = session.predict(workloads)
+    isolated = sum(d.best.edp for d in isolated_decisions)
     chained = sum(s.decision.best.edp for s in plan.stages)
     print(
         f"sum of isolated optima: {isolated:.3e}  "

@@ -1,31 +1,23 @@
 #!/usr/bin/env python3
 """Quickstart: the full Fig. 1b pipeline on one sparse workload.
 
-1. Describe a sparse matrix-multiply workload by its statistics.
-2. Ask SAGE for the best Memory/Algorithm Compression Format combination.
-3. Encode real operands in the chosen MCFs, convert with MINT, and run the
-   cycle-level accelerator simulator on the chosen ACFs.
-4. Check the numeric output and inspect the cycle/energy reports.
+One ``Session`` call does the whole flow: SAGE picks the best
+Memory/Algorithm Compression Format combination, MINT converts real
+operands along the planned route, and the cycle-level accelerator
+simulator executes the chosen ACFs — returning a unified ``RunResult``
+with the decision, both conversion reports and the cycle/energy report.
 
 Run: ``python examples/quickstart.py``
+(set ``REPRO_EXAMPLE_SMOKE=1`` for a tiny headless-CI instance)
 """
 
 from __future__ import annotations
 
-import numpy as np
+import os
 
-from repro import (
-    AcceleratorConfig,
-    Format,
-    Kernel,
-    MatrixWorkload,
-    MintEngine,
-    Sage,
-    WeightStationarySimulator,
-    matrix_class,
-    random_sparse_matrix,
-)
-from repro.formats import CscMatrix, DenseMatrix
+from repro import AcceleratorConfig, Kernel, MatrixWorkload, Session
+
+SMOKE = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
 
 
 def main() -> None:
@@ -36,7 +28,7 @@ def main() -> None:
     )
 
     # --- 1. the workload ----------------------------------------------------
-    m, k, n = 64, 96, 32
+    m, k, n = (32, 48, 16) if SMOKE else (64, 96, 32)
     density = 0.08
     nnz_a = int(density * m * k)
     workload = MatrixWorkload(
@@ -44,59 +36,30 @@ def main() -> None:
         nnz_a=nnz_a, nnz_b=k * n,
     )
 
-    # --- 2. SAGE picks the formats -------------------------------------------
-    decision = Sage(config=config).predict_matrix(workload)
-    print(decision.summary(top=4))
+    # --- 2. predict / convert / execute, in one call -------------------------
+    with Session(config=config) as session:
+        decision = session.predict(workload)
+        print(decision.summary(top=4))
+        print()
+
+        result = session.run(workload)
+
+    # --- 3. inspect the unified result ---------------------------------------
+    print(result.summary())
     print()
-
-    # --- 3. encode, convert, execute ----------------------------------------
-    a_dense = random_sparse_matrix(m, k, nnz_a, rng=0)
-    b_dense = random_sparse_matrix(k, n, k * n, rng=1)
-
-    engine = MintEngine()
-    a_mem = matrix_class(decision.mcf[0]).from_dense(a_dense)
-    a_acf, conv_a = engine.convert(a_mem, decision.acf[0])
-    b_mem = matrix_class(decision.mcf[1]).from_dense(b_dense)
-    b_acf, conv_b = engine.convert(b_mem, decision.acf[1])
-    print(
-        f"MINT: A {conv_a.source}->{conv_a.target} in {conv_a.cycles} cycles "
-        f"({conv_a.energy_j:.2e} J) via {conv_a.path or ('identity',)}"
-    )
-    print(
-        f"MINT: B {conv_b.source}->{conv_b.target} in {conv_b.cycles} cycles"
-    )
-
-    sim = WeightStationarySimulator(config)
-    b_stationary = (
-        b_acf
-        if decision.acf[1] is Format.CSC
-        else DenseMatrix.from_dense(b_acf.to_dense())
-    )
-    assert isinstance(b_stationary, (DenseMatrix, CscMatrix))
-    out, report = sim.run_gemm(a_acf, decision.acf[0], b_stationary, decision.acf[1])
-
-    # --- 4. verify and report -------------------------------------------------
-    assert np.allclose(out, a_dense @ b_dense), "simulator output mismatch!"
-    c = report.cycles
-    print()
-    print(f"simulator: output verified against numpy ({m}x{n})")
-    print(
-        f"cycles: load={c.load_cycles} stream={c.stream_cycles} "
-        f"drain={c.drain_cycles} compute={c.compute_cycles} "
-        f"-> total={c.total_cycles}"
-    )
+    c = result.report.cycles
     print(
         f"MACs: issued={c.issued_macs} matched={c.matched_macs} "
-        f"(utilization {c.utilization:.1%})"
+        f"(utilization {c.utilization:.1%}); output shape "
+        f"{result.output.shape}"
     )
-    print(f"on-chip energy: {report.energy.total_j:.3e} J, EDP {report.edp:.3e}")
     print()
     print(
         "note: the cycle simulator models the literal Fig. 6 walkthrough —\n"
         "dense ACFs stream and multiply zeros (hence the low utilization\n"
         "above), while SAGE's analytical model assumes the Sec. VI flexible\n"
-        "NoC that skips them.  Try Format.CSR as the streamed ACF to see the\n"
-        "sparse path."
+        "NoC that skips them.  The same Session code answers from a server\n"
+        'instead: Session("tcp://127.0.0.1:7342") after `repro serve`.'
     )
 
 

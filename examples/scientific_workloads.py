@@ -2,36 +2,37 @@
 """Scientific-computing tour: SAGE across the Table III suite.
 
 Walks the paper's SuiteSparse/DeepBench/FROSTT/BrainQ workload suite (exact
-published dimensions and nonzero counts), asks SAGE for the optimal format
-combination per workload and scenario, and shows how much a
-fixed-format accelerator would lose on each — the core datacenter argument
-of the paper (Sec. I: a suite of applications spans every sparsity region,
-so fixed formats can't win everywhere).
+published dimensions and nonzero counts) through one batched
+``Session.predict`` per scenario — matrix and 3-D tensor workloads route
+through the same call — and shows how much a fixed-format accelerator
+would lose on each: the core datacenter argument of the paper (Sec. I, a
+suite of applications spans every sparsity region, so fixed formats can't
+win everywhere).
 
 Run: ``python examples/scientific_workloads.py``
+(set ``REPRO_EXAMPLE_SMOKE=1`` for a three-workload subset)
 """
 
 from __future__ import annotations
 
-from repro import (
-    Kernel,
-    MATRIX_SUITE,
-    Sage,
-    TENSOR_SUITE,
-    evaluate_all,
-)
+import os
+
+from repro import MATRIX_SUITE, TENSOR_SUITE, Kernel, Session, evaluate_all
+
+SMOKE = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
 
 
 def main() -> None:
-    sage = Sage()
+    matrix_entries = MATRIX_SUITE[:3] if SMOKE else MATRIX_SUITE
+    tensor_entries = TENSOR_SUITE[:1] if SMOKE else TENSOR_SUITE
+    session = Session()
 
     print("=== SAGE decisions for the Table III suite (SpMM scenario) ===")
     header = f"{'workload':>14} {'density':>10} | {'MCF(A,B)':>14} {'ACF(A,B)':>14} | EDP"
     print(header)
     print("-" * len(header))
-    for entry in MATRIX_SUITE:
-        wl = entry.matrix_workload(Kernel.SPMM)
-        d = sage.predict_matrix(wl)
+    workloads = [e.matrix_workload(Kernel.SPMM) for e in matrix_entries]
+    for entry, d in zip(matrix_entries, session.predict(workloads)):
         print(
             f"{entry.name:>14} {entry.density_pct:>9.4g}% | "
             f"{d.mcf[0].value + ',' + d.mcf[1].value:>14} "
@@ -41,9 +42,8 @@ def main() -> None:
 
     print()
     print("=== Tensor workloads (MTTKRP scenario) ===")
-    for entry in TENSOR_SUITE:
-        wl = entry.tensor_workload(Kernel.MTTKRP)
-        d = sage.predict_tensor(wl)
+    tensor_wls = [e.tensor_workload(Kernel.MTTKRP) for e in tensor_entries]
+    for entry, d in zip(tensor_entries, session.predict(tensor_wls)):
         print(
             f"{entry.name:>14} {entry.density_pct:>9.4g}% | "
             f"tensor MCF={d.mcf[0].value:<5} ACF={d.acf[0].value:<5} | "
@@ -52,7 +52,8 @@ def main() -> None:
 
     print()
     print("=== What a fixed-format accelerator loses (SpGEMM scenario) ===")
-    for name in ("journals", "speech2", "m3plates"):
+    names = ("journals",) if SMOKE else ("journals", "speech2", "m3plates")
+    for name in names:
         entry = next(e for e in MATRIX_SUITE if e.name == name)
         results = evaluate_all(entry.matrix_workload(Kernel.SPGEMM))
         ours = results["Flex_Flex_HW"].edp

@@ -1,31 +1,45 @@
-"""Serving demo: run SAGE as a service and query it over TCP.
+"""Serving demo: the same Session code, answered by a remote server.
 
 Starts a :class:`~repro.serve.server.SageServer` on an ephemeral port
-(two warm shard workers, near-hit cache on), drives it with a
-:class:`~repro.serve.client.ServeClient` — cold pass, warm repeat, a
-density-band near-hit — and prints the server's stats RPC.
+(warm shard workers, near-hit cache on) and drives it through the
+``Session`` facade with a ``tcp://`` backend — cold pass, warm repeat, a
+density-band near-hit, a search-restricted request that bypasses the
+cache — then prints the server's stats RPC.  Nothing but the backend URL
+distinguishes this code from an in-process ``Session()``.
 
 Run with ``PYTHONPATH=src python examples/serve_demo.py``.
+(set ``REPRO_EXAMPLE_SMOKE=1`` for a smaller headless-CI instance)
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 
-from repro import MATRIX_SUITE, Kernel, MatrixWorkload
-from repro.serve import SageServer, ServeClient, ServeConfig
+from repro import (
+    MATRIX_SUITE,
+    Format,
+    Kernel,
+    MatrixWorkload,
+    PredictOptions,
+    Session,
+)
+from repro.serve import SageServer, ServeConfig
+
+SMOKE = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
 
 
 def main() -> None:
-    suite = [entry.matrix_workload(Kernel.SPMM) for entry in MATRIX_SUITE]
-    config = ServeConfig(port=0, shards=2, near_hit=True)
+    entries = MATRIX_SUITE[:3] if SMOKE else MATRIX_SUITE
+    suite = [entry.matrix_workload(Kernel.SPMM) for entry in entries]
+    config = ServeConfig(port=0, shards=1 if SMOKE else 2, near_hit=True)
     with SageServer(serve=config) as server:
         host, port = server.address
         print(f"server up on {host}:{port}\n")
-        with ServeClient(host, port) as client:
+        with Session(f"tcp://{host}:{port}") as session:
             t0 = time.perf_counter()
-            decisions = client.predict_many(suite)
+            decisions = session.predict(suite)
             cold_ms = (time.perf_counter() - t0) * 1e3
             print(f"cold pass: {len(suite)} suite workloads in {cold_ms:.1f} ms")
             for decision in decisions[:3]:
@@ -37,22 +51,33 @@ def main() -> None:
                 )
 
             t0 = time.perf_counter()
-            client.predict_many(suite)
+            session.predict(suite)
             warm_ms = (time.perf_counter() - t0) * 1e3
             print(f"warm pass: same suite in {warm_ms:.1f} ms (decision cache)")
 
             # A workload the server never saw, but in the same density
             # band as a cached one: served as a near-hit.
-            speech2 = suite[4]
+            seen = suite[-1]
             neighbour = MatrixWorkload(
-                "speech2-retrained", speech2.kernel, speech2.m, speech2.k,
-                speech2.n, speech2.nnz_a + 512, speech2.nnz_b,
+                f"{seen.name}-retrained", seen.kernel, seen.m, seen.k,
+                seen.n, seen.nnz_a + 512, seen.nnz_b,
             )
-            client.predict(neighbour)
-            print("near-hit: unseen neighbour answered from the band cache\n")
+            session.predict(neighbour)
+            print("near-hit: unseen neighbour answered from the band cache")
+
+            # Typed options travel the versioned wire schema; restricted
+            # searches bypass the decision cache on the server side.
+            pinned = session.predict(
+                seen, PredictOptions(fixed_mcf=(Format.CSR, Format.DENSE))
+            )
+            print(
+                f"restricted: CSR-pinned best ACF = "
+                f"({pinned.best.acf[0]},{pinned.best.acf[1]}) "
+                f"(computed cache-bypassing)\n"
+            )
 
             print("server stats:")
-            print(json.dumps(client.stats(), indent=2))
+            print(json.dumps(session.backend.stats(), indent=2))
     print("\nserver shut down cleanly")
 
 

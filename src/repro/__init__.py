@@ -14,15 +14,22 @@ they depend on:
 * **SAGE** (Sec. VI): the MCF/ACF predictor minimizing energy-delay
   product — :class:`~repro.sage.predictor.Sage`.
 
-Quickstart::
+The preferred call surface is the :class:`~repro.api.session.Session`
+facade, which fronts the whole flow behind pluggable local/remote
+backends::
 
-    import numpy as np
-    from repro import Sage, MintEngine, MatrixWorkload, Kernel, Format
+    from repro import Session, MatrixWorkload, Kernel
 
     wl = MatrixWorkload("mine", Kernel.SPMM, m=4096, k=4096, n=2048,
                         nnz_a=800_000, nnz_b=4096 * 2048)
-    decision = Sage().predict_matrix(wl)
+    with Session() as s:                 # or Session("tcp://host:port")
+        decision = s.predict(wl)         # batch-first: lists work too
+        result = s.run(wl)               # predict -> convert -> simulate
     print(decision.summary())
+
+``Sage`` and ``MintEngine`` remain importable as the stable in-process
+primitives underneath (``Session`` composes them); prefer ``Session`` for
+new code — the old per-class entry points are kept for compatibility.
 
 See ``examples/`` for runnable end-to-end scenarios and ``benchmarks/`` for
 the per-figure reproduction harnesses.
@@ -38,6 +45,15 @@ from repro.accelerator import (
     analytical_gemm_stats,
     analytical_mttkrp,
     analytical_spttm,
+)
+from repro.api import (
+    Backend,
+    LocalBackend,
+    PredictOptions,
+    RemoteBackend,
+    RunOptions,
+    RunResult,
+    Session,
 )
 from repro.baselines import (
     ALL_POLICIES,
@@ -125,9 +141,17 @@ from repro.workloads import (
     workload_from_dict,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # api (the preferred surface)
+    "Session",
+    "PredictOptions",
+    "RunOptions",
+    "RunResult",
+    "Backend",
+    "LocalBackend",
+    "RemoteBackend",
     # formats
     "Format",
     "MATRIX_FORMATS",

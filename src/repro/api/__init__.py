@@ -1,0 +1,75 @@
+"""``repro.api`` — the redesigned top-level call surface.
+
+One :class:`Session` facade fronts the whole paper flow behind pluggable
+backends::
+
+    from repro.api import Session, PredictOptions
+
+    with Session() as s:                                # in-process
+        decision = s.predict(workload)
+        decisions = s.predict(suite, fidelity="cycle")  # batch-first
+        result = s.run(workload)                        # predict→convert→
+                                                        # simulate
+
+    with Session("tcp://127.0.0.1:7342") as s:          # same code, served
+        decision = s.predict(workload)
+
+Layout:
+
+* :mod:`repro.api.options` — typed, versioned request options
+  (:class:`PredictOptions`, :class:`RunOptions`) with ``to_wire`` /
+  ``from_wire``; the schema the serve layer speaks.
+* :mod:`repro.api.backends` — the :class:`Backend` protocol plus
+  :class:`LocalBackend` / :class:`RemoteBackend`.
+* :mod:`repro.api.session` — the :class:`Session` facade and its
+  end-to-end :meth:`Session.run`.
+* :mod:`repro.api.result` — the unified :class:`RunResult`.
+
+Heavy members load lazily (PEP 562): ``repro.sage`` imports the options
+module from here, so eagerly importing the session layer (which imports
+``repro.sage`` back) would cycle.
+"""
+
+from repro.api.options import (
+    FIDELITIES,
+    PredictOptions,
+    RunOptions,
+    SUPPORTED_WIRE_SCHEMAS,
+    WIRE_SCHEMA_VERSION,
+    resolve_options,
+)
+
+__all__ = [
+    "Backend",
+    "FIDELITIES",
+    "LocalBackend",
+    "PredictOptions",
+    "RemoteBackend",
+    "RunOptions",
+    "RunResult",
+    "SUPPORTED_WIRE_SCHEMAS",
+    "Session",
+    "WIRE_SCHEMA_VERSION",
+    "resolve_options",
+]
+
+_LAZY = {
+    "Backend": "repro.api.backends",
+    "LocalBackend": "repro.api.backends",
+    "RemoteBackend": "repro.api.backends",
+    "RunResult": "repro.api.result",
+    "Session": "repro.api.session",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,11 +1,16 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``repro <command>`` / ``python -m repro``.
 
 Commands
 --------
 ``sage``
     Run SAGE on a workload described by its statistics and print the
     decision ranking (``--tensor`` for 3-D workloads, ``--fidelity cycle``
-    to validate the analytical top-k on the cycle-level simulator).
+    to validate the analytical top-k on the cycle-level simulator,
+    ``--backend tcp://host:port`` to answer from a running server).
+``run``
+    The end-to-end pipeline on one matrix workload: SAGE decision, MINT
+    conversion along the planned route, cycle-level simulation — one
+    :class:`~repro.api.result.RunResult` report.
 ``serve``
     Run the batched, cached SAGE prediction server (``repro.serve``).
 ``sweep``
@@ -20,6 +25,9 @@ Commands
 
 ``sage``, ``suite`` and ``sweep`` accept ``--json``, emitting one
 machine-readable JSON document on stdout instead of the human tables.
+Prediction commands go through the :class:`~repro.api.session.Session`
+facade, so ``--backend`` swaps in-process search for a remote server
+without changing anything else.
 """
 
 from __future__ import annotations
@@ -37,8 +45,29 @@ def _emit_json(payload: dict) -> None:
     sys.stdout.write("\n")
 
 
+def _cli_matrix_workload(args: argparse.Namespace):
+    from repro.workloads.spec import Kernel, MatrixWorkload
+
+    name = args.kernel or "spmm"
+    nnz_a = int(args.density * args.m * args.k)
+    nnz_b = (
+        args.k * args.n
+        if name == "spmm"
+        else max(1, int(args.density * args.k * args.n))
+    )
+    return MatrixWorkload(
+        name="cli",
+        kernel=Kernel.SPMM if name == "spmm" else Kernel.SPGEMM,
+        m=args.m,
+        k=args.k,
+        n=args.n,
+        nnz_a=max(1, nnz_a),
+        nnz_b=nnz_b,
+    )
+
+
 def _cmd_sage(args: argparse.Namespace) -> int:
-    from repro.sage import Sage
+    from repro.api import PredictOptions, Session
     from repro.workloads.spec import Kernel, MatrixWorkload, TensorWorkload
 
     if args.tensor:
@@ -64,31 +93,46 @@ def _cmd_sage(args: argparse.Namespace) -> int:
             # Sec. VII-A default: rank = first mode / 2.
             rank=args.rank if args.rank else max(1, args.i // 2),
         )
-        decision = Sage().predict_tensor(wl, fidelity=args.fidelity)
     elif args.kernel in ("spttm", "mttkrp"):
         raise SystemExit(f"--kernel {args.kernel} needs --tensor")
     else:
-        name = args.kernel or "spmm"
-        nnz_a = int(args.density * args.m * args.k)
-        nnz_b = (
-            args.k * args.n
-            if name == "spmm"
-            else max(1, int(args.density * args.k * args.n))
+        wl = _cli_matrix_workload(args)
+    with Session(args.backend) as session:
+        decision = session.predict(
+            wl, PredictOptions(fidelity=args.fidelity)
         )
-        wl = MatrixWorkload(
-            name="cli",
-            kernel=Kernel.SPMM if name == "spmm" else Kernel.SPGEMM,
-            m=args.m,
-            k=args.k,
-            n=args.n,
-            nnz_a=max(1, nnz_a),
-            nnz_b=nnz_b,
-        )
-        decision = Sage().predict_matrix(wl, fidelity=args.fidelity)
     if args.json:
         _emit_json(decision.to_wire(top=args.top))
     else:
         print(decision.summary(top=args.top))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import PredictOptions, RunOptions, Session
+
+    wl = _cli_matrix_workload(args)
+    opts = RunOptions(
+        predict=PredictOptions(fidelity=args.fidelity),
+        seed=args.seed,
+        engine=args.engine,
+    )
+    with Session(args.backend) as session:
+        result = session.run(wl, opts)
+    if args.json:
+        _emit_json(
+            {
+                "decision": result.decision.to_wire(top=args.top),
+                "sim_scale": result.sim_scale,
+                "conversion_cycles": result.conversion_cycles,
+                "cycles": result.cycles,
+                "energy_j": result.energy_j,
+                "edp": result.edp,
+                "verified": result.verified,
+            }
+        )
+    else:
+        print(result.summary())
     return 0
 
 
@@ -280,13 +324,25 @@ def _cmd_paths(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The ``python -m repro`` argument parser."""
+    """The ``repro`` / ``python -m repro`` argument parser."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multi-format sparse tensor accelerator reproduction "
         "(Qin et al., IPDPS 2021)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_backend(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend", default="local",
+            help="prediction backend: 'local' (in-process, default) or "
+            "tcp://host:port of a running 'repro serve'",
+        )
 
     p = sub.add_parser("sage", help="run the SAGE format predictor")
     p.add_argument("--m", type=int, default=4096)
@@ -311,7 +367,31 @@ def build_parser() -> argparse.ArgumentParser:
                    "cycle-level simulator (matrix workloads)")
     p.add_argument("--json", action="store_true",
                    help="emit the decision as JSON (to_wire form)")
+    add_backend(p)
     p.set_defaults(fn=_cmd_sage)
+
+    p = sub.add_parser(
+        "run",
+        help="end-to-end pipeline: SAGE decision -> MINT conversion -> "
+        "cycle-level simulation",
+    )
+    p.add_argument("--m", type=int, default=512)
+    p.add_argument("--k", type=int, default=512)
+    p.add_argument("--n", type=int, default=256)
+    p.add_argument("--density", type=float, default=0.05)
+    p.add_argument("--kernel", choices=["spmm", "spgemm"], default=None)
+    p.add_argument("--top", type=int, default=5,
+                   help="ranking prefix in --json output")
+    p.add_argument("--fidelity", choices=["analytical", "cycle"],
+                   default="analytical")
+    p.add_argument("--seed", type=int, default=0,
+                   help="operand materialization seed")
+    p.add_argument("--engine", choices=["vectorized", "reference"],
+                   default="vectorized", help="cycle-simulator engine")
+    p.add_argument("--json", action="store_true",
+                   help="emit the run result as JSON")
+    add_backend(p)
+    p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser(
         "serve", help="run the batched, cached SAGE prediction server"

@@ -51,7 +51,13 @@ def find_path(
 
 
 class MintEngine:
-    """A merged-MINT converter instance attached to the accelerator."""
+    """A merged-MINT converter instance attached to the accelerator.
+
+    Stable in-process primitive; end-to-end callers should prefer
+    :meth:`repro.api.session.Session.run`, which drives this engine along
+    SAGE's planned route and folds the reports into one
+    :class:`~repro.api.result.RunResult`.
+    """
 
     def __init__(
         self,

@@ -30,12 +30,14 @@ Two **fidelity tiers** are exposed through ``fidelity=``:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.accelerator.config import AcceleratorConfig
 from repro.accelerator.protocols import streamable_formats
 from repro.accelerator.simulator import WeightStationarySimulator
+from repro.api.options import FIDELITIES, PredictOptions, resolve_options
 from repro.errors import ConversionError, PredictionError
 from repro.formats.csc import CscMatrix
 from repro.formats.dense import DenseMatrix
@@ -54,9 +56,6 @@ from repro.sage.spaces import MATRIX_ACF_STREAMED, matrix_combos, tensor_combos
 from repro.util.pool import fork_map
 from repro.workloads.spec import MatrixWorkload, TensorWorkload
 from repro.workloads.synthetic import random_sparse_matrix
-
-#: Recognized fidelity tiers.
-FIDELITIES = ("analytical", "cycle")
 
 #: Largest operand (in logical elements) the cycle tier simulates directly;
 #: bigger workloads are validated through a density-preserving proxy.
@@ -140,16 +139,26 @@ class SageDecision:
         return "\n".join(lines)
 
 
-def _check_fidelity(fidelity: str) -> None:
-    if fidelity not in FIDELITIES:
-        raise PredictionError(
-            f"unknown fidelity {fidelity!r} (choose from "
-            f"{', '.join(FIDELITIES)})"
-        )
+def truncate_ranking(
+    decision: SageDecision, top_k: int | None
+) -> SageDecision:
+    """Keep the ranking prefix ``top_k`` (``best`` is always retained)."""
+    if top_k is None or len(decision.ranking) <= top_k:
+        return decision
+    return dataclasses.replace(decision, ranking=decision.ranking[:top_k])
 
 
 class Sage:
-    """The format predictor, bound to one accelerator + DRAM configuration."""
+    """The format predictor, bound to one accelerator + DRAM configuration.
+
+    Every entry point accepts the same consolidated option set, either as
+    one typed :class:`~repro.api.options.PredictOptions` object
+    (``options=``) or as the equivalent keyword arguments (which override
+    the object's fields).  Most callers should prefer the
+    :class:`~repro.api.session.Session` facade, which fronts this class
+    and the remote serving backend with one surface; ``Sage`` remains the
+    stable in-process primitive underneath.
+    """
 
     def __init__(
         self,
@@ -165,10 +174,11 @@ class Sage:
         self,
         workload: MatrixWorkload,
         *,
+        options: PredictOptions | None = None,
         fixed_mcf: tuple[Format, Format] | None = None,
         mcf_a_space: tuple[Format, ...] | None = None,
         mcf_b_space: tuple[Format, ...] | None = None,
-        fidelity: str = "analytical",
+        fidelity: str | None = None,
     ) -> SageDecision:
         """Search the matrix MCF/ACF space for *workload*.
 
@@ -177,16 +187,19 @@ class Sage:
         ``mcf_a_space`` / ``mcf_b_space`` restrict single operands (used by
         the pipeline planner, where a stage inherits its predecessor's
         output format).  ``fidelity="cycle"`` re-ranks the analytical top-k
-        through the cycle simulator (see the module docstring).
+        through the cycle simulator (see the module docstring).  The same
+        knobs (plus ``top_k`` ranking truncation) can arrive bundled as
+        one ``options`` object; explicit keywords override its fields.
         """
-        _check_fidelity(fidelity)
-        combo_kwargs: dict = {"fixed_mcf": fixed_mcf}
-        if mcf_a_space is not None:
-            combo_kwargs["mcf_a"] = mcf_a_space
-        if mcf_b_space is not None:
-            combo_kwargs["mcf_b"] = mcf_b_space
+        opts = resolve_options(
+            options,
+            fixed_mcf=fixed_mcf,
+            mcf_a_space=mcf_a_space,
+            mcf_b_space=mcf_b_space,
+            fidelity=fidelity,
+        )
         candidates: list[CostBreakdown] = []
-        for mcf, acf in matrix_combos(**combo_kwargs):
+        for mcf, acf in matrix_combos(**opts.search_kwargs()):
             cost = evaluate_matrix_combo(
                 workload,
                 mcf,
@@ -198,26 +211,44 @@ class Sage:
             if cost is not None:
                 candidates.append(cost)
         decision = self._decide(workload.name, candidates)
-        if fidelity == "cycle":
+        if opts.fidelity == "cycle":
             decision = self._cycle_rerank(workload, decision)
-        return decision
+        return truncate_ranking(decision, opts.top_k)
 
     def predict_tensor(
         self,
         workload: TensorWorkload,
         *,
+        options: PredictOptions | None = None,
         fixed_mcf: tuple[Format, Format] | None = None,
-        fidelity: str = "analytical",
+        fidelity: str | None = None,
     ) -> SageDecision:
-        """Search the 3-D tensor MCF/ACF space for *workload*."""
-        _check_fidelity(fidelity)
-        if fidelity == "cycle":
+        """Search the 3-D tensor MCF/ACF space for *workload*.
+
+        Options the tensor search cannot honor are rejected with a
+        :class:`~repro.errors.PredictionError` (never silently ignored):
+        per-operand MCF spaces have no tensor equivalent, and cycle
+        fidelity needs the matrix simulator.
+        """
+        opts = resolve_options(options, fixed_mcf=fixed_mcf, fidelity=fidelity)
+        unsupported = [
+            name
+            for name in ("mcf_a_space", "mcf_b_space")
+            if getattr(opts, name) is not None
+        ]
+        if unsupported:
+            raise PredictionError(
+                f"{', '.join(unsupported)} not supported for 3-D tensor "
+                f"workloads (per-operand MCF spaces are a matrix-search "
+                f"restriction; use fixed_mcf to pin both tensor operands)"
+            )
+        if opts.fidelity == "cycle":
             raise PredictionError(
                 "cycle fidelity requires the matrix simulator; 3-D tensor "
                 "kernels are analytical-only (matricized streaming specs)"
             )
         candidates: list[CostBreakdown] = []
-        for mcf, acf in tensor_combos(fixed_mcf=fixed_mcf):
+        for mcf, acf in tensor_combos(fixed_mcf=opts.fixed_mcf):
             cost = evaluate_tensor_combo(
                 workload,
                 mcf,
@@ -228,25 +259,42 @@ class Sage:
             )
             if cost is not None:
                 candidates.append(cost)
-        return self._decide(workload.name, candidates)
+        return truncate_ranking(self._decide(workload.name, candidates), opts.top_k)
 
     def predict(
         self,
         workload: MatrixWorkload | TensorWorkload,
         *,
-        fidelity: str = "analytical",
+        options: PredictOptions | None = None,
+        fixed_mcf: tuple[Format, Format] | None = None,
+        mcf_a_space: tuple[Format, ...] | None = None,
+        mcf_b_space: tuple[Format, ...] | None = None,
+        fidelity: str | None = None,
     ) -> SageDecision:
-        """Dispatch on workload arity (matrix vs 3-D tensor)."""
+        """Dispatch on workload arity (matrix vs 3-D tensor).
+
+        Accepts the full option set of :meth:`predict_matrix`; tensor
+        workloads reject matrix-only restrictions with a clear
+        :class:`~repro.errors.PredictionError` instead of dropping them.
+        """
+        opts = resolve_options(
+            options,
+            fixed_mcf=fixed_mcf,
+            mcf_a_space=mcf_a_space,
+            mcf_b_space=mcf_b_space,
+            fidelity=fidelity,
+        )
         if isinstance(workload, TensorWorkload):
-            return self.predict_tensor(workload, fidelity=fidelity)
-        return self.predict_matrix(workload, fidelity=fidelity)
+            return self.predict_tensor(workload, options=opts)
+        return self.predict_matrix(workload, options=opts)
 
     def predict_many(
         self,
         workloads: Sequence[MatrixWorkload | TensorWorkload],
         *,
+        options: PredictOptions | None = None,
         processes: int | None = None,
-        fidelity: str = "analytical",
+        fidelity: str | None = None,
     ) -> list[SageDecision]:
         """Predict a whole workload suite, fanned across a process pool.
 
@@ -256,13 +304,15 @@ class Sage:
         worker is seeded with a snapshot of the parent's conversion-route
         cache (:meth:`~repro.mint.cost.PathPlanner.export_routes`), so
         route planning already amortized in this process is not redone per
-        worker.
+        worker.  The full option set (search restrictions, ``top_k``)
+        applies to every workload in the batch; ``processes`` bounds the
+        pool width.
         """
-        _check_fidelity(fidelity)
+        opts = resolve_options(options, processes=processes, fidelity=fidelity)
         return fork_map(
             _predict_one,
-            [(self, wl, fidelity) for wl in workloads],
-            processes=processes,
+            [(self, wl, opts) for wl in workloads],
+            processes=opts.processes,
             initializer=_seed_worker_planner,
             initargs=(shared_planner().export_routes(),),
         )
@@ -393,8 +443,8 @@ def _seed_worker_planner(routes: dict) -> None:
 
 
 def _predict_one(
-    job: tuple[Sage, MatrixWorkload | TensorWorkload, str]
+    job: tuple[Sage, MatrixWorkload | TensorWorkload, PredictOptions]
 ) -> SageDecision:
     """Pool task: one workload through the (pickled) predictor."""
-    sage, workload, fidelity = job
-    return sage.predict(workload, fidelity=fidelity)
+    sage, workload, options = job
+    return sage.predict(workload, options=options)

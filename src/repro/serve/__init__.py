@@ -22,7 +22,12 @@ Quickstart::
         with ServeClient(*server.address) as client:
             decision = client.predict(workload)
 
-or from a shell: ``python -m repro serve --port 7342``.
+or from a shell: ``python -m repro serve --port 7342``.  Most callers
+should go through the :class:`~repro.api.session.Session` facade
+(``Session("tcp://host:port")``), which fronts this client and the
+in-process predictor with one backend-transparent surface.  The request
+schema is versioned and shared with :mod:`repro.api.options`; legacy
+(version-1) workload dicts remain accepted.
 """
 
 from repro.serve.cache import CacheStats, DecisionCache

@@ -14,6 +14,7 @@ import json
 import socket
 from typing import Mapping, Sequence
 
+from repro.api.options import PredictOptions, WIRE_SCHEMA_VERSION
 from repro.errors import ServeError
 from repro.sage.predictor import SageDecision
 from repro.workloads.spec import MatrixWorkload, TensorWorkload
@@ -27,6 +28,13 @@ def _wire_workload(workload: _Workload | Mapping) -> dict:
     if isinstance(workload, (MatrixWorkload, TensorWorkload)):
         return workload.to_dict()
     return dict(workload)
+
+
+def _attach_options(payload: dict, options: PredictOptions | None) -> None:
+    """Ship options in the versioned schema (legacy shape when absent)."""
+    if options is not None:
+        payload["schema_version"] = WIRE_SCHEMA_VERSION
+        payload["options"] = options.to_wire()
 
 
 class ServeClient:
@@ -96,16 +104,24 @@ class ServeClient:
         return bool(self._rpc({"op": "ping"}).get("pong"))
 
     def predict(
-        self, workload: _Workload | Mapping, *, top: int | None = None
+        self,
+        workload: _Workload | Mapping,
+        *,
+        top: int | None = None,
+        options: PredictOptions | None = None,
     ) -> SageDecision:
         """One decision for one workload (object or wire dict).
 
         ``top`` bounds the shipped ranking; ``0`` (or negative) requests
         the full ranking, ``None`` accepts the server's default prefix.
+        ``options`` attaches a typed option set (search restrictions,
+        fidelity tier) in the versioned wire schema; requests without
+        options stay in the legacy (version-1) shape old servers accept.
         """
         payload: dict = {"op": "predict", "workload": _wire_workload(workload)}
         if top is not None:
             payload["top"] = top
+        _attach_options(payload, options)
         return SageDecision.from_wire(self._rpc(payload)["decision"])
 
     def predict_many(
@@ -113,14 +129,19 @@ class ServeClient:
         workloads: Sequence[_Workload | Mapping],
         *,
         top: int | None = None,
+        options: PredictOptions | None = None,
     ) -> list[SageDecision]:
-        """Decisions for a suite, in input order, via one round trip."""
+        """Decisions for a suite, in input order, via one round trip.
+
+        ``options`` applies to every workload in the batch.
+        """
         payload: dict = {
             "op": "predict_many",
             "workloads": [_wire_workload(wl) for wl in workloads],
         }
         if top is not None:
             payload["top"] = top
+        _attach_options(payload, options)
         reply = self._rpc(payload, scale=max(1, len(payload["workloads"])))
         return [SageDecision.from_wire(wire) for wire in reply["decisions"]]
 

@@ -30,11 +30,24 @@ Request path
 Wire protocol (one JSON object per line, response per request)::
 
     {"op": "predict", "workload": {...}, "top": 8}
+    {"op": "predict", "schema_version": 2, "workload": {...},
+     "options": {...}}
     {"op": "predict_many", "workloads": [{...}, ...]}
     {"op": "stats"} | {"op": "ping"} | {"op": "shutdown"}
 
 Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error": msg}``;
 decisions travel as :meth:`SageDecision.to_wire` dicts.
+
+The request schema is **versioned** (shared with :mod:`repro.api.options`):
+requests without a ``schema_version`` are the PR-2-era legacy shape
+(version 1) and keep working unchanged; version-2 requests may attach a
+:class:`~repro.api.options.PredictOptions` wire dict under ``options``.
+Unknown versions are rejected with an error naming what this server
+speaks.  Requests whose options restrict the search space (or ask for a
+different fidelity tier than the server's) bypass the decision cache and
+the coalescing batcher — restricted decisions are workload-specific in a
+way fingerprints do not capture — and are computed directly on the
+connection-handler thread.
 """
 
 from __future__ import annotations
@@ -49,8 +62,14 @@ import time
 from collections import deque
 from dataclasses import dataclass
 
+from repro.api.options import (
+    FIDELITIES,
+    PredictOptions,
+    SUPPORTED_WIRE_SCHEMAS,
+    WIRE_SCHEMA_VERSION,
+)
 from repro.mint.cost import shared_planner
-from repro.sage.predictor import FIDELITIES, Sage, SageDecision
+from repro.sage.predictor import Sage, SageDecision
 from repro.serve.cache import DecisionCache
 from repro.serve.fingerprint import WorkloadFingerprint, fingerprint_of
 from repro.workloads.spec import workload_from_dict
@@ -254,6 +273,7 @@ class SageServer:
         self._batches = 0
         self._max_batch_seen = 0
         self._coalesced = 0
+        self._bypassed = 0  # restricted-options requests computed inline
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> tuple[str, int]:
@@ -379,12 +399,40 @@ class SageServer:
         if op == "shutdown":
             threading.Thread(target=self.close, daemon=True).start()
             return {"ok": True, "stopping": True}
+        version = message.get("schema_version", 1)
+        if version not in SUPPORTED_WIRE_SCHEMAS:
+            return {
+                "ok": False,
+                "error": (
+                    f"unsupported schema_version {version!r}; this server "
+                    f"speaks "
+                    f"{', '.join(str(v) for v in SUPPORTED_WIRE_SCHEMAS)} "
+                    f"(requests without a schema_version are treated as "
+                    f"the version-1 legacy schema)"
+                ),
+            }
+        options = None
+        if message.get("options") is not None:
+            if version < WIRE_SCHEMA_VERSION:
+                return {
+                    "ok": False,
+                    "error": (
+                        "request carries options but declares the legacy "
+                        f"schema; send schema_version {WIRE_SCHEMA_VERSION}"
+                    ),
+                }
+            options = PredictOptions.from_wire(message["options"])
+        top = message.get("top")
+        if top is None and options is not None:
+            # Options speak their own ranking vocabulary: top_k=None means
+            # the full ranking (the serve protocol spells that 0).
+            top = 0 if options.top_k is None else options.top_k
         if op == "predict":
             workload = message.get("workload")
             if not isinstance(workload, dict):
                 return {"ok": False, "error": "predict needs a workload dict"}
-            req = self._submit(workload)
-            return self._reply_one(req, message.get("top"))
+            req = self._submit(workload, options)
+            return self._reply_one(req, top)
         if op == "predict_many":
             workloads = message.get("workloads")
             if not isinstance(workloads, list):
@@ -392,10 +440,13 @@ class SageServer:
                     "ok": False,
                     "error": "predict_many needs a workloads list",
                 }
-            requests = [self._submit(wl) for wl in workloads]
-            replies = [
-                self._reply_one(req, message.get("top")) for req in requests
-            ]
+            if not self._cacheable(options):
+                # Restricted batches skip cache/coalescing anyway; fan them
+                # across the predictor's process pool in one go instead of
+                # searching serially per workload on this handler thread.
+                return self._predict_many_bypass(workloads, options, top)
+            requests = [self._submit(wl, options) for wl in workloads]
+            replies = [self._reply_one(req, top) for req in requests]
             failed = next((r for r in replies if not r["ok"]), None)
             if failed is not None:
                 # All-or-nothing reply; the siblings that did succeed are
@@ -442,7 +493,66 @@ class SageServer:
         return {"ok": True, "decision": wire}
 
     # ------------------------------------------------------------ data path
-    def _submit(self, workload: dict) -> _PendingRequest:
+    def _cacheable(self, options: PredictOptions | None) -> bool:
+        """Whether cached/coalesced decisions may answer this request.
+
+        Fingerprints ignore search restrictions, and the decision cache is
+        tier-consistent at the server's configured fidelity — so only
+        unrestricted requests at that fidelity (or with no tier named,
+        which defers to the server's) may ride the cache/batcher.
+        """
+        return options is None or (
+            not options.restricts_search
+            and options.fidelity in (None, self.serve.fidelity)
+        )
+
+    def _effective_options(self, options: PredictOptions) -> PredictOptions:
+        """Resolve a deferred fidelity to this server's configured tier."""
+        if options.fidelity is None:
+            return dataclasses.replace(options, fidelity=self.serve.fidelity)
+        return options
+
+    def _predict_many_bypass(
+        self,
+        workloads: list,
+        options: PredictOptions,
+        top,
+    ) -> dict:
+        """Restricted batch: one pooled ``predict_many``, no cache.
+
+        All-or-nothing like the cacheable path; nothing is cached, so a
+        corrected resend re-pays the whole batch (restricted searches are
+        cheap relative to the unrestricted cross-product).
+        """
+        t_submit = time.perf_counter()
+        with self._lock:
+            self._submitted += len(workloads)
+            self._bypassed += len(workloads)
+        try:
+            parsed = [workload_from_dict(wl) for wl in workloads]
+            decisions = self._sage.predict_many(
+                parsed, options=self._effective_options(options)
+            )
+        except Exception as exc:  # noqa: BLE001 - reported in-band
+            with self._lock:
+                self._errors += 1
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        elapsed = time.perf_counter() - t_submit
+        limit = self.serve.ranking_top if top is None else int(top)
+        with self._lock:
+            self._served += len(decisions)
+            self._latencies.append(elapsed)
+        return {
+            "ok": True,
+            "decisions": [
+                d.to_wire(top=None if limit <= 0 else limit)
+                for d in decisions
+            ],
+        }
+
+    def _submit(
+        self, workload: dict, options: PredictOptions | None = None
+    ) -> _PendingRequest:
         """Cache-or-enqueue one workload dict; returns its pending handle."""
         parsed = workload_from_dict(workload)
         fp = fingerprint_of(parsed, self._sage.config)
@@ -452,6 +562,22 @@ class SageServer:
         if self._closed.is_set():
             # The batcher is gone; fail fast instead of timing out.
             req.error = "server shutting down"
+            req.done.set()
+            return req
+        if not self._cacheable(options):
+            # Restricted search (or an off-tier fidelity): compute on this
+            # handler thread, skipping cache, coalescing and shards.  The
+            # handler would block in _reply_one anyway, so this costs no
+            # extra latency and keeps the cache tier-consistent.
+            with self._lock:
+                self._bypassed += 1
+            try:
+                req.decision = self._sage.predict(
+                    parsed, options=self._effective_options(options)
+                )
+            except Exception as exc:  # noqa: BLE001 - reported in-band
+                req.error = f"{type(exc).__name__}: {exc}"
+            self._record_latency(req)
             req.done.set()
             return req
         cached = self._cache.get(fp)
@@ -574,6 +700,7 @@ class SageServer:
                 "submitted": self._submitted,
                 "served": self._served,
                 "errors": self._errors,
+                "bypassed": self._bypassed,
             }
             batches = {
                 "count": self._batches,
@@ -582,6 +709,7 @@ class SageServer:
             }
         return {
             "uptime_s": time.monotonic() - self._t_start,
+            "schema_versions": list(SUPPORTED_WIRE_SCHEMAS),
             "fidelity": self.serve.fidelity,
             "degraded": self._degraded,
             "requests": counters,

@@ -1,0 +1,131 @@
+"""PredictOptions / RunOptions: validation, merging, wire round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.options import (
+    FIDELITIES,
+    PredictOptions,
+    RunOptions,
+    SUPPORTED_WIRE_SCHEMAS,
+    WIRE_SCHEMA_VERSION,
+    resolve_options,
+)
+from repro.errors import PredictionError
+from repro.formats.registry import Format
+
+
+class TestPredictOptionsValidation:
+    def test_defaults_are_unrestricted(self):
+        opts = PredictOptions()
+        # fidelity=None defers to the backend's default tier (analytical
+        # in-process, the server's configured tier remotely).
+        assert opts.fidelity is None
+        assert opts.local_fidelity == "analytical"
+        assert not opts.restricts_search
+
+    def test_explicit_fidelity_sticks(self):
+        assert PredictOptions(fidelity="cycle").local_fidelity == "cycle"
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(PredictionError, match="unknown fidelity"):
+            PredictOptions(fidelity="oracular")
+
+    def test_fixed_mcf_coerced_from_values(self):
+        opts = PredictOptions(fixed_mcf=("CSR", "Dense"))
+        assert opts.fixed_mcf == (Format.CSR, Format.DENSE)
+        assert opts.restricts_search
+
+    def test_fixed_mcf_wrong_arity_rejected(self):
+        with pytest.raises(PredictionError, match="exactly two"):
+            PredictOptions(fixed_mcf=(Format.CSR,))
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(PredictionError, match="unknown format"):
+            PredictOptions(mcf_a_space=("CSR", "Quux"))
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(PredictionError, match="must not be empty"):
+            PredictOptions(mcf_b_space=())
+
+    @pytest.mark.parametrize("field,value", [("top_k", 0), ("processes", 0)])
+    def test_nonpositive_counts_rejected(self, field, value):
+        with pytest.raises(PredictionError):
+            PredictOptions(**{field: value})
+
+    def test_spaces_mark_restriction(self):
+        assert PredictOptions(mcf_a_space=(Format.CSR,)).restricts_search
+        assert PredictOptions(mcf_b_space=(Format.DENSE,)).restricts_search
+        assert not PredictOptions(top_k=3, processes=2).restricts_search
+
+
+class TestResolveOptions:
+    def test_none_yields_defaults(self):
+        assert resolve_options() == PredictOptions()
+
+    def test_overrides_win(self):
+        base = PredictOptions(fidelity="analytical", top_k=5)
+        merged = resolve_options(base, fidelity="cycle")
+        assert merged.fidelity == "cycle"
+        assert merged.top_k == 5
+
+    def test_none_overrides_keep_base(self):
+        base = PredictOptions(fixed_mcf=(Format.CSR, Format.DENSE))
+        assert resolve_options(base, fixed_mcf=None) == base
+
+
+class TestPredictOptionsWire:
+    @pytest.mark.parametrize(
+        "opts",
+        [
+            PredictOptions(),
+            PredictOptions(fidelity="cycle", top_k=3, processes=2),
+            PredictOptions(
+                fixed_mcf=(Format.CSR, Format.DENSE),
+                mcf_a_space=(Format.CSR, Format.COO),
+                mcf_b_space=(Format.DENSE,),
+            ),
+        ],
+    )
+    def test_round_trip(self, opts):
+        assert PredictOptions.from_wire(opts.to_wire()) == opts
+
+    def test_wire_is_json_safe(self):
+        opts = PredictOptions(fixed_mcf=(Format.RLC, Format.ZVC), top_k=2)
+        rebuilt = PredictOptions.from_wire(json.loads(json.dumps(opts.to_wire())))
+        assert rebuilt == opts
+
+    def test_unknown_wire_field_rejected(self):
+        with pytest.raises(PredictionError, match="unknown PredictOptions"):
+            PredictOptions.from_wire({"fidelity": "analytical", "mcf": ["CSR"]})
+
+    def test_schema_constants_consistent(self):
+        assert WIRE_SCHEMA_VERSION in SUPPORTED_WIRE_SCHEMAS
+        assert set(FIDELITIES) == {"analytical", "cycle"}
+
+
+class TestRunOptions:
+    def test_round_trip(self):
+        opts = RunOptions(
+            predict=PredictOptions(fidelity="cycle", top_k=2),
+            seed=7,
+            engine="reference",
+            verify=False,
+            max_sim_elements=1 << 12,
+        )
+        assert RunOptions.from_wire(json.loads(json.dumps(opts.to_wire()))) == opts
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(PredictionError, match="unknown run engine"):
+            RunOptions(engine="quantum")
+
+    def test_unknown_wire_field_rejected(self):
+        with pytest.raises(PredictionError, match="unknown RunOptions"):
+            RunOptions.from_wire({"sim_cap": 4})
+
+    def test_nonpositive_cap_rejected(self):
+        with pytest.raises(PredictionError, match="max_sim_elements"):
+            RunOptions(max_sim_elements=0)

@@ -20,6 +20,9 @@ class TestParser:
             ["sage", "--m", "100", "--k", "100", "--n", "50"],
             ["sage", "--tensor", "--i", "32", "--j", "32", "--k", "16",
              "--rank", "8"],
+            ["sage", "--backend", "tcp://127.0.0.1:7342"],
+            ["run", "--m", "64", "--k", "64", "--n", "32"],
+            ["run", "--engine", "reference", "--seed", "3"],
             ["serve", "--port", "0", "--shards", "1"],
             ["sweep", "--m", "500", "--k", "500"],
             ["walkthrough"],
@@ -31,6 +34,14 @@ class TestParser:
     def test_commands_parse(self, argv):
         args = build_parser().parse_args(argv)
         assert callable(args.fn)
+
+    def test_version_flag_prints_and_exits(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
 
 
 class TestExecution:
@@ -74,6 +85,20 @@ class TestExecution:
         assert main(["sage", "--m", "96", "--k", "96", "--n", "64",
                      "--density", "0.1", "--fidelity", "cycle"]) == 0
         assert "[cycle]" in capsys.readouterr().out
+
+    def test_run_prints_pipeline_report(self, capsys):
+        assert main(["run", "--m", "96", "--k", "96", "--n", "48",
+                     "--density", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "SAGE" in out and "MINT" in out and "simulator" in out
+        assert "output verified" in out
+
+    def test_run_unknown_backend_exits_with_config_error(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown backend"):
+            main(["run", "--m", "64", "--k", "64", "--n", "32",
+                  "--backend", "smoke-signals"])
 
     def test_sweep_prints_ladder(self, capsys):
         assert main(["sweep", "--m", "2000", "--k", "2000"]) == 0
@@ -147,6 +172,15 @@ class TestJsonOutput:
         ratios = [p["edp_vs_baseline"] for p in doc["policies"]]
         assert ratios == sorted(ratios)
         assert min(ratios) == pytest.approx(1.0)
+
+    def test_run_json_reports_pipeline(self, capsys):
+        assert main(["run", "--m", "96", "--k", "96", "--n", "48",
+                     "--density", "0.05", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["decision"]["best"]["mcf"]
+        assert doc["cycles"] > 0
+        assert doc["verified"] is True
+        assert doc["sim_scale"] == 1.0
 
     def test_sweep_json_reports_best_per_density(self, capsys):
         assert main(["sweep", "--m", "2000", "--k", "2000", "--json"]) == 0

@@ -1,0 +1,47 @@
+"""Examples stay runnable: compile all, smoke-run the quickstart.
+
+CI runs every example headlessly (the examples-smoke job, with
+``REPRO_EXAMPLE_SMOKE=1`` shrinking problem sizes); here we keep a cheap
+tier-1 guard so facade drift breaks the local test run too, not only the
+docs job.
+"""
+
+from __future__ import annotations
+
+import os
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) == 7
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path: Path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_quickstart_runs_headless(tmp_path):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "examples" / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "SAGE decision" in proc.stdout
+    assert "output verified" in proc.stdout
