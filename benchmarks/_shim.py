@@ -1,0 +1,65 @@
+"""Shared shim: each seed ``bench_*`` figure/table script is now one
+registered ``repro.xp`` experiment; the scripts remain as thin wrappers so
+both entry points keep working unchanged:
+
+* ``pytest benchmarks -o python_files='bench_*.py' ...`` — collects the
+  shimmed ``bench_*`` functions, which run their experiment through the
+  orchestrator (smoke grid under ``REPRO_EXAMPLE_SMOKE=1``) and print the
+  rendered markdown table;
+* ``python benchmarks/bench_fig04_compactness.py`` — standalone, one
+  process per figure: exactly the seed scripts' serial execution model,
+  which ``bench_xp_runner.py`` uses as the baseline of its speedup
+  measurement.
+
+The experiment definitions live in ``src/repro/xp/paper.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+try:  # standalone runs without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+
+def run_experiment_once(name: str, *, smoke: bool | None = None):
+    """Run one registered experiment fresh (no cache reuse), print its
+    report page, and raise if a cell or the paper-claim check failed."""
+    from repro.xp import RunConfig, run_experiments
+    from repro.xp.report import render_experiment_md
+
+    if smoke is None:
+        smoke = bool(os.environ.get("REPRO_EXAMPLE_SMOKE"))
+    summary = run_experiments(
+        [name],
+        RunConfig(smoke=smoke, report=False, record=False),
+    )
+    run = summary.experiments[0]
+    print()
+    print(render_experiment_md(run))
+    assert run.ok, f"experiment {name}: {run.status}"
+    return run
+
+
+def make_bench(name: str):
+    """A pytest-benchmark ``bench_*`` function for one experiment."""
+
+    def bench(once, benchmark):
+        run = once(lambda: run_experiment_once(name))
+        benchmark.extra_info["experiment"] = name
+        benchmark.extra_info["cells"] = len(run.cells)
+        benchmark.extra_info["status"] = run.status
+
+    bench.__name__ = f"bench_{name}"
+    bench.__doc__ = f"Shim over the registered experiment {name!r}."
+    return bench
+
+
+def main(name: str) -> int:
+    """Standalone entry point (one experiment, one process, serial)."""
+    run_experiment_once(name)
+    return 0

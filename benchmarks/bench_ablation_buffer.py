@@ -1,62 +1,18 @@
 """Ablation — flexible vs fixed PE buffer partitioning (Sec. IV).
 
-The paper's first microarchitecture extension lets every buffer entry hold
-data *or* metadata.  The counterfactual is a rigid 50/50 split: a dense
-stationary column may then only use half the entries (the metadata half
-idles), while a CSC column is unchanged (its value:metadata ratio is 1:1).
-The ablation measures the K-tiling and cycle cost of that rigidity across
-densities.
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``ablation_buffer`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-from repro.accelerator import AcceleratorConfig, analytical_gemm_stats
-from repro.analysis.tables import render_table
-from repro.formats.registry import Format
+from _shim import make_bench
 
+bench_ablation_buffer = make_bench("ablation_buffer")
 
-def bench_ablation_buffer(once):
-    def run():
-        m = k = 4000
-        n = 2000
-        flexible = AcceleratorConfig.paper_default()
-        # Rigid split: dense stationary data sees only half the entries.
-        rigid = AcceleratorConfig(pe_buffer_bytes=flexible.pe_buffer_bytes // 2)
-        rows = []
-        penalties = {}
-        for density in (0.6, 0.2, 0.05):
-            nnz = int(density * m * k)
-            flex_rep = analytical_gemm_stats(
-                m, k, n, nnz, k * n, Format.DENSE, Format.DENSE, flexible
-            )
-            rigid_rep = analytical_gemm_stats(
-                m, k, n, nnz, k * n, Format.DENSE, Format.DENSE, rigid
-            )
-            penalty = rigid_rep.cycles.total_cycles / flex_rep.cycles.total_cycles
-            penalties[density] = penalty
-            rows.append(
-                [
-                    f"{density:.0%}",
-                    flex_rep.cycles.k_tiles,
-                    rigid_rep.cycles.k_tiles,
-                    f"{flex_rep.cycles.total_cycles:,}",
-                    f"{rigid_rep.cycles.total_cycles:,}",
-                    f"{penalty:.2f}x",
-                ]
-            )
-        print()
-        print(
-            render_table(
-                ["density", "k-tiles (flex)", "k-tiles (rigid)",
-                 "cycles (flex)", "cycles (rigid)", "penalty"],
-                rows,
-                title="Ablation: flexible vs rigid 50/50 buffer partition "
-                "(dense stationary operand)",
-            )
-        )
-        return penalties
+if __name__ == "__main__":
+    from _shim import main
 
-    penalties = once(run)
-    # Rigidity always costs cycles for dense stationary operands.
-    assert all(p >= 1.0 for p in penalties.values())
-    assert max(penalties.values()) > 1.2
+    raise SystemExit(main("ablation_buffer"))

@@ -1,73 +1,18 @@
 """Ablation — DRAM bandwidth sensitivity of SAGE's format decisions.
 
-The paper fixes no DRAM bandwidth; our default rate-balances it with the
-512-bit input bus.  This sweep shows how the MCF decision ladder shifts as
-memory gets faster relative to compute: with abundant bandwidth the
-compressed formats' transfer savings matter less, so Dense MCFs creep down
-the density range; with scarce bandwidth compression wins everywhere — the
-format choice is a *system* property, which is precisely why SAGE takes the
-hardware parameters as input (Fig. 1b).
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``ablation_dram`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.tables import render_table
-from repro.hardware.dram import DramChannel
-from repro.sage import Sage
-from repro.workloads.spec import Kernel, MatrixWorkload
+from _shim import make_bench
 
-BANDWIDTHS = [16e9, 64e9, 256e9, 1024e9]
-DENSITIES = [0.6, 0.2, 0.05, 0.005]
+bench_ablation_dram = make_bench("ablation_dram")
 
+if __name__ == "__main__":
+    from _shim import main
 
-def decision_grid() -> dict:
-    grid = {}
-    for bw in BANDWIDTHS:
-        sage = Sage(dram=DramChannel(bandwidth_bytes_per_s=bw))
-        for density in DENSITIES:
-            m = k = 2000
-            wl = MatrixWorkload(
-                name=f"bw{bw:g}-d{density:g}",
-                kernel=Kernel.SPMM,
-                m=m,
-                k=k,
-                n=1000,
-                nnz_a=max(1, int(density * m * k)),
-                nnz_b=k * 1000,
-            )
-            d = sage.predict_matrix(wl)
-            grid[(bw, density)] = d.mcf[0]
-    return grid
-
-
-def bench_ablation_dram(once):
-    def run():
-        grid = decision_grid()
-        rows = []
-        for bw in BANDWIDTHS:
-            rows.append(
-                [f"{bw / 1e9:.0f} GB/s"]
-                + [grid[(bw, d)].value for d in DENSITIES]
-            )
-        print()
-        print(
-            render_table(
-                ["DRAM b/w"] + [f"{d:g}" for d in DENSITIES],
-                rows,
-                title="Ablation: SAGE's streamed-operand MCF vs DRAM bandwidth "
-                "(2k x 2k SpMM)",
-            )
-        )
-        return grid
-
-    grid = once(run)
-    # At every bandwidth, extreme densities keep their canonical formats.
-    for bw in BANDWIDTHS:
-        assert grid[(bw, 0.005)].value in ("CSR", "COO")
-    # Scarce bandwidth never prefers a *less* compact format than abundant
-    # bandwidth at the same density (compression value is monotone in
-    # transfer cost).
-    compactness_rank = {"Dense": 0, "ZVC": 1, "RLC": 1, "CSR": 2, "CSC": 2, "COO": 2}
-    for d in DENSITIES:
-        ranks = [compactness_rank[grid[(bw, d)].value] for bw in BANDWIDTHS]
-        assert ranks == sorted(ranks, reverse=True) or len(set(ranks)) == 1
+    raise SystemExit(main("ablation_dram"))

@@ -1,74 +1,18 @@
 """Ablation — datatype width at the system level (Fig. 4a-ii's consequence).
 
-Fig. 4a-ii shows quantization shrinking the payload while metadata stays
-fixed, so compressed formats lose relative ground.  This sweep runs SAGE's
-full EDP search at 32 / 16 / 8-bit datatypes and shows the MCF decision
-boundaries shifting toward less metadata-hungry formats as the data
-shrinks.
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``ablation_dtype`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.compactness import storage_bits
-from repro.analysis.tables import render_table
-from repro.formats.registry import Format
-from repro.sage import Sage
-from repro.workloads.spec import Kernel, MatrixWorkload
+from _shim import make_bench
 
-DTYPES = [32, 16, 8]
-DENSITIES = [0.9, 0.5, 0.2, 0.01]
+bench_ablation_dtype = make_bench("ablation_dtype")
 
+if __name__ == "__main__":
+    from _shim import main
 
-def decisions() -> dict:
-    sage = Sage()
-    grid = {}
-    for bits in DTYPES:
-        for density in DENSITIES:
-            m = k = 2000
-            wl = MatrixWorkload(
-                name=f"b{bits}-d{density:g}",
-                kernel=Kernel.SPMM,
-                m=m,
-                k=k,
-                n=1000,
-                nnz_a=max(1, int(density * m * k)),
-                nnz_b=k * 1000,
-                dtype_bits=bits,
-            )
-            grid[(bits, density)] = sage.predict_matrix(wl).mcf[0]
-    return grid
-
-
-def bench_ablation_dtype(once):
-    def run():
-        grid = decisions()
-        rows = [
-            [f"{bits}-bit"] + [grid[(bits, d)].value for d in DENSITIES]
-            for bits in DTYPES
-        ]
-        print()
-        print(
-            render_table(
-                ["datatype"] + [f"{d:g}" for d in DENSITIES],
-                rows,
-                title="Ablation: SAGE's streamed MCF vs datatype "
-                "(2k x 2k SpMM)",
-            )
-        )
-        # Show the metadata-share mechanism behind the shift.
-        for bits in DTYPES:
-            csr = storage_bits(Format.CSR, (2000, 2000), 80_000, bits)
-            payload = 80_000 * bits
-            print(
-                f"  {bits:>2}-bit CSR at 2%: metadata share "
-                f"{1 - payload / csr:.0%}"
-            )
-        return grid
-
-    grid = once(run)
-    rank = {"Dense": 0, "ZVC": 1, "RLC": 2, "CSR": 3, "CSC": 3, "COO": 4}
-    # Narrower data never moves the choice toward a *more* metadata-heavy
-    # format at the same density.
-    for d in DENSITIES:
-        ranks = [rank[grid[(bits, d)].value] for bits in DTYPES]  # 32 -> 8
-        assert ranks == sorted(ranks, reverse=True) or len(set(ranks)) <= 2
+    raise SystemExit(main("ablation_dtype"))

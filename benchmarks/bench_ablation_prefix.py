@@ -1,62 +1,18 @@
 """Ablation — prefix-sum design choice inside MINT (Sec. V-A / VII-B).
 
-Sweeps the three Fig. 9 scan designs through a real conversion workload
-(the CSR->CSC histogram scan over the Table III column counts) and reports
-the latency / adder / overlay trade the paper describes: "a serial chain
-prefix sum design can be used instead of a highly parallel prefix sum
-design ... longer tail latency; but simpler wiring, fewer muxes, and fewer
-active adders".
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``ablation_prefix`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from _shim import make_bench
 
-from repro.analysis.tables import render_table
-from repro.hardware.area import PrefixSumDesign, prefix_sum_overlay
-from repro.mint.blocks import PrefixSumUnit
-from repro.workloads import MATRIX_SUITE
+bench_ablation_prefix = make_bench("ablation_prefix")
 
+if __name__ == "__main__":
+    from _shim import main
 
-def bench_ablation_prefix(once):
-    def run():
-        rng = np.random.default_rng(0)
-        rows = []
-        cycles_by_design = {}
-        for design in PrefixSumDesign:
-            total_cycles = 0
-            total_adds = 0
-            for entry in MATRIX_SUITE[:6]:
-                k = entry.dims[1]
-                counts = rng.integers(0, 50, min(k, 50_000))
-                unit = PrefixSumUnit(design, width=32)
-                _, cycles = unit.scan(counts)
-                total_cycles += cycles
-                total_adds += unit.stats.int_adds
-            ov = prefix_sum_overlay(design)
-            rows.append(
-                [
-                    design.value,
-                    total_cycles,
-                    total_adds,
-                    f"{ov.area_fraction:.0%}",
-                    f"{ov.power_fraction:.0%}",
-                ]
-            )
-            cycles_by_design[design] = total_cycles
-        print()
-        print(
-            render_table(
-                ["design", "scan cycles (6 workloads)", "adds performed",
-                 "overlay area", "overlay power"],
-                rows,
-                title="Ablation: prefix-sum design inside MINT",
-            )
-        )
-        return cycles_by_design
-
-    cycles = once(run)
-    # The trade exists: the cheapest-overlay design is the slowest.
-    assert cycles[PrefixSumDesign.SERIAL_CHAIN] >= (
-        cycles[PrefixSumDesign.HIGHLY_PARALLEL]
-    )
+    raise SystemExit(main("ablation_prefix"))

@@ -1,52 +1,18 @@
 """Ablation — RLC zero-run field width (the Fig. 3 format's one knob).
 
-The fixed-width run field trades per-entry metadata (wider field) against
-overflow padding entries (narrower field).  The paper's RLC band (best MCF
-around the 10% star) only emerges for sensible widths; this sweep shows the
-5-bit default (Eyeriss's choice) is on the plateau.
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``ablation_rlc`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.compactness import storage_bits
-from repro.analysis.tables import render_table
-from repro.formats.registry import Format
+from _shim import make_bench
 
+bench_ablation_rlc = make_bench("ablation_rlc")
 
-def bench_ablation_rlc(once):
-    def run():
-        dims = (11_000, 11_000)
-        size = dims[0] * dims[1]
-        densities = [0.5, 0.2, 0.1, 0.05, 0.01, 0.001]
-        rows = []
-        table = {}
-        for run_bits in (2, 3, 4, 5, 6, 8, 12):
-            row = [f"{run_bits} bits"]
-            for d in densities:
-                nnz = int(d * size)
-                rlc = storage_bits(Format.RLC, dims, nnz, 32, run_bits=run_bits)
-                csr = storage_bits(Format.CSR, dims, nnz, 32)
-                row.append(f"{rlc / csr:.2f}")
-                table[(run_bits, d)] = rlc / csr
-            rows.append(row)
-        print()
-        print(
-            render_table(
-                ["run field"] + [f"{d:g}" for d in densities],
-                rows,
-                title="Ablation: RLC/CSR footprint ratio vs run-field width "
-                "(11k x 11k, 32-bit; <1 means RLC wins)",
-            )
-        )
-        return table
+if __name__ == "__main__":
+    from _shim import main
 
-    table = once(run)
-    # 5-bit runs keep RLC ahead of CSR at the 10% star...
-    assert table[(5, 0.1)] < 1.0
-    # ...while a 2-bit field pays heavy padding at lower density...
-    assert table[(2, 0.01)] > table[(5, 0.01)]
-    # ...and the practical widths (<= 6 bits) all lose in the CSR regime.
-    # (A 12-bit field technically stays competitive — it degenerates into a
-    # delta-coded coordinate list — but costs 12 metadata bits everywhere.)
-    assert all(table[(rb, 0.001)] > 1.0 for rb in (2, 3, 4, 5, 6))
-    assert table[(12, 0.5)] > table[(5, 0.5)]
+    raise SystemExit(main("ablation_rlc"))

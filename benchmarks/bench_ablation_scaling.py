@@ -1,63 +1,18 @@
 """Ablation — accelerator scaling: bus width and PE count.
 
-Sweeps the two fabric parameters the walkthrough fixes (Sec. IV-B's 5-slot
-bus, Sec. VII-A's 2048 PEs) and verifies the cycle model responds the way
-the microarchitecture argument says it should: wider buses shrink streaming
-time; more PEs shrink rounds until the column count saturates them.
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``ablation_scaling`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-from repro.accelerator import AcceleratorConfig, analytical_gemm_stats
-from repro.analysis.tables import render_table
-from repro.formats.registry import Format
+from _shim import make_bench
 
+bench_ablation_scaling = make_bench("ablation_scaling")
 
-def bench_ablation_scaling(once):
-    def run():
-        m = k = 4000
-        n = 4000
-        nnz_a = int(0.05 * m * k)
-        rows = []
-        stream_by_bus = {}
-        for bus_bits in (128, 256, 512, 1024, 2048):
-            cfg = AcceleratorConfig(bus_bits=bus_bits)
-            rep = analytical_gemm_stats(
-                m, k, n, nnz_a, k * n, Format.CSR, Format.DENSE, cfg
-            )
-            stream_by_bus[bus_bits] = rep.cycles.stream_cycles
-            rows.append(
-                ["bus", f"{bus_bits} b", f"{rep.cycles.stream_cycles:,}",
-                 f"{rep.cycles.total_cycles:,}"]
-            )
-        rounds_by_pes = {}
-        for num_pes in (256, 1024, 2048, 4096, 8192):
-            cfg = AcceleratorConfig(num_pes=num_pes)
-            rep = analytical_gemm_stats(
-                m, k, n, nnz_a, k * n, Format.CSR, Format.DENSE, cfg
-            )
-            rounds_by_pes[num_pes] = rep.cycles.rounds
-            rows.append(
-                ["PEs", str(num_pes), f"{rep.cycles.rounds} rounds",
-                 f"{rep.cycles.total_cycles:,}"]
-            )
-        print()
-        print(
-            render_table(
-                ["knob", "value", "effect", "total cycles"],
-                rows,
-                title="Ablation: fabric scaling (4k x 4k x 4k SpMM at 5%)",
-            )
-        )
-        return stream_by_bus, rounds_by_pes
+if __name__ == "__main__":
+    from _shim import main
 
-    stream_by_bus, rounds_by_pes = once(run)
-    # Wider bus monotonically reduces stream cycles.
-    widths = sorted(stream_by_bus)
-    assert all(
-        stream_by_bus[a] >= stream_by_bus[b]
-        for a, b in zip(widths, widths[1:])
-    )
-    # PE count divides the rounds until saturation at N columns.
-    assert rounds_by_pes[256] > rounds_by_pes[2048]
-    assert rounds_by_pes[4096] == rounds_by_pes[8192] == 1
+    raise SystemExit(main("ablation_scaling"))

@@ -1,91 +1,18 @@
 """Fig. 4 — relative DRAM-transfer energy of each MCF across density.
 
-Regenerates: (a-i) the 11k x 11k 32-bit sweep normalized to CSR, (a-ii) the
-8-bit variant, and (b) the extreme-sparsity K-dimension sweeps with M=1k at
-16-bit.  The paper's claims pinned here: the best-format ladder at the four
-stars is COO / RLC / ZVC / Dense, and quantization raises the metadata
-share.
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``fig04_compactness`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from _shim import make_bench
 
-from repro.analysis.compactness import crossover_density, transfer_energy_sweep
-from repro.analysis.tables import render_table
-from repro.formats.registry import Format
+bench_fig4 = make_bench("fig04_compactness")
 
-FMTS = [Format.DENSE, Format.COO, Format.CSR, Format.CSC, Format.RLC, Format.ZVC]
-DENSITIES = [1e-8, 1e-6, 1e-4, 1e-3, 1e-2, 0.05, 0.10, 0.25, 0.50, 0.75, 1.0]
+if __name__ == "__main__":
+    from _shim import main
 
-
-def fig4a(dtype_bits: int) -> dict:
-    dims = (11_000, 11_000)
-    sweep = transfer_energy_sweep(dims, DENSITIES, FMTS, dtype_bits)
-    best = [
-        min(FMTS, key=lambda f: sweep[f][i]).value for i in range(len(DENSITIES))
-    ]
-    return {"sweep": sweep, "best": best}
-
-
-def fig4b(density: float) -> dict:
-    rows = []
-    for k in [1_000, 10_000, 100_000, 1_000_000]:
-        dims = (1_000, k)
-        nnz = max(1, int(density * dims[0] * dims[1]))
-        from repro.analysis.compactness import storage_bits
-
-        bits = {f: storage_bits(f, dims, nnz, 16) for f in FMTS}
-        ref = bits[Format.CSR]
-        rows.append(
-            [f"K={k:,}"] + [f"{bits[f] / ref:.3f}" for f in FMTS]
-        )
-    return {"rows": rows}
-
-
-def bench_fig4(once):
-    def run():
-        out = {}
-        for bits, tag in [(32, "a-i"), (8, "a-ii")]:
-            r = fig4a(bits)
-            rows = [
-                [f"{d:.0e}"] + [f"{r['sweep'][f][i]:.3f}" for f in FMTS] + [r["best"][i]]
-                for i, d in enumerate(DENSITIES)
-            ]
-            print()
-            print(
-                render_table(
-                    ["density"] + [f.value for f in FMTS] + ["best"],
-                    rows,
-                    title=f"Fig. 4{tag}: energy relative to CSR, 11k x 11k, {bits}-bit",
-                )
-            )
-            out[tag] = r
-        for dens, tag in [(1e-5, "b-i"), (1e-2, "b-ii")]:
-            r = fig4b(dens)
-            print()
-            print(
-                render_table(
-                    ["K"] + [f.value for f in FMTS],
-                    r["rows"],
-                    title=f"Fig. 4{tag}: relative bits, M=1k, 16-bit, density {dens:g}",
-                )
-            )
-        out["crossover_csr_zvc"] = crossover_density(
-            Format.CSR, Format.ZVC, (11_000, 11_000)
-        )
-        out["crossover_coo_csr"] = crossover_density(
-            Format.COO, Format.CSR, (11_000, 11_000)
-        )
-        print(
-            f"\ncrossovers: CSR/ZVC at {out['crossover_csr_zvc']:.3%} density, "
-            f"COO/CSR at {out['crossover_coo_csr']:.2e}"
-        )
-        return out
-
-    result = once(run)
-    # Paper pins: the four stars.
-    stars = {1e-8: "COO", 0.10: "RLC", 0.50: "ZVC", 1.0: "Dense"}
-    for d, expected in stars.items():
-        i = DENSITIES.index(d)
-        assert result["a-i"]["best"][i] == expected, (d, result["a-i"]["best"][i])
+    raise SystemExit(main("fig04_compactness"))

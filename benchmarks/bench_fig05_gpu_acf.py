@@ -1,56 +1,18 @@
-"""Fig. 5 — GPU execution time / SM util / memory util of four ACF
-algorithms across density regions (M = N = K = 11k, Titan-class model).
+"""Fig. 5 — GPU execution time / SM util / memory util of four ACF algorithms.
 
-Paper claims pinned: Dense(A)-Dense(B)-Dense(O) wins from 10% to 100%
-density; CSR(A)-CSR(B)-CSR(O) wins from 1e-6% to 0.1%; GEMM's SM
-utilization is high (while including zero-valued operations); SpMM is
-memory-bound; SpGEMM is latency-bound at extreme sparsity.
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``fig05_gpu_acf`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.tables import render_table
-from repro.baselines.gpu import GpuModel, MMAlgorithm
+from _shim import make_bench
 
-DENSITIES = [1e-8, 1e-6, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0]
-DIMS = (11_000, 11_000, 11_000)
+bench_fig5 = make_bench("fig05_gpu_acf")
 
+if __name__ == "__main__":
+    from _shim import main
 
-def sweep() -> dict:
-    gpu = GpuModel()
-    table = {}
-    for d in DENSITIES:
-        table[d] = {a: gpu.mm_time(a, *DIMS, d) for a in MMAlgorithm}
-    return table
-
-
-def bench_fig5(once):
-    def run():
-        table = sweep()
-        for metric, attr in [
-            ("exec time (s)", "seconds"),
-            ("SM util", "sm_utilization"),
-            ("mem util", "mem_utilization"),
-        ]:
-            rows = []
-            for d in DENSITIES:
-                row = [f"{d:.0e}"]
-                for a in MMAlgorithm:
-                    row.append(f"{getattr(table[d][a], attr):.3g}")
-                if attr == "seconds":
-                    winner = min(table[d], key=lambda a: table[d][a].seconds)
-                    row.append(winner.value)
-                rows.append(row)
-            headers = ["density"] + [a.value for a in MMAlgorithm]
-            if attr == "seconds":
-                headers.append("winner")
-            print()
-            print(render_table(headers, rows, title=f"Fig. 5: {metric}"))
-        return table
-
-    table = once(run)
-    dense, spgemm = MMAlgorithm.DENSE_DENSE_DENSE, MMAlgorithm.CSR_CSR_CSR
-    for d in (0.1, 0.5, 1.0):
-        assert min(table[d], key=lambda a: table[d][a].seconds) is dense
-    for d in (1e-8, 1e-6, 1e-4, 1e-3):
-        assert min(table[d], key=lambda a: table[d][a].seconds) is spgemm
+    raise SystemExit(main("fig05_gpu_acf"))

@@ -1,89 +1,18 @@
-"""Fig. 6 — the walkthrough example, cycle-exact.
+"""Fig. 6 — the walkthrough example, cycle-exact, over every ACF pair.
 
-Regenerates the streaming cycle counts of the three ACFs on the paper's
-4-PE, 5-slot-bus, 8-entry-buffer configuration (8 / 3 / 4 cycles to send
-matrix A) and the full cycle/energy grid over every supported ACF pair.
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``fig06_walkthrough`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from _shim import make_bench
 
-from repro.accelerator import AcceleratorConfig, WeightStationarySimulator
-from repro.analysis.tables import render_table
-from repro.formats import CooMatrix, CscMatrix, CsrMatrix, DenseMatrix
-from repro.formats.registry import Format
+bench_fig6 = make_bench("fig06_walkthrough")
 
+if __name__ == "__main__":
+    from _shim import main
 
-def fig6_operands():
-    a = np.zeros((4, 8))
-    a[0, 0], a[0, 2], a[0, 4], a[3, 5] = 1.0, 2.0, 3.0, 4.0
-    b = np.zeros((8, 4))
-    for r, c, v in [
-        (0, 0, 1.0), (0, 1, 2.0), (2, 0, 3.0), (3, 2, 4.0),
-        (4, 0, 5.0), (5, 2, 6.0), (5, 3, 7.0), (7, 1, 8.0),
-    ]:
-        b[r, c] = v
-    return a, b
-
-
-ENCODERS = {
-    Format.DENSE: DenseMatrix,
-    Format.CSR: CsrMatrix,
-    Format.COO: CooMatrix,
-    Format.CSC: CscMatrix,
-}
-
-
-def bench_fig6(once, benchmark):
-    def run():
-        a, b = fig6_operands()
-        sim = WeightStationarySimulator(AcceleratorConfig.walkthrough())
-        stream = {
-            fmt: sim.stream_cycles_only(ENCODERS[fmt].from_dense(a), fmt)
-            for fmt in (Format.DENSE, Format.CSR, Format.COO)
-        }
-        rows = []
-        for acf_a, enc in ENCODERS.items():
-            for acf_b in (Format.DENSE, Format.CSC):
-                b_enc = (
-                    CscMatrix.from_dense(b)
-                    if acf_b is Format.CSC
-                    else DenseMatrix.from_dense(b)
-                )
-                out, rep = sim.run_gemm(enc.from_dense(a), acf_a, b_enc, acf_b)
-                assert np.allclose(out, a @ b)
-                c = rep.cycles
-                rows.append(
-                    [
-                        f"{acf_a.value}(A)-{acf_b.value}(B)",
-                        c.stream_cycles,
-                        c.load_cycles,
-                        c.drain_cycles,
-                        c.total_cycles,
-                        c.issued_macs,
-                        f"{c.utilization:.2f}",
-                        f"{rep.energy.total_j:.2e}",
-                    ]
-                )
-        print()
-        print(
-            "Fig. 6 stream cycles (paper: Dense=8, CSR=3, COO=4): "
-            + ", ".join(f"{f.value}={v}" for f, v in stream.items())
-        )
-        print(
-            render_table(
-                ["ACF pair", "stream", "load", "drain", "total", "MACs", "util", "energy J"],
-                rows,
-                title="Fig. 6 grid on the walkthrough accelerator",
-            )
-        )
-        return stream
-
-    stream = once(run)
-    assert stream[Format.DENSE] == 8
-    assert stream[Format.CSR] == 3
-    assert stream[Format.COO] == 4
-    benchmark.extra_info["stream_cycles"] = {
-        f.value: v for f, v in stream.items()
-    }
+    raise SystemExit(main("fig06_walkthrough"))

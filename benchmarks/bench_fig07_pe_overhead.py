@@ -1,40 +1,18 @@
 """Fig. 7b — area overhead of the extended PE over the base PE.
 
-Paper claim pinned: the flexible-ACF extension (metadata comparators,
-one-hot-to-binary encoder, valid-data address generator, bus flags) adds
-~10% to a PE with a 128 B buffer.
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``fig07_pe_overhead`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.tables import render_table
-from repro.hardware.area import DEFAULT_AREA, pe_breakdown
+from _shim import make_bench
 
+bench_fig7 = make_bench("fig07_pe_overhead")
 
-def bench_fig7(once):
-    def run():
-        bd = pe_breakdown(DEFAULT_AREA, buffer_bytes=128, lanes=8)
-        rows = [
-            ["vector MAC lanes (8x)", f"{bd.mac_lanes:.5f}", "base"],
-            ["128 B weight buffer", f"{bd.buffer:.5f}", "base"],
-            ["control + registers", f"{bd.control:.5f}", "base"],
-            ["metadata comparators (8x)", f"{bd.comparators:.5f}", "extension"],
-            ["one-hot-to-binary encoder", f"{bd.encoder:.5f}", "extension"],
-            ["valid-data address generator", f"{bd.addr_gen:.5f}", "extension"],
-            ["bus data/metadata flags", f"{bd.flags:.5f}", "extension"],
-            ["base PE total", f"{bd.base:.5f}", ""],
-            ["extended PE total", f"{bd.total:.5f}", ""],
-        ]
-        overhead = bd.extension / bd.base
-        print()
-        print(render_table(["component", "area mm^2", "class"], rows,
-                           title="Fig. 7b: extended PE area breakdown"))
-        print(f"extension overhead: {overhead:.1%} (paper: ~10%)")
-        # Scaling: larger buffers dilute the fixed extension cost.
-        for buf in (128, 256, 512):
-            frac = DEFAULT_AREA.pe_overhead_fraction(buffer_bytes=buf)
-            print(f"  buffer {buf:>4} B -> overhead {frac:.1%}")
-        return overhead
+if __name__ == "__main__":
+    from _shim import main
 
-    overhead = once(run)
-    assert 0.08 <= overhead <= 0.12
+    raise SystemExit(main("fig07_pe_overhead"))

@@ -1,57 +1,18 @@
 """Fig. 9 — the three prefix-sum (scan) implementations.
 
-Regenerates the latency / adder-count / overlay-cost comparison of the
-serial-chain, work-efficient and highly-parallel designs, all overlaid on
-accelerator hardware structures (Sec. V-A).
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``fig09_prefix_sum`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from _shim import make_bench
 
-from repro.analysis.tables import render_table
-from repro.hardware.area import PrefixSumDesign, prefix_sum_overlay
-from repro.mint.blocks import PrefixSumUnit
+bench_fig9 = make_bench("fig09_prefix_sum")
 
+if __name__ == "__main__":
+    from _shim import main
 
-def bench_fig9(once):
-    def run():
-        rng = np.random.default_rng(0)
-        data = rng.integers(0, 50, 4096)
-        rows = []
-        out = {}
-        for design in PrefixSumDesign:
-            unit = PrefixSumUnit(design, width=32)
-            result, cycles = unit.scan(data)
-            assert np.array_equal(result, np.cumsum(data))
-            ov = prefix_sum_overlay(design)
-            rows.append(
-                [
-                    design.value,
-                    unit.pipeline_depth,
-                    unit.adder_count,
-                    cycles,
-                    f"{ov.area_fraction:.0%}",
-                    f"{ov.power_fraction:.0%}",
-                ]
-            )
-            out[design] = (unit.pipeline_depth, unit.adder_count, cycles)
-        print()
-        print(
-            render_table(
-                ["design", "pipeline depth", "adders", "cycles (4096 el)",
-                 "overlay area", "overlay power"],
-                rows,
-                title="Fig. 9: prefix-sum designs at width 32 "
-                "(paper overlays: serial +2%/+3%, parallel +20%/+27%)",
-            )
-        )
-        return out
-
-    out = once(run)
-    depths = {d: v[0] for d, v in out.items()}
-    assert (
-        depths[PrefixSumDesign.HIGHLY_PARALLEL]
-        < depths[PrefixSumDesign.WORK_EFFICIENT]
-        < depths[PrefixSumDesign.SERIAL_CHAIN]
-    )
+    raise SystemExit(main("fig09_prefix_sum"))

@@ -1,90 +1,18 @@
 """Fig. 10 — conversion wall time and energy: MINT vs MKL-CPU vs cuSPARSE-GPU.
 
-Regenerates (a) CSR->CSC and (b) Dense->CSR execution time over the
-Table III matrices, and (c) the energy comparison.  Paper claims pinned:
-MINT shows faster average conversion time than both hosts (the abstract's
-~4x over software conversion) and roughly three orders of magnitude energy
-improvement.
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``fig10_conversion`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.compactness import storage_bits
-from repro.analysis.tables import render_table
-from repro.baselines import CpuModel, GpuModel
-from repro.formats.registry import Format
-from repro.mint.cost import estimate_conversion_cost
-from repro.util.stats import geomean
-from repro.workloads import MATRIX_SUITE
+from _shim import make_bench
 
+bench_fig10 = make_bench("fig10_conversion")
 
-def conversion_comparison(src: Format, dst: Format) -> dict:
-    cpu, gpu = CpuModel(), GpuModel()
-    rows, speed_cpu, speed_gpu, energy_ratio = [], [], [], []
-    for entry in MATRIX_SUITE:
-        m, k = entry.dims
-        nnz = entry.nnz
-        mint = estimate_conversion_cost(
-            src, dst, size=m * k, nnz=nnz, major_dim=m
-        )
-        bytes_in = storage_bits(src, (m, k), nnz) / 8
-        bytes_out = storage_bits(dst, (m, k), nnz) / 8
-        t_cpu = cpu.conversion_time(bytes_in, bytes_out)
-        dev, h2d, d2h = gpu.conversion_time(bytes_in, bytes_out)
-        t_gpu = dev + h2d + d2h
-        mint_s = max(mint.seconds, 1e-9)
-        speed_cpu.append(t_cpu / mint_s)
-        speed_gpu.append(t_gpu / mint_s)
-        e_gpu = gpu.conversion_energy(t_gpu)
-        energy_ratio.append(e_gpu / max(mint.energy_j, 1e-12))
-        rows.append(
-            [
-                entry.name,
-                f"{mint.seconds * 1e3:.3f}",
-                f"{t_cpu * 1e3:.3f}",
-                f"{t_gpu * 1e3:.3f}",
-                f"{mint.energy_j:.2e}",
-                f"{cpu.conversion_energy(t_cpu):.2e}",
-                f"{e_gpu:.2e}",
-            ]
-        )
-    return {
-        "rows": rows,
-        "speedup_cpu": geomean(speed_cpu),
-        "speedup_gpu": geomean(speed_gpu),
-        "energy_ratio": geomean(energy_ratio),
-    }
+if __name__ == "__main__":
+    from _shim import main
 
-
-def bench_fig10(once, benchmark):
-    def run():
-        out = {}
-        for src, dst, tag in [
-            (Format.CSR, Format.CSC, "a: CSR->CSC"),
-            (Format.DENSE, Format.CSR, "b: Dense->CSR"),
-        ]:
-            r = conversion_comparison(src, dst)
-            print()
-            print(
-                render_table(
-                    ["workload", "MINT ms", "MKL-CPU ms", "cuSPARSE-GPU ms",
-                     "MINT J", "CPU J", "GPU J"],
-                    r["rows"],
-                    title=f"Fig. 10{tag} (GPU time includes H2D/D2H)",
-                )
-            )
-            print(
-                f"geomean speedup: {r['speedup_cpu']:.1f}x vs CPU, "
-                f"{r['speedup_gpu']:.1f}x vs GPU (paper: ~4x vs software); "
-                f"GPU/MINT energy ratio {r['energy_ratio']:.1e} "
-                f"(paper: ~3 orders of magnitude)"
-            )
-            out[tag] = r
-        return out
-
-    out = once(run)
-    csr2csc = out["a: CSR->CSC"]
-    assert csr2csc["speedup_cpu"] > 1.0 and csr2csc["speedup_gpu"] > 1.0
-    assert csr2csc["energy_ratio"] >= 1e3
-    benchmark.extra_info["geomean_speedup_cpu"] = csr2csc["speedup_cpu"]
-    benchmark.extra_info["geomean_speedup_gpu"] = csr2csc["speedup_gpu"]
+    raise SystemExit(main("fig10_conversion"))

@@ -1,56 +1,18 @@
 """Fig. 11 — GPU H2D/D2H transfer share of conversion wall time.
 
-Paper claims pinned: "transferring data can consume up to 75% of the total
-time, and has a geomean of roughly 50%" — the motivation for converting
-next to the accelerator instead of offloading to the host.
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``fig11_transfer_ratio`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.compactness import storage_bits
-from repro.analysis.tables import render_table
-from repro.baselines import GpuModel
-from repro.formats.registry import Format
-from repro.util.stats import geomean
-from repro.workloads import MATRIX_SUITE
+from _shim import make_bench
 
+bench_fig11 = make_bench("fig11_transfer_ratio")
 
-def transfer_shares() -> dict:
-    gpu = GpuModel()
-    rows, shares = [], []
-    for entry in MATRIX_SUITE:
-        m, k = entry.dims
-        # Dense->CSR offload: ship the dense matrix over, the CSR back.
-        bytes_in = storage_bits(Format.DENSE, (m, k), entry.nnz) / 8
-        bytes_out = storage_bits(Format.CSR, (m, k), entry.nnz) / 8
-        dev, h2d, d2h = gpu.conversion_time(bytes_in, bytes_out)
-        share = (h2d + d2h) / (dev + h2d + d2h)
-        shares.append(share)
-        rows.append(
-            [entry.name, f"{dev * 1e3:.2f}", f"{(h2d + d2h) * 1e3:.2f}",
-             f"{share:.0%}"]
-        )
-    return {"rows": rows, "geomean": geomean(shares), "max": max(shares)}
+if __name__ == "__main__":
+    from _shim import main
 
-
-def bench_fig11(once, benchmark):
-    def run():
-        r = transfer_shares()
-        print()
-        print(
-            render_table(
-                ["workload", "device ms", "H2D+D2H ms", "transfer share"],
-                r["rows"],
-                title="Fig. 11: GPU transfer-to-total ratio for Dense->CSR offload",
-            )
-        )
-        print(
-            f"geomean {r['geomean']:.0%} (paper ~50%), "
-            f"max {r['max']:.0%} (paper up to 75%)"
-        )
-        return r
-
-    r = once(run)
-    assert 0.30 <= r["geomean"] <= 0.70
-    assert r["max"] <= 0.85
-    benchmark.extra_info["geomean_share"] = r["geomean"]
+    raise SystemExit(main("fig11_transfer_ratio"))

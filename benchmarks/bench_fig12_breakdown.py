@@ -1,72 +1,18 @@
-"""Fig. 12 — cycles / energy / EDP breakdown of SpGEMM on journals,
-speech2 and m3plates across the Table II accelerator policies.
+"""Fig. 12 — cycles / energy / EDP breakdown across the Table II policies.
 
-Paper claims pinned per sub-figure:
-* (a) journals (78.5% dense): Fix_Fix_None2 (EIE) takes the most cycles and
-  energy — dense ACFs beat CSR there;
-* (b) speech2: Dense(A)-CSC(B) is the best ACF; our work matches the best
-  compute and additionally shrinks memory time via an RLC MCF;
-* (c) m3plates (extremely sparse): any dense-ACF design is far behind;
-  Flex_Flex_None and this work are the closest pair.
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``fig12_breakdown`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.tables import render_table
-from repro.baselines import evaluate_all
-from repro.workloads import Kernel, suite_by_name
+from _shim import make_bench
 
-WORKLOADS = ["journals", "speech2", "m3plates"]
+bench_fig12 = make_bench("fig12_breakdown")
 
+if __name__ == "__main__":
+    from _shim import main
 
-def breakdown() -> dict:
-    out = {}
-    for name in WORKLOADS:
-        wl = suite_by_name(name).matrix_workload(Kernel.SPGEMM)
-        out[name] = evaluate_all(wl)
-    return out
-
-
-def bench_fig12(once):
-    def run():
-        results = breakdown()
-        for name, res in results.items():
-            rows = []
-            for policy, r in res.items():
-                b = r.best
-                rows.append(
-                    [
-                        policy,
-                        f"{b.ingest_cycles:,}",
-                        f"{b.conv_cycles:,}",
-                        f"{b.compute_cycles:,}",
-                        f"{b.writeback_cycles:,}",
-                        f"{b.total_cycles:,}",
-                        f"{b.total_energy_j:.2e}",
-                        f"{b.edp:.2e}",
-                        f"({b.mcf[0].value},{b.mcf[1].value})->"
-                        f"({b.acf[0].value},{b.acf[1].value})",
-                    ]
-                )
-            print()
-            print(
-                render_table(
-                    ["policy", "ingest", "conv", "compute", "writeback",
-                     "total cyc", "energy J", "EDP", "formats"],
-                    rows,
-                    title=f"Fig. 12 ({name}, SpGEMM)",
-                )
-            )
-        return results
-
-    results = once(run)
-    # (a) journals: EIE is the worst of the seven.
-    journals = {k: r.edp for k, r in results["journals"].items()}
-    assert journals["Fix_Fix_None2"] == max(journals.values())
-    # (c) m3plates: this work and ExTensor far ahead of fixed-dense designs.
-    m3 = {k: r.edp for k, r in results["m3plates"].items()}
-    assert m3["Flex_Flex_HW"] * 10 < m3["Fix_Fix_None"]
-    # Our work is the minimum everywhere.
-    for res in results.values():
-        ours = res["Flex_Flex_HW"].edp
-        assert all(ours <= r.edp * 1.0001 for r in res.values())
+    raise SystemExit(main("fig12_breakdown"))

@@ -1,93 +1,18 @@
 """Fig. 14 — the ResNet-50/CIFAR-10 convolution case study.
 
-Regenerates (b) this work's per-layer EDP under the three pruning regimes
-and (c) the average EDP against every baseline.  Paper claims pinned:
-early layers are insensitive to weight pruning (activations dominate);
-layers 7-8 benefit most under global pruning (sparser weights -> better MCF
-compression and CSC weight buffers); our work beats every baseline, ~70%
-average EDP reduction in the paper's model.
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``fig14_cnn`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from _shim import make_bench
 
-from repro.analysis.tables import render_table
-from repro.baselines import evaluate_all
-from repro.workloads.dnn import CONV_LAYERS, PruningStrategy, layer_gemm
+bench_fig14 = make_bench("fig14_cnn")
 
+if __name__ == "__main__":
+    from _shim import main
 
-def cnn_study() -> dict:
-    per_layer: dict[int, dict[str, float]] = {}
-    totals: dict[str, float] = {}
-    for layer in CONV_LAYERS:
-        per_layer[layer.layer_id] = {}
-        for strategy in PruningStrategy:
-            res = evaluate_all(layer_gemm(layer, strategy))
-            per_layer[layer.layer_id][strategy.value] = res["Flex_Flex_HW"].edp
-            for name, r in res.items():
-                totals[name] = totals.get(name, 0.0) + r.edp
-    return {"per_layer": per_layer, "totals": totals}
-
-
-def bench_fig14(once, benchmark):
-    def run():
-        out = cnn_study()
-        rows = [
-            [f"conv{lid}"] + [f"{v:.2e}" for v in strat.values()]
-            for lid, strat in out["per_layer"].items()
-        ]
-        print()
-        print(
-            render_table(
-                ["layer"] + [s.value for s in PruningStrategy],
-                rows,
-                title="Fig. 14b: this work's EDP per layer and pruning strategy",
-            )
-        )
-        ours = out["totals"]["Flex_Flex_HW"]
-        rows = [
-            [name, f"{total:.3e}", f"{1 - ours / total:.0%}"]
-            for name, total in out["totals"].items()
-            if name != "Flex_Flex_HW"
-        ]
-        print(
-            render_table(
-                ["baseline", "avg EDP", "our reduction"],
-                rows,
-                title="Fig. 14c: average EDP vs baselines (paper: ~70% avg reduction)",
-            )
-        )
-        return out
-
-    out = once(run)
-    totals = out["totals"]
-    ours = totals["Flex_Flex_HW"]
-    # This work beats every baseline on the aggregate.
-    assert all(ours <= v * 1.0001 for v in totals.values())
-    # Global pruning helps most on the late, weight-heavy layers (7-8).
-    for lid in (7, 8):
-        layer = out["per_layer"][lid]
-        assert layer[PruningStrategy.GLOBAL_70.value] <= (
-            layer[PruningStrategy.NORMAL.value]
-        )
-    # Early layer 1 has dense activations: pruning barely moves it.
-    l1 = out["per_layer"][1]
-    assert l1[PruningStrategy.LAYER_50.value] == (
-        pytest_approx(l1[PruningStrategy.NORMAL.value], 0.35)
-    )
-    benchmark.extra_info["mean_reduction_pct"] = round(
-        float(
-            np.mean(
-                [1 - ours / v for k, v in totals.items() if k != "Flex_Flex_HW"]
-            )
-        )
-        * 100,
-        1,
-    )
-
-
-def pytest_approx(value: float, rel: float):
-    import pytest
-
-    return pytest.approx(value, rel=rel)
+    raise SystemExit(main("fig14_cnn"))

@@ -1,45 +1,18 @@
 """Tables I & II — the MCF/ACF flexibility taxonomy and evaluated policies.
 
-Not a measurement: regenerates the classification tables from the encoded
-policy objects so the configuration driving Figs. 12-14 is auditable.
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``table01_02_policies`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.tables import render_table
-from repro.baselines import ALL_POLICIES
+from _shim import make_bench
 
+bench_tables_1_and_2 = make_bench("table01_02_policies")
 
-def bench_tables_1_and_2(once):
-    def run():
-        rows = []
-        for p in ALL_POLICIES:
-            mcfs = {f"{a.value}-{b.value}" for a, b in p.mcf_pairs}
-            acfs = {f"{a.value}-{b.value}" for a, b in p.acf_pairs}
-            rows.append(
-                [
-                    p.name,
-                    p.category,
-                    len(p.mcf_pairs),
-                    len(p.acf_pairs),
-                    len(list(p.candidates())),
-                    p.converter.value,
-                    "yes" if p.zero_skipping else "no",
-                    p.reference,
-                    (sorted(mcfs)[0] + ", ..." if len(mcfs) > 1 else next(iter(mcfs))),
-                    (sorted(acfs)[0] + ", ..." if len(acfs) > 1 else next(iter(acfs))),
-                ]
-            )
-        print()
-        print(
-            render_table(
-                ["design", "class", "#MCF", "#ACF", "#candidates", "conv",
-                 "zero-skip", "exemplar", "MCF e.g.", "ACF e.g."],
-                rows,
-                title="Tables I/II: evaluated accelerator format policies",
-            )
-        )
-        return rows
+if __name__ == "__main__":
+    from _shim import main
 
-    rows = once(run)
-    assert len(rows) == 7
+    raise SystemExit(main("table01_02_policies"))

@@ -1,83 +1,18 @@
 """Table III — SAGE's MCF/ACF decisions for the 13-workload suite.
 
-Prints the paper's published choices next to ours for both scenarios
-(SpGEMM/SpTTM with a density-matched sparse factor, SpMM/MTTKRP with a
-dense factor) and asserts the aggregate agreement floor.
+Ported to ``repro.xp``: this file is a thin shim over the registered
+experiment ``table03_sage`` (scenario matrix, measure function and paper-claim
+checks live in ``src/repro/xp/paper.py``).  Run the whole suite instead
+with ``repro xp run --all``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.tables import render_table
-from repro.sage import Sage
-from repro.workloads import MATRIX_SUITE, TENSOR_SUITE, Kernel
+from _shim import make_bench
 
+bench_table3 = make_bench("table03_sage")
 
-def table3() -> dict:
-    sage = Sage()
-    rows, hits, total = [], 0, 0
-    for entry in MATRIX_SUITE:
-        for kernel, choice in (
-            (Kernel.SPGEMM, entry.spgemm_choice),
-            (Kernel.SPMM, entry.spmm_choice),
-        ):
-            d = sage.predict_matrix(entry.matrix_workload(kernel))
-            matches = [
-                choice.mcf_t is d.mcf[0],
-                choice.acf_t is d.acf[0],
-                choice.acf_f is d.acf[1],
-            ]
-            hits += sum(matches)
-            total += 3
-            rows.append(
-                [
-                    entry.name,
-                    kernel.value,
-                    f"{entry.density_pct:g}%",
-                    f"{choice.mcf_t.value}->{d.mcf[0].value}",
-                    f"{choice.acf_t.value}->{d.acf[0].value}",
-                    f"{choice.acf_f.value}->{d.acf[1].value}",
-                    "".join("=" if m else "x" for m in matches),
-                ]
-            )
-    for entry in TENSOR_SUITE:
-        for kernel, choice in (
-            (Kernel.SPTTM, entry.spgemm_choice),
-            (Kernel.MTTKRP, entry.spmm_choice),
-        ):
-            d = sage.predict_tensor(entry.tensor_workload(kernel))
-            matches = [choice.mcf_t is d.mcf[0], choice.acf_t is d.acf[0]]
-            hits += sum(matches)
-            total += 2
-            rows.append(
-                [
-                    entry.name,
-                    kernel.value,
-                    f"{entry.density_pct:g}%",
-                    f"{choice.mcf_t.value}->{d.mcf[0].value}",
-                    f"{choice.acf_t.value}->{d.acf[0].value}",
-                    "-",
-                    "".join("=" if m else "x" for m in matches),
-                ]
-            )
-    return {"rows": rows, "hits": hits, "total": total}
+if __name__ == "__main__":
+    from _shim import main
 
-
-def bench_table3(once, benchmark):
-    def run():
-        out = table3()
-        print()
-        print(
-            render_table(
-                ["workload", "kernel", "density",
-                 "MCFt paper->ours", "ACFt paper->ours", "ACFf paper->ours",
-                 "match"],
-                out["rows"],
-                title="Table III: SAGE decisions, paper vs this reproduction",
-            )
-        )
-        print(f"agreement: {out['hits']}/{out['total']} decision fields")
-        return out
-
-    out = once(run)
-    assert out["hits"] / out["total"] >= 0.80
-    benchmark.extra_info["agreement"] = f"{out['hits']}/{out['total']}"
+    raise SystemExit(main("table03_sage"))

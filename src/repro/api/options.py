@@ -104,6 +104,17 @@ class PredictOptions:
     processes:
         Local batch fan-out width for one-call-many-workloads predictions
         (ignored by remote backends: the server owns its own pool).
+
+    Example
+    -------
+    >>> from repro import Format, PredictOptions
+    >>> opts = PredictOptions(fixed_mcf=("CSR", "Dense"), top_k=4)
+    >>> opts.fixed_mcf == (Format.CSR, Format.DENSE)  # coerced to Format
+    True
+    >>> opts.restricts_search  # restricted searches bypass decision caches
+    True
+    >>> PredictOptions.from_wire(opts.to_wire()) == opts
+    True
     """
 
     fidelity: str | None = None
@@ -248,6 +259,18 @@ class RunOptions:
         bigger workloads execute through a density-preserving proxy and
         the scale travels on the result (``None`` = the sage cycle tier's
         cap).
+
+    Example
+    -------
+    >>> from repro import PredictOptions, RunOptions
+    >>> opts = RunOptions(predict=PredictOptions(top_k=3), seed=7,
+    ...                   engine="reference")
+    >>> RunOptions.from_wire(opts.to_wire()) == opts
+    True
+    >>> RunOptions(engine="imaginary")
+    Traceback (most recent call last):
+        ...
+    repro.errors.PredictionError: unknown run engine 'imaginary' (choose from vectorized, reference)
     """
 
     predict: PredictOptions = field(default_factory=PredictOptions)

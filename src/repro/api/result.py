@@ -48,6 +48,20 @@ class RunResult:
     verified:
         ``True`` when the output was checked against numpy, ``None`` when
         verification was disabled.
+
+    Example
+    -------
+    >>> from repro import Session, MatrixWorkload, Kernel
+    >>> wl = MatrixWorkload("doc", Kernel.SPMM, m=96, k=96, n=48,
+    ...                     nnz_a=500, nnz_b=96 * 48)
+    >>> result = Session().run(wl)
+    >>> result.sim_scale == 1.0 and result.verified
+    True
+    >>> result.conversion_cycles == (result.conversion_a.cycles
+    ...                              + result.conversion_b.cycles)
+    True
+    >>> "measured EDP" in result.summary()
+    True
     """
 
     workload: MatrixWorkload

@@ -80,6 +80,16 @@ class Session:
     timeout, cache_size, near_hit, planner_snapshot:
         Backend tuning, forwarded to :class:`RemoteBackend` (``timeout``)
         or :class:`LocalBackend` (the rest).
+
+    Example
+    -------
+    >>> from repro import Session, MatrixWorkload, Kernel
+    >>> wl = MatrixWorkload("doc", Kernel.SPMM, m=256, k=256, n=128,
+    ...                     nnz_a=3_000, nnz_b=256 * 128)
+    >>> with Session() as session:
+    ...     decision = session.predict(wl)
+    >>> decision.best.mcf[0].value in {"CSR", "COO", "RLC", "ZVC"}
+    True
     """
 
     def __init__(
@@ -142,6 +152,21 @@ class Session:
         server round trip depending on the backend.  ``overrides`` are
         :class:`PredictOptions` fields (``fidelity="cycle"``,
         ``fixed_mcf=...``, ...) applied on top of *options*.
+
+        Example
+        -------
+        >>> from repro import Format, Session, MatrixWorkload, Kernel
+        >>> wl = MatrixWorkload("doc", Kernel.SPMM, m=256, k=256, n=128,
+        ...                     nnz_a=3_000, nnz_b=256 * 128)
+        >>> with Session() as session:
+        ...     one = session.predict(wl)
+        ...     many = session.predict([wl, wl])
+        ...     pinned = session.predict(
+        ...         wl, fixed_mcf=(Format.CSR, Format.DENSE))
+        >>> [d.to_wire() for d in many] == [one.to_wire()] * 2
+        True
+        >>> pinned.best.mcf == (Format.CSR, Format.DENSE)
+        True
         """
         opts = resolve_options(options or self.options, **overrides)
         if isinstance(workload_or_workloads, (Mapping, MatrixWorkload,
@@ -177,6 +202,16 @@ class Session:
         *a* and *b* are supplied; workloads larger than the simulation cap
         execute through a density-preserving proxy whose scale is recorded
         on the result.
+
+        Example
+        -------
+        >>> from repro import Session, MatrixWorkload, Kernel
+        >>> wl = MatrixWorkload("doc", Kernel.SPMM, m=96, k=96, n=48,
+        ...                     nnz_a=500, nnz_b=96 * 48)
+        >>> with Session() as session:
+        ...     result = session.run(wl)
+        >>> result.verified and result.cycles > 0
+        True
         """
         opts = options or RunOptions()
         wl = _parse_workload(workload)

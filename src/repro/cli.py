@@ -19,6 +19,12 @@ Commands
     Render the Fig. 6 bus traces (Dense / CSR / COO) cycle by cycle.
 ``suite``
     Run the Table II policy comparison on one Table III workload.
+``xp``
+    The experiment orchestrator (``repro.xp``): ``xp list`` the
+    registered paper figure/table/ablation experiments, ``xp run`` a
+    selection (or ``--all``) across the fork pool with artifact-store
+    caching (``--resume`` / ``--force`` / ``--smoke``), ``xp report``
+    re-renders the markdown reports from the store.
 ``paths``
     Print the registered conversion graph and the cost-aware route the
     planner chooses for a given operand size.
@@ -265,6 +271,101 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_xp(args: argparse.Namespace) -> int:
+    from repro.xp import (
+        RunConfig,
+        all_experiments,
+        default_out_dir,
+        run_experiments,
+    )
+
+    if args.xp_command == "list":
+        experiments = all_experiments(kind=args.kind)
+        if args.json:
+            _emit_json(
+                {
+                    "experiments": [
+                        {
+                            "name": e.name,
+                            "kind": e.kind,
+                            "anchor": e.anchor,
+                            "title": e.title,
+                            "cells": len(e.scenarios()),
+                            "smoke_cells": len(e.scenarios(smoke=True)),
+                        }
+                        for e in experiments
+                    ]
+                }
+            )
+            return 0
+        print(f"{'experiment':<24} {'kind':<9} {'anchor':<16} "
+              f"{'cells':>5} {'smoke':>5}  title")
+        for e in experiments:
+            print(
+                f"{e.name:<24} {e.kind:<9} {e.anchor:<16} "
+                f"{len(e.scenarios()):>5} {len(e.scenarios(smoke=True)):>5}"
+                f"  {e.title}"
+            )
+        return 0
+
+    if args.xp_command == "report":
+        # Pure re-render: answer from the store only, never execute —
+        # uncached cells are skipped and reported, not measured.
+        names = args.experiments or None
+        summary = run_experiments(
+            names,
+            RunConfig(
+                backend=args.backend,  # remote grids key on the server spec
+                smoke=args.smoke,
+                cached_only=True,
+                store_root=args.store,
+                out_dir=args.out,
+                record=False,
+            ),
+        )
+        out = args.out or default_out_dir()
+        print(f"wrote {out}/report.md ({summary.cached_cells} cells from "
+              f"cache, {summary.skipped_cells} not cached — "
+              f"run 'repro xp run' to measure them)")
+        return 0 if summary.ok else 1
+
+    # xp run
+    if not args.experiments and not args.all:
+        raise SystemExit("name experiments to run, or pass --all")
+    names = None if args.all else args.experiments
+    config = RunConfig(
+        backend=args.backend,
+        processes=1 if args.serial else args.processes,
+        smoke=args.smoke,
+        resume=args.resume,
+        force=args.force,
+        isolate=args.isolate,
+        store_root=args.store,
+        out_dir=args.out,
+        report=not args.no_report,
+    )
+    summary = run_experiments(names, config)
+    if args.json:
+        _emit_json(summary.record())
+        return 0 if summary.ok else 1
+    for run in summary.experiments:
+        print(
+            f"{run.experiment.name:<24} {len(run.cells):>4} cells "
+            f"({run.cached} cached, {run.executed} measured) "
+            f"{run.elapsed_s:7.2f}s  {run.status}"
+        )
+    print(
+        f"\n{summary.total_cells} cells in {summary.wall_s:.2f}s wall "
+        f"({summary.executed_cells} measured, {summary.cached_cells} from "
+        f"cache, {summary.failed_cells} failed; summed cell time "
+        f"{summary.serial_cell_s:.2f}s)"
+    )
+    if not args.no_report:
+        out = args.out or default_out_dir()
+        print(f"report: {out}/report.md")
+    return 0 if summary.ok else 1
+
+
 def _parse_format(name: str):
     from repro.formats.registry import Format
 
@@ -430,6 +531,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the policy comparison as JSON")
     p.set_defaults(fn=_cmd_suite)
+
+    p = sub.add_parser(
+        "xp",
+        help="experiment orchestrator: the paper's figures/tables/ablations",
+    )
+    xp_sub = p.add_subparsers(dest="xp_command", required=True)
+
+    q = xp_sub.add_parser("list", help="registered experiments")
+    q.add_argument("--kind", choices=["figure", "table", "ablation"],
+                   default=None)
+    q.add_argument("--json", action="store_true")
+    q.set_defaults(fn=_cmd_xp)
+
+    q = xp_sub.add_parser(
+        "run",
+        help="run experiments: expand grids, fan out, cache, check, report",
+    )
+    q.add_argument("experiments", nargs="*",
+                   help="experiment names (see 'repro xp list')")
+    q.add_argument("--all", action="store_true",
+                   help="run every registered experiment")
+    q.add_argument("--smoke", action="store_true",
+                   help="CI-sized scenario grids")
+    q.add_argument("--resume", action="store_true",
+                   help="skip cells already in the artifact store")
+    q.add_argument("--force", action="store_true",
+                   help="invalidate cached cells first")
+    q.add_argument("--serial", action="store_true",
+                   help="single-process execution (no fork pool)")
+    q.add_argument("--isolate", action="store_true",
+                   help="cold session + cleared caches per cell "
+                   "(the seed-script baseline)")
+    q.add_argument("--processes", type=int, default=None,
+                   help="fork-pool width (default: one per CPU)")
+    q.add_argument("--store", default=None,
+                   help="artifact store root "
+                   "(default: benchmarks/out/xp/store)")
+    q.add_argument("--out", default=None,
+                   help="report/journal directory (default: benchmarks/out)")
+    q.add_argument("--no-report", action="store_true",
+                   help="skip the markdown report stage")
+    q.add_argument("--json", action="store_true",
+                   help="emit the run record as JSON")
+    add_backend(q)
+    q.set_defaults(fn=_cmd_xp)
+
+    q = xp_sub.add_parser(
+        "report", help="re-render reports from the artifact store"
+    )
+    q.add_argument("experiments", nargs="*",
+                   help="experiment names (default: all)")
+    q.add_argument("--smoke", action="store_true",
+                   help="report over the smoke grids")
+    q.add_argument("--store", default=None)
+    q.add_argument("--out", default=None)
+    add_backend(q)  # grids measured against a server key on its spec
+    q.set_defaults(fn=_cmd_xp)
 
     p = sub.add_parser(
         "paths", help="print the conversion graph and planned routes"

@@ -387,12 +387,19 @@ _DATAPATHS_LOADED = False
 
 
 def _ensure_datapaths_loaded() -> None:
-    """Import the conversion modules so their decorators have run."""
+    """Import the conversion modules so their decorators have run.
+
+    The flag flips only *after* both imports complete: flipping it first
+    let a concurrent thread (e.g. an in-process serve worker answering
+    the process's very first prediction) observe an empty graph and fail
+    with "no MINT datapath".  Duplicate imports are harmless no-ops and
+    the interpreter's import lock serializes racing first importers.
+    """
     global _DATAPATHS_LOADED
     if not _DATAPATHS_LOADED:
-        _DATAPATHS_LOADED = True
         import repro.mint.conversions  # noqa: F401  (registers matrix edges)
         import repro.mint.tensor_conversions  # noqa: F401  (tensor edges)
+        _DATAPATHS_LOADED = True
 
 
 def conversion_graph(*, tensor: bool = False) -> ConversionGraph:

@@ -41,25 +41,42 @@ def fork_map(
     processes: int | None = None,
     initializer: Callable | None = None,
     initargs: tuple = (),
+    consume: Callable[[R], None] | None = None,
 ) -> list[R]:
     """``[fn(item) for item in items]``, fanned across a fork pool.
 
     Results are returned in input order.  ``fn`` must be a module-level
     callable (the pool pickles it); ``initializer(*initargs)`` runs once
     per worker, e.g. to seed a process-global cache snapshot.
+
+    ``consume(result)`` runs in the *calling* process as each result
+    arrives (in input order, on every execution path) — callers that
+    persist results incrementally survive interruption mid-batch instead
+    of losing the whole barrier (the xp runner's artifact store relies on
+    this).
     """
+
+    def sequential() -> list[R]:
+        results = []
+        for item in items:
+            result = fn(item)
+            if consume is not None:
+                consume(result)
+            results.append(result)
+        return results
+
     items = list(items)
     if processes is None:
         processes = min(len(items), multiprocessing.cpu_count())
     if len(items) <= 1 or processes <= 1:
-        return [fn(item) for item in items]
+        return sequential()
     if multiprocessing.current_process().daemon:
         # Daemonic processes (serve shards) may not have children.
-        return [fn(item) for item in items]
+        return sequential()
     try:
         pickle.dumps((fn, items, initargs))
     except (pickle.PicklingError, AttributeError, TypeError):
-        return [fn(item) for item in items]
+        return sequential()
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -71,7 +88,12 @@ def fork_map(
             initializer=initializer,
             initargs=initargs,
         ) as pool:
-            return list(pool.map(fn, items))
+            results = []
+            for result in pool.map(fn, items):
+                if consume is not None:
+                    consume(result)
+                results.append(result)
+            return results
     except (OSError, PermissionError, BrokenProcessPool):
         # Platforms that cannot spawn (or keep) a pool at all.
-        return [fn(item) for item in items]
+        return sequential()

@@ -1,0 +1,61 @@
+"""repro.xp — the parallel experiment orchestrator.
+
+Every figure, table and ablation of the paper registers here as one
+declarative :class:`~repro.xp.registry.Experiment` (scenario matrix +
+measure function + expected-shape schema + pinned-claim check); the
+runner expands the scenario grid, executes it across the shared fork
+pool through the :class:`~repro.api.session.Session` facade, caches
+every cell in a content-hashed artifact store (``--resume`` skips
+completed cells, ``--force`` invalidates), and renders markdown reports.
+
+Entry points::
+
+    repro xp list                 # registered experiments
+    repro xp run --all --smoke    # the whole suite, CI-sized
+    repro xp report               # re-render benchmarks/out/report.md
+
+and programmatically::
+
+    from repro.xp import RunConfig, run_experiments
+
+    summary = run_experiments(["fig04_compactness"], RunConfig(smoke=True))
+    assert summary.ok
+
+See ``docs/benchmarking.md`` for the architecture of the store, the
+resume semantics, and the floors methodology.
+"""
+
+from repro.xp.artifacts import ArtifactStore, default_store_root
+from repro.xp.registry import (
+    Experiment,
+    ExperimentError,
+    all_experiments,
+    experiment,
+    experiment_names,
+    get_experiment,
+    load_paper_suite,
+    register,
+)
+from repro.xp.runner import (
+    RunConfig,
+    RunSummary,
+    default_out_dir,
+    run_experiments,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "Experiment",
+    "ExperimentError",
+    "RunConfig",
+    "RunSummary",
+    "all_experiments",
+    "default_out_dir",
+    "default_store_root",
+    "experiment",
+    "experiment_names",
+    "get_experiment",
+    "load_paper_suite",
+    "register",
+    "run_experiments",
+]

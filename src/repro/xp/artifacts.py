@@ -1,0 +1,169 @@
+"""Content-hashed artifact store: cached cell results with resume semantics.
+
+Every executed grid cell lands here as one JSON document, keyed by a
+digest of everything the measurement depends on:
+
+* the **experiment identity** — name plus its declared ``version`` (bump
+  the version when the measure function changes semantics);
+* the **scenario cell** — the canonical JSON of its parameter values
+  (the workload fingerprint: each cell's params describe the workloads it
+  measures);
+* the **configuration digest** — the accelerator-config digest the serve
+  layer already computes (:func:`repro.serve.fingerprint.config_digest`),
+  plus the wire-schema version, so a hardware-parameter or schema change
+  silently invalidates every stale cell;
+* the **store format version** (:data:`STORE_VERSION`).
+
+The **local** backend is deliberately not part of the key: decisions are
+wire-identical across the in-process backend and a default-configured
+server for the same workload and options (pinned by
+``tests/api/test_session.py``).  A **remote** backend's spec *is* folded
+in, because a server may be configured for a different prediction tier or
+hardware config than the local default — a grid measured against
+``tcp://host:port`` must not silently answer a local ``--resume`` (or
+vice versa).
+
+Example — the round trip the runner performs per cell::
+
+    from repro.xp import ArtifactStore, get_experiment
+
+    store = ArtifactStore(tmp_path)
+    exp = get_experiment("fig07_pe_overhead")
+    params = exp.scenarios()[0]
+    key = store.cell_key(exp, params)
+    if store.load(exp.name, key) is None:          # --resume miss
+        record = {"params": params, "result": {...}, "elapsed_s": 0.1}
+        store.store(exp.name, key, record)
+    assert store.load(exp.name, key)["params"] == params
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.xp.registry import Experiment
+
+__all__ = ["ArtifactStore", "STORE_VERSION", "default_store_root"]
+
+#: Bump to invalidate every artifact at once (layout/semantic changes).
+STORE_VERSION = 1
+
+
+def default_store_root() -> Path:
+    """The default on-disk location, ``benchmarks/out/xp/store``."""
+    return (
+        Path(__file__).resolve().parents[3]
+        / "benchmarks"
+        / "out"
+        / "xp"
+        / "store"
+    )
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class ArtifactStore:
+    """Filesystem-backed map of cell digests to measurement records.
+
+    Layout: ``<root>/<experiment>/<key>.json``, one JSON document per
+    cell — small, diffable, and safe to commit or upload as a CI
+    artifact.  All operations are idempotent; concurrent writers of the
+    same key converge via atomic ``os.replace``.
+    """
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_store_root()
+
+    # ----------------------------------------------------------------- keys
+    def config_digest(self) -> str:
+        """Digest of the run-wide configuration baked into every key."""
+        from repro.api.options import WIRE_SCHEMA_VERSION
+        from repro.accelerator.config import AcceleratorConfig
+        from repro.serve.fingerprint import config_digest
+
+        return (
+            f"store{STORE_VERSION}-wire{WIRE_SCHEMA_VERSION}-"
+            f"{config_digest(AcceleratorConfig.paper_default())}"
+        )
+
+    def cell_key(
+        self, experiment: Experiment, params: Mapping, *,
+        backend: str = "local",
+    ) -> str:
+        """Content hash of one scenario cell (see the module docstring)."""
+        payload = _canonical(
+            {
+                "experiment": experiment.name,
+                "version": experiment.version,
+                "params": dict(params),
+                "digest": self.config_digest(),
+                # Local answers are backend-invariant; a server may run a
+                # different tier/config, so its spec joins the key.
+                "backend": None if backend == "local" else backend,
+            }
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+    def path(self, experiment_name: str, key: str) -> Path:
+        """Where one cell record lives."""
+        return self.root / experiment_name / f"{key}.json"
+
+    # ------------------------------------------------------------------ I/O
+    def load(self, experiment_name: str, key: str) -> dict | None:
+        """The stored record for *key*, or ``None`` (miss / corrupt file)."""
+        path = self.path(experiment_name, key)
+        try:
+            with path.open() as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A torn write is a miss, not an error: re-measure the cell.
+            return None
+
+    def store(self, experiment_name: str, key: str, record: dict) -> Path:
+        """Atomically persist one cell record; returns its path."""
+        path = self.path(experiment_name, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------- bulk lifecycle
+    def invalidate(self, experiment_name: str | None = None) -> int:
+        """Drop cached cells (one experiment, or everything); returns count."""
+        removed = 0
+        if experiment_name is not None:
+            dirs = [self.root / experiment_name]
+        elif self.root.exists():
+            dirs = [d for d in self.root.iterdir() if d.is_dir()]
+        else:
+            dirs = []
+        for directory in dirs:
+            if not directory.exists():
+                continue
+            for path in directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+            try:
+                directory.rmdir()
+            except OSError:  # pragma: no cover - non-empty (stray files)
+                pass
+        return removed
+
+    def count(self, experiment_name: str | None = None) -> int:
+        """Number of cached cells (one experiment, or everything)."""
+        if experiment_name is not None:
+            return len(list((self.root / experiment_name).glob("*.json")))
+        if not self.root.exists():
+            return 0
+        return sum(
+            1 for _ in self.root.glob("*/*.json")
+        )

@@ -1,0 +1,322 @@
+"""Experiment registry: every paper figure/table/ablation as one object.
+
+The seed reproduction regenerated the paper's evidence through ~20
+disconnected ``benchmarks/bench_*.py`` scripts, each hand-rolling its own
+workload setup and running serially.  This module replaces that with a
+declarative registry: an :class:`Experiment` is a **scenario matrix** (the
+cartesian product of parameter axes — one *cell* per combination), a
+**measure function** (one cell → one JSON-safe result dict, executed
+through the :class:`~repro.api.session.Session` facade), an
+**expected-shape schema** (keys every cell result must carry), and an
+optional grid-level **check** holding the paper's pinned claims.
+
+Experiments self-register through the :func:`experiment` decorator, the
+same extension pattern as the conversion-graph and streaming-protocol
+registries below this layer::
+
+    from repro.xp import experiment
+
+    @experiment(
+        name="fig99_example",
+        kind="figure",
+        anchor="Fig. 99",
+        title="An example sweep",
+        matrix={"density": (0.5, 0.05)},
+        smoke={"density": (0.5,)},
+        schema=("edp",),
+        headline=("edp",),
+    )
+    def measure_fig99(session, params):
+        from repro.workloads.spec import Kernel, MatrixWorkload
+        wl = MatrixWorkload("x", Kernel.SPMM, m=64, k=64, n=32,
+                            nnz_a=max(1, int(params["density"] * 64 * 64)),
+                            nnz_b=64 * 32)
+        return {"edp": session.predict(wl).best.edp}
+
+    @measure_fig99.check
+    def check_fig99(cells, *, smoke):
+        assert all(r["edp"] > 0 for _, r in cells)
+
+The runner (:mod:`repro.xp.runner`) expands the grid, executes cells
+through the shared fork pool with artifact-store caching, and calls the
+check on the complete grid (cached cells included).  The paper's suite of
+experiments registers in :mod:`repro.xp.paper`; call
+:func:`load_paper_suite` before listing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Experiment",
+    "ExperimentError",
+    "KINDS",
+    "all_experiments",
+    "experiment",
+    "experiment_names",
+    "get_experiment",
+    "load_paper_suite",
+    "register",
+]
+
+#: Recognized experiment kinds, in report order.
+KINDS = ("figure", "table", "ablation")
+
+
+class ExperimentError(ReproError):
+    """Raised for malformed experiment declarations or lookups."""
+
+
+#: One grid cell as handed to measure/check functions: parameter values
+#: keyed by axis name.
+Params = dict
+#: ``(params, result)`` pairs of a completed grid, input to check fns.
+Cells = Sequence[tuple[Params, dict]]
+
+MeasureFn = Callable[..., dict]
+CheckFn = Callable[..., None]
+
+
+def _json_safe(value: Any, *, where: str) -> None:
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError) as exc:
+        raise ExperimentError(f"{where} is not JSON-serializable: {exc}")
+
+
+class Experiment:
+    """One registered figure/table/ablation reproduction.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"fig04_compactness"`` (also the CLI handle:
+        ``repro xp run fig04_compactness``).
+    kind:
+        ``"figure"``, ``"table"`` or ``"ablation"`` — the report groups
+        by this.
+    anchor:
+        The paper anchor the experiment reproduces (``"Fig. 4"``,
+        ``"Table III"``, ``"Sec. VII-B"`` ...).
+    title:
+        One-line human description.
+    matrix:
+        Scenario axes: ``{axis: (value, ...)}``.  The grid is the
+        cartesian product, one cell per combination, expanded in
+        declaration order.
+    smoke:
+        Axis overrides applied under the smoke grid (CI-sized runs);
+        axes not named keep their full-matrix values.
+    schema:
+        Keys every cell result must contain — the expected shape of one
+        measurement, validated by the runner before a result is stored.
+    headline:
+        Subset of schema keys surfaced in the roll-up report tables.
+    measure:
+        ``measure(session, params) -> dict``: one cell, through the
+        Session facade.
+    check:
+        ``check(cells, *, smoke) -> None``: grid-level assertions over
+        all ``(params, result)`` pairs, holding the paper's pinned
+        claims.  Attached via ``@measure.check``.
+    version:
+        Folded into every cell's artifact key; bump it when the measure
+        function's semantics change so stale cached results are not
+        resumed.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        kind: str,
+        anchor: str,
+        title: str,
+        matrix: Mapping[str, Iterable],
+        measure: MeasureFn,
+        smoke: Mapping[str, Iterable] | None = None,
+        schema: Sequence[str] = (),
+        headline: Sequence[str] = (),
+        check: CheckFn | None = None,
+        version: int = 1,
+    ) -> None:
+        if kind not in KINDS:
+            raise ExperimentError(
+                f"experiment {name!r}: unknown kind {kind!r} "
+                f"(choose from {', '.join(KINDS)})"
+            )
+        if not matrix:
+            raise ExperimentError(f"experiment {name!r}: empty scenario matrix")
+        self.name = name
+        self.kind = kind
+        self.anchor = anchor
+        self.title = title
+        self.matrix = {axis: tuple(values) for axis, values in matrix.items()}
+        self.smoke = {
+            axis: tuple(values) for axis, values in (smoke or {}).items()
+        }
+        unknown = sorted(set(self.smoke) - set(self.matrix))
+        if unknown:
+            raise ExperimentError(
+                f"experiment {name!r}: smoke overrides unknown axes "
+                f"{', '.join(unknown)}"
+            )
+        for axis, values in {**self.matrix, **self.smoke}.items():
+            if not values:
+                raise ExperimentError(
+                    f"experiment {name!r}: axis {axis!r} has no values"
+                )
+            _json_safe(list(values), where=f"experiment {name!r} axis {axis!r}")
+        self.schema = tuple(schema)
+        self.headline = tuple(headline)
+        missing = sorted(set(self.headline) - set(self.schema))
+        if missing and self.schema:
+            raise ExperimentError(
+                f"experiment {name!r}: headline keys {', '.join(missing)} "
+                f"not in schema"
+            )
+        self.measure = measure
+        self.check = check
+        self.version = version
+
+    # ------------------------------------------------------------- the grid
+    def axes(self, *, smoke: bool = False) -> dict[str, tuple]:
+        """The active axis values (smoke overrides applied when asked)."""
+        if not smoke:
+            return dict(self.matrix)
+        return {**self.matrix, **self.smoke}
+
+    def scenarios(self, *, smoke: bool = False) -> list[Params]:
+        """Expand the scenario matrix into its grid cells, in order."""
+        axes = self.axes(smoke=smoke)
+        names = list(axes)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(axes[n] for n in names))
+        ]
+
+    def validate_result(self, params: Params, result: Any) -> dict:
+        """Check one cell result against the expected shape.
+
+        Returns the result when it is a dict carrying every schema key
+        and is JSON-serializable; raises :class:`ExperimentError`
+        otherwise (the runner records this as a cell failure).
+        """
+        if not isinstance(result, dict):
+            raise ExperimentError(
+                f"experiment {self.name!r} cell {params}: measure returned "
+                f"{type(result).__name__}, expected dict"
+            )
+        missing = sorted(set(self.schema) - set(result))
+        if missing:
+            raise ExperimentError(
+                f"experiment {self.name!r} cell {params}: result missing "
+                f"schema key(s) {', '.join(missing)}"
+            )
+        _json_safe(result, where=f"experiment {self.name!r} cell {params} result")
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Experiment({self.name!r}, kind={self.kind!r}, "
+            f"cells={len(self.scenarios())})"
+        )
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(exp: Experiment) -> Experiment:
+    """Add an experiment to the registry (rejecting name collisions)."""
+    if exp.name in _REGISTRY:
+        raise ExperimentError(f"experiment {exp.name!r} already registered")
+    _REGISTRY[exp.name] = exp
+    return exp
+
+
+def experiment(
+    *,
+    name: str,
+    kind: str,
+    anchor: str,
+    title: str,
+    matrix: Mapping[str, Iterable],
+    smoke: Mapping[str, Iterable] | None = None,
+    schema: Sequence[str] = (),
+    headline: Sequence[str] = (),
+    version: int = 1,
+) -> Callable[[MeasureFn], MeasureFn]:
+    """Decorator form of :func:`register` (see the module example).
+
+    The decorated measure function is returned unchanged but gains two
+    attributes: ``.experiment`` (the registered :class:`Experiment`) and
+    ``.check`` (a decorator attaching the grid-level check function).
+    """
+
+    def decorate(measure: MeasureFn) -> MeasureFn:
+        exp = Experiment(
+            name=name,
+            kind=kind,
+            anchor=anchor,
+            title=title,
+            matrix=matrix,
+            smoke=smoke,
+            schema=schema,
+            headline=headline,
+            measure=measure,
+            version=version,
+        )
+        register(exp)
+
+        def attach_check(fn: CheckFn) -> CheckFn:
+            exp.check = fn
+            return fn
+
+        measure.experiment = exp  # type: ignore[attr-defined]
+        measure.check = attach_check  # type: ignore[attr-defined]
+        return measure
+
+    return decorate
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up a registered experiment (loading the paper suite first)."""
+    load_paper_suite()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none registered"
+        raise ExperimentError(
+            f"unknown experiment {name!r} (known: {known})"
+        ) from None
+
+
+def experiment_names(kind: str | None = None) -> list[str]:
+    """Registered names in registration order, optionally one kind."""
+    load_paper_suite()
+    return [
+        n for n, e in _REGISTRY.items() if kind is None or e.kind == kind
+    ]
+
+
+def all_experiments(kind: str | None = None) -> list[Experiment]:
+    """Registered experiments in registration order, optionally one kind."""
+    load_paper_suite()
+    return [
+        e for e in _REGISTRY.values() if kind is None or e.kind == kind
+    ]
+
+
+def load_paper_suite() -> None:
+    """Import :mod:`repro.xp.paper`, registering the paper's experiments.
+
+    Idempotent (imports cache); separate from import-of-``repro.xp`` so
+    unit tests can register toy experiments without dragging the full
+    suite in.
+    """
+    from repro.xp import paper  # noqa: F401  (import = registration)

@@ -1,0 +1,65 @@
+"""The public surface's docstring examples execute (the docstring audit).
+
+Every public class/method of ``repro.api`` and the ``repro.xp`` registry
+carries a docstring, and the doctest-style examples in them are run here
+so they cannot drift from the real API.
+"""
+
+from __future__ import annotations
+
+import doctest
+import inspect
+
+import pytest
+
+import repro.api.options
+import repro.api.result
+import repro.api.session
+import repro.xp.artifacts
+import repro.xp.registry
+import repro.xp.runner
+
+DOCTESTED_MODULES = (
+    repro.api.options,
+    repro.api.result,
+    repro.api.session,
+)
+
+AUDITED_MODULES = DOCTESTED_MODULES + (
+    repro.xp.registry,
+    repro.xp.runner,
+    repro.xp.artifacts,
+)
+
+
+@pytest.mark.parametrize(
+    "module", DOCTESTED_MODULES, ids=lambda m: m.__name__
+)
+def test_docstring_examples_run(module):
+    results = doctest.testmod(
+        module, optionflags=doctest.NORMALIZE_WHITESPACE, verbose=False
+    )
+    assert results.attempted > 0, f"{module.__name__} has no examples"
+    assert results.failed == 0
+
+
+@pytest.mark.parametrize(
+    "module", AUDITED_MODULES, ids=lambda m: m.__name__
+)
+def test_every_public_item_has_a_docstring(module):
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if not inspect.getdoc(obj):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for attr, member in vars(obj).items():
+                if attr.startswith("_") and attr != "__init__":
+                    continue
+                if callable(member) or isinstance(member, property):
+                    fn = member.fget if isinstance(member, property) else member
+                    if not inspect.getdoc(fn):
+                        undocumented.append(f"{name}.{attr}")
+    assert not undocumented, undocumented

@@ -278,3 +278,41 @@ class TestPublicApi:
         with pytest.raises(AttributeError):
             dp.source = Format.COO
         assert isinstance(dp, Datapath)
+
+
+class TestConcurrentFirstUse:
+    def test_racing_threads_never_see_an_empty_graph(self):
+        """Regression: ``_ensure_datapaths_loaded`` used to flip its flag
+        *before* importing the conversion modules, so the process's first
+        prediction racing across threads (an in-process serve worker vs
+        the request thread) could observe zero registered datapaths and
+        fail with "no MINT datapath".  Run the first-use race in a fresh
+        interpreter, where the lazy import is still pending."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        code = (
+            "import threading\n"
+            "from repro.mint.graph import conversion_graph\n"
+            "errors = []\n"
+            "def first_use():\n"
+            "    try:\n"
+            "        assert len(conversion_graph()) > 0, 'empty graph'\n"
+            "    except Exception as exc:\n"
+            "        errors.append(repr(exc))\n"
+            "threads = [threading.Thread(target=first_use)"
+            " for _ in range(8)]\n"
+            "for t in threads: t.start()\n"
+            "for t in threads: t.join()\n"
+            "assert not errors, errors\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src)},
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,124 @@
+"""Artifact-store semantics: content keys, atomicity, invalidation."""
+
+from __future__ import annotations
+
+import json
+
+from repro.xp.artifacts import ArtifactStore
+from repro.xp.registry import Experiment
+
+
+def _measure(session, params):
+    return {"v": 1}
+
+
+def _exp(name="store_toy", version=1):
+    return Experiment(
+        name=name,
+        kind="figure",
+        anchor="Fig. 0",
+        title="toy",
+        matrix={"x": (1, 2)},
+        measure=_measure,
+        schema=("v",),
+        version=version,
+    )
+
+
+class TestKeys:
+    def test_identical_scenario_hashes_identically(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        exp = _exp()
+        assert store.cell_key(exp, {"x": 1}) == store.cell_key(exp, {"x": 1})
+        # Key order inside the params dict must not matter.
+        exp2 = _exp("store_toy2")
+        a = store.cell_key(exp2, {"x": 1, "y": 2})
+        b = store.cell_key(exp2, {"y": 2, "x": 1})
+        assert a == b
+
+    def test_different_cells_hash_differently(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        exp = _exp()
+        assert store.cell_key(exp, {"x": 1}) != store.cell_key(exp, {"x": 2})
+
+    def test_experiment_identity_is_in_the_key(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        a = store.cell_key(_exp("store_a"), {"x": 1})
+        b = store.cell_key(_exp("store_b"), {"x": 1})
+        assert a != b
+
+    def test_version_bump_invalidates(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.cell_key(_exp(version=1), {"x": 1}) != store.cell_key(
+            _exp(version=2), {"x": 1}
+        )
+
+    def test_config_digest_change_invalidates(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        exp = _exp()
+        before = store.cell_key(exp, {"x": 1})
+        monkeypatch.setattr(
+            ArtifactStore, "config_digest", lambda self: "other-hardware"
+        )
+        assert store.cell_key(exp, {"x": 1}) != before
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        record = {"params": {"x": 1}, "result": {"v": 1}, "elapsed_s": 0.1}
+        path = store.store("e", "k1", record)
+        assert path.is_file()
+        assert store.load("e", "k1") == record
+
+    def test_miss_is_none(self, tmp_path):
+        assert ArtifactStore(tmp_path).load("e", "nothere") is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.store("e", "k1", {"ok": True})
+        store.path("e", "k1").write_text("{torn wri")
+        assert store.load("e", "k1") is None
+
+    def test_store_is_atomic_overwrite(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.store("e", "k1", {"gen": 1})
+        store.store("e", "k1", {"gen": 2})
+        assert store.load("e", "k1") == {"gen": 2}
+        assert store.count("e") == 1
+        # No temp droppings left behind.
+        assert list(store.root.glob("**/*.tmp*")) == []
+
+
+class TestInvalidation:
+    def test_per_experiment_and_global(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for exp, key in (("a", "k1"), ("a", "k2"), ("b", "k1")):
+            store.store(exp, key, {})
+        assert store.count() == 3
+        assert store.invalidate("a") == 2
+        assert store.count() == 1
+        assert store.load("b", "k1") == {}
+        assert store.invalidate() == 1
+        assert store.count() == 0
+
+    def test_invalidate_missing_is_zero(self, tmp_path):
+        assert ArtifactStore(tmp_path / "nope").invalidate() == 0
+        assert ArtifactStore(tmp_path).invalidate("ghost") == 0
+
+
+class TestDigest:
+    def test_digest_names_store_and_wire_versions(self, tmp_path):
+        from repro.api.options import WIRE_SCHEMA_VERSION
+        from repro.xp.artifacts import STORE_VERSION
+
+        digest = ArtifactStore(tmp_path).config_digest()
+        assert f"store{STORE_VERSION}" in digest
+        assert f"wire{WIRE_SCHEMA_VERSION}" in digest
+
+    def test_records_are_pretty_json(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.store("e", "k", {"b": 2, "a": 1})
+        text = store.path("e", "k").read_text()
+        assert text.endswith("\n")
+        assert list(json.loads(text)) == ["a", "b"]  # sorted keys

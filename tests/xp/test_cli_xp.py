@@ -1,0 +1,58 @@
+"""The ``repro xp`` CLI surface: list, run, resume, report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_the_paper_suite(self, capsys):
+        assert main(["xp", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig04_compactness", "table03_sage", "ablation_rlc"):
+            assert name in out
+
+    def test_json_and_kind_filter(self, capsys):
+        assert main(["xp", "list", "--kind", "table", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        names = {e["name"] for e in doc["experiments"]}
+        assert names == {"table01_02_policies", "table03_sage"}
+        assert all(e["smoke_cells"] <= e["cells"] for e in doc["experiments"])
+
+
+class TestRun:
+    def test_run_resume_report_roundtrip(self, tmp_path, capsys):
+        args = [
+            "xp", "run", "fig07_pe_overhead", "--smoke", "--serial",
+            "--store", str(tmp_path / "store"), "--out", str(tmp_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "3 cells" in out and "ok" in out
+        assert (tmp_path / "report.md").is_file()
+        assert (tmp_path / "xp" / "fig07_pe_overhead.md").is_file()
+
+        assert main(args + ["--resume", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["executed_cells"] == 0
+        assert record["cached_cells"] == 3
+
+        assert (
+            main(
+                ["xp", "report", "fig07_pe_overhead", "--smoke",
+                 "--store", str(tmp_path / "store"),
+                 "--out", str(tmp_path)]
+            )
+            == 0
+        )
+        assert "report.md" in capsys.readouterr().out
+
+    def test_run_requires_a_selection(self):
+        try:
+            main(["xp", "run", "--serial"])
+        except SystemExit as exc:
+            assert "--all" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected SystemExit")

@@ -1,0 +1,151 @@
+"""Registry semantics: declaration validation, grid expansion, paper suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.xp import registry
+from repro.xp.registry import Experiment, ExperimentError, experiment
+
+
+def _measure(session, params):
+    return {"value": params.get("x", 0)}
+
+
+def _exp(name, **overrides):
+    kwargs = dict(
+        name=name,
+        kind="figure",
+        anchor="Fig. 0",
+        title="toy",
+        matrix={"x": (1, 2), "y": ("a", "b", "c")},
+        measure=_measure,
+        schema=("value",),
+    )
+    kwargs.update(overrides)
+    return Experiment(**kwargs)
+
+
+class TestDeclaration:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown kind"):
+            _exp("t_kind", kind="speculation")
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ExperimentError, match="empty scenario matrix"):
+            _exp("t_empty", matrix={})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ExperimentError, match="no values"):
+            _exp("t_axis", matrix={"x": ()})
+
+    def test_smoke_must_override_known_axes(self):
+        with pytest.raises(ExperimentError, match="unknown axes"):
+            _exp("t_smoke", smoke={"z": (1,)})
+
+    def test_headline_must_be_in_schema(self):
+        with pytest.raises(ExperimentError, match="not in schema"):
+            _exp("t_headline", headline=("missing",))
+
+    def test_non_json_axis_rejected(self):
+        with pytest.raises(ExperimentError, match="JSON"):
+            _exp("t_json", matrix={"x": (object(),)})
+
+    def test_duplicate_name_rejected(self):
+        registry.register(_exp("t_dup_once"))
+        with pytest.raises(ExperimentError, match="already registered"):
+            registry.register(_exp("t_dup_once"))
+
+
+class TestGrid:
+    def test_scenarios_are_the_cartesian_product(self):
+        exp = _exp("t_grid")
+        cells = exp.scenarios()
+        assert len(cells) == 6
+        expected = [
+            {"x": x, "y": y}
+            for x, y in itertools.product((1, 2), ("a", "b", "c"))
+        ]
+        assert cells == expected
+
+    def test_smoke_overrides_only_named_axes(self):
+        exp = _exp("t_grid_smoke", smoke={"y": ("a",)})
+        assert len(exp.scenarios(smoke=True)) == 2
+        assert all(c["y"] == "a" for c in exp.scenarios(smoke=True))
+        assert len(exp.scenarios()) == 6  # the full grid is untouched
+
+
+class TestResultValidation:
+    def test_schema_keys_required(self):
+        exp = _exp("t_schema")
+        with pytest.raises(ExperimentError, match="missing schema key"):
+            exp.validate_result({"x": 1}, {"other": 2})
+
+    def test_dict_required(self):
+        exp = _exp("t_dict")
+        with pytest.raises(ExperimentError, match="expected dict"):
+            exp.validate_result({"x": 1}, [1, 2])
+
+    def test_json_safety_required(self):
+        exp = _exp("t_result_json")
+        with pytest.raises(ExperimentError, match="JSON"):
+            exp.validate_result({"x": 1}, {"value": object()})
+
+    def test_valid_result_passes_through(self):
+        exp = _exp("t_ok")
+        result = {"value": 41, "extra": "fine"}
+        assert exp.validate_result({"x": 1}, result) is result
+
+
+class TestDecorator:
+    def test_decorator_registers_and_attaches_check(self):
+        @experiment(
+            name="t_decorated",
+            kind="table",
+            anchor="Table 0",
+            title="decorated toy",
+            matrix={"x": (1,)},
+            schema=("value",),
+        )
+        def measure(session, params):
+            return {"value": 1}
+
+        exp = registry.get_experiment("t_decorated")
+        assert exp is measure.experiment
+        assert exp.check is None
+
+        @measure.check
+        def check(cells, *, smoke):
+            pass
+
+        assert exp.check is check
+
+    def test_unknown_lookup_names_known(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            registry.get_experiment("nope_never_registered")
+
+
+class TestPaperSuite:
+    def test_all_18_seed_scripts_are_registered(self):
+        # Other tests register toy experiments; the paper suite is the
+        # fig/table/ablation-prefixed subset.
+        def paper(kind):
+            return [
+                n
+                for n in registry.experiment_names(kind=kind)
+                if n.startswith(("fig", "table", "ablation"))
+            ]
+
+        assert len(paper("figure")) == 10
+        assert len(paper("table")) == 2
+        assert len(paper("ablation")) == 6
+
+    def test_every_experiment_declares_shape_and_claims(self):
+        for exp in registry.all_experiments():
+            if not exp.name.startswith(("fig", "table", "ablation")):
+                continue  # toy experiments from other tests
+            assert exp.schema, exp.name
+            assert exp.check is not None, exp.name
+            assert len(exp.scenarios(smoke=True)) <= len(exp.scenarios())
