@@ -32,10 +32,16 @@ FLOORS: dict[str, dict[str, float]] = {
     },
     "serve.json": {
         "speedup_warm_vs_naive": 5.0,
+        # The banded tier must actually fire on the near-traffic pass
+        # (it silently recorded 0 before dims were banded in band_key).
+        "cache.near_hits": 1,
     },
     "simulate_many.json": {
         "speedup_vectorized_vs_reference": 5.0,
         "speedup_batch_vs_reference": 5.0,
+        # Zero-copy operand plane vs per-job pickling on the shared
+        # large-stationary scenario, measured ~5x on a single core.
+        "large_operand.speedup_shm_vs_pickle": 3.0,
     },
     # Orchestrated xp run vs one-process-per-figure seed scripts, measured
     # ~2.5x on a single core (process startup + warm-cache amortization)

@@ -45,8 +45,8 @@ from repro.accelerator.protocols import (
 from repro.accelerator.report import CycleReport, EnergyReport, RunReport
 from repro.accelerator.scheduler import (
     Schedule,
-    compute_k_tiles,
     compute_rounds,
+    prepare_stationary,
 )
 from repro.accelerator.stream import build_beat_plan
 from repro.errors import SimulationError
@@ -96,13 +96,16 @@ class WeightStationarySimulator:
             raise SimulationError(
                 f"inner dimensions disagree: {a.shape} @ {b.shape}"
             )
-        stationary = layout.prepare(b)
         if self.config.pe_buffer_entries < 1:  # pragma: no cover - config guard
             raise SimulationError("PE buffer must hold at least one entry")
+        # Layout preparation + K-tiling memoize on operand identity: under
+        # the zero-copy plane a stationary operand shared by the batch is
+        # prepared once per process, not once per job (see scheduler).
+        stationary, k_tiles = prepare_stationary(
+            b, acf_b, self.config.pe_buffer_entries
+        )
         schedule = Schedule(
-            k_tiles=compute_k_tiles(
-                stationary, acf_b, self.config.pe_buffer_entries
-            ),
+            k_tiles=k_tiles,
             rounds=compute_rounds(b.ncols, self.config.num_pes),
         )
         if engine == "vectorized":
@@ -284,6 +287,7 @@ class WeightStationarySimulator:
         *,
         processes: int | None = None,
         engine: str = "vectorized",
+        transport: str = "auto",
     ) -> list[tuple[np.ndarray, RunReport]]:
         """Run a batch of GEMMs, fanned across a process pool.
 
@@ -292,11 +296,19 @@ class WeightStationarySimulator:
         shared :func:`~repro.util.pool.fork_map` machinery, so platforms
         (or callers, e.g. daemonic serve shards) that cannot spawn workers
         degrade to sequential simulation rather than failing.
+
+        ``transport`` selects the worker wire format (``"auto"`` /
+        ``"shm"`` / ``"pickle"``).  Under the default zero-copy operand
+        plane, large operand buffers cross the process boundary once per
+        distinct array — a stationary operand shared by every job in the
+        batch (the weight-stationary sweep shape) is transported once,
+        not once per job.
         """
         return fork_map(
             _simulate_one,
             [(self, job, engine) for job in jobs],
             processes=processes,
+            transport=transport,
         )
 
     # ----------------------------------------------------------- accounting

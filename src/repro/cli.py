@@ -343,6 +343,7 @@ def _cmd_xp(args: argparse.Namespace) -> int:
         store_root=args.store,
         out_dir=args.out,
         report=not args.no_report,
+        transport=args.transport,
     )
     summary = run_experiments(names, config)
     if args.json:
@@ -565,6 +566,10 @@ def build_parser() -> argparse.ArgumentParser:
                    "(the seed-script baseline)")
     q.add_argument("--processes", type=int, default=None,
                    help="fork-pool width (default: one per CPU)")
+    q.add_argument("--transport", default="auto",
+                   choices=("auto", "shm", "pickle"),
+                   help="worker wire format: zero-copy shared-memory "
+                   "operands (shm) or classic per-submit pickling")
     q.add_argument("--store", default=None,
                    help="artifact store root "
                    "(default: benchmarks/out/xp/store)")

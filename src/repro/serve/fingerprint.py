@@ -92,6 +92,11 @@ class WorkloadFingerprint:
         """Per-operand density band (power-of-two nnz bucket)."""
         return tuple(density_band(n) for n in self.nnz)
 
+    @property
+    def dim_bands(self) -> tuple[int, ...]:
+        """Per-extent power-of-two bucket (same coarsening as nnz bands)."""
+        return tuple(density_band(d) for d in self.dims)
+
     def exact_key(self) -> tuple:
         """Hashable key with exact statistics (lossless cache hits)."""
         return (
@@ -100,10 +105,18 @@ class WorkloadFingerprint:
         )
 
     def band_key(self) -> tuple:
-        """Hashable key with nnz coarsened to density bands (near hits)."""
+        """Hashable key with dims *and* nnz coarsened to power-of-two bands.
+
+        Exact dims used to be part of this key, which made near hits
+        unobservable in practice: real suites (Table III) have no two
+        workloads with identical extents, so the banded tier never
+        collided and ``near_hits`` stayed 0.  Workloads within 2x on
+        every extent and every nonzero count share DRAM-footprint
+        ordering, which is the contract the near-hit mode needs.
+        """
         return (
-            self.kind, self.kernel, self.dims, self.bands, self.dtype_bits,
-            self.config,
+            self.kind, self.kernel, self.dim_bands, self.bands,
+            self.dtype_bits, self.config,
         )
 
     def shard(self, shards: int) -> int:

@@ -55,6 +55,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import multiprocessing
+import os
 import queue
 import socketserver
 import threading
@@ -69,9 +70,10 @@ from repro.api.options import (
     WIRE_SCHEMA_VERSION,
 )
 from repro.mint.cost import shared_planner
-from repro.sage.predictor import Sage, SageDecision
+from repro.sage.predictor import Sage, SageDecision, set_proxy_operand_cache
 from repro.serve.cache import DecisionCache
 from repro.serve.fingerprint import WorkloadFingerprint, fingerprint_of
+from repro.util.shm import SEGMENT_PREFIX, OperandCacheNamespace
 from repro.workloads.spec import workload_from_dict
 
 __all__ = ["SageServer", "ServeConfig"]
@@ -143,16 +145,28 @@ class _PendingRequest:
 
 
 def _shard_main(
-    in_q, out_q, sage: Sage, snapshot: dict, near_hit: bool, fidelity: str
+    in_q,
+    out_q,
+    sage: Sage,
+    snapshot: dict,
+    near_hit: bool,
+    fidelity: str,
+    operand_prefix: str | None = None,
 ) -> None:
     """Shard worker loop: predict forever until the ``None`` sentinel.
 
     Seeds this process's shared planner from the parent's snapshot and
     keeps a shard-local :class:`DecisionCache`, so a shard that has seen
     a fingerprint (or its density band) never re-runs the search even if
-    the front cache has evicted it.
+    the front cache has evicted it.  Under cycle fidelity the parent also
+    hands every shard the name prefix of a shared operand-cache namespace:
+    proxy operands for the simulator are attached from (or published to)
+    warm shared-memory segments instead of being re-materialized per
+    request per shard.
     """
     shared_planner().seed_snapshot(snapshot)
+    if operand_prefix is not None:
+        set_proxy_operand_cache(OperandCacheNamespace(operand_prefix))
     local = DecisionCache(maxsize=1024, near_hit=near_hit)
     while True:
         msg = in_q.get()
@@ -176,13 +190,22 @@ class _Shard:
     """One worker process plus its request/response queues."""
 
     def __init__(
-        self, ctx, sage: Sage, snapshot: dict, near_hit: bool, fidelity: str
+        self,
+        ctx,
+        sage: Sage,
+        snapshot: dict,
+        near_hit: bool,
+        fidelity: str,
+        operand_prefix: str | None = None,
     ) -> None:
         self.in_q = ctx.Queue()
         self.out_q = ctx.Queue()
         self.proc = ctx.Process(
             target=_shard_main,
-            args=(self.in_q, self.out_q, sage, snapshot, near_hit, fidelity),
+            args=(
+                self.in_q, self.out_q, sage, snapshot, near_hit, fidelity,
+                operand_prefix,
+            ),
             daemon=True,
         )
         self.proc.start()
@@ -253,6 +276,14 @@ class SageServer:
         self._cache = DecisionCache(
             self.serve.cache_size, near_hit=self.serve.near_hit
         )
+        # Cycle-fidelity servers share proxy simulator operands between
+        # the parent and every shard through one named shared-memory
+        # namespace: first user builds, everyone else attaches warm.
+        self._operands: OperandCacheNamespace | None = None
+        if self.serve.fidelity == "cycle":
+            self._operands = OperandCacheNamespace(
+                f"{SEGMENT_PREFIX}-serve{os.getpid()}"
+            )
         self._queue: queue.Queue = queue.Queue()
         self._lock = threading.Lock()
         self._inflight: dict[tuple, list[_PendingRequest]] = {}
@@ -282,6 +313,10 @@ class SageServer:
             raise RuntimeError("server already started")
         self._started = True
         self._t_start = time.monotonic()
+        if self._operands is not None:
+            # In-process (and inline-fallback) cycle predictions share the
+            # same warm operand segments the shards use.
+            set_proxy_operand_cache(self._operands)
         if self.serve.shards > 0:
             snapshot = shared_planner().export_snapshot()
             try:
@@ -297,6 +332,9 @@ class SageServer:
                             snapshot,
                             self.serve.near_hit,
                             self.serve.fidelity,
+                            self._operands.prefix
+                            if self._operands is not None
+                            else None,
                         )
                     )
             except (OSError, PermissionError) as exc:  # pragma: no cover
@@ -380,6 +418,12 @@ class SageServer:
             shard.proc.join(timeout=5)
             if shard.proc.is_alive():  # pragma: no cover - hung worker
                 shard.proc.terminate()
+                shard.proc.join(timeout=5)
+        if self._operands is not None:
+            # Shards are gone; unlink the warm operand segments so the
+            # namespace never outlives the server (leak-check contract).
+            set_proxy_operand_cache(None)
+            self._operands.unlink_all()
 
     def __enter__(self) -> "SageServer":
         self.start()

@@ -1,19 +1,41 @@
 """Shared fork-pool fan-out with graceful sequential degradation.
 
-Both batch frontends — :meth:`repro.sage.predictor.Sage.predict_many` and
+Every batch frontend — :meth:`repro.sage.predictor.Sage.predict_many`,
 :meth:`repro.accelerator.simulator.WeightStationarySimulator.simulate_many`
-— need the same shape of machinery: fan a list of picklable jobs across a
-fork-context process pool, preserve input order, optionally seed each
-worker (snapshot initializers), and degrade to in-process execution on any
-platform that cannot run a pool at all instead of failing.  This module is
-that machinery, factored once.
+and the xp grid runner — needs the same shape of machinery: fan a list of
+picklable jobs across a fork-context process pool, preserve input order,
+optionally seed each worker (snapshot initializers), and degrade to
+in-process execution on any platform that cannot run a pool at all
+instead of failing.  This module is that machinery, factored once.
+
+Transports
+----------
+Two wire formats move jobs into workers:
+
+* ``"shm"`` — the zero-copy operand plane (:mod:`repro.util.shm`): each
+  job is pickled once in the parent with large ndarrays lifted into
+  shared-memory segments, so workers attach to operand buffers instead
+  of receiving copies.  A stationary operand shared across the whole
+  batch crosses the process boundary exactly once.  Segments are
+  guaranteed to be unlinked on success, worker error, and interrupt.
+* ``"pickle"`` — the classic path: the pool pickles ``(fn, item)``
+  through its pipe per submit.
+
+``transport="auto"`` (the default) picks ``"shm"`` whenever shared
+memory works on the platform, else ``"pickle"``; ``REPRO_TRANSPORT``
+(``shm`` / ``pickle``) overrides from the environment.  Results are
+bit-identical across transports and the sequential path (pinned by
+``tests/util/test_pool.py``).
 
 Degradation triggers (all run the jobs sequentially in this process):
 
 * a single job or ``processes <= 1`` — no pool worth spawning;
-* unpicklable inputs (lambda providers, open handles) — caught by an
-  explicit pre-flight so exceptions escaping the pool are genuine worker
-  bugs and propagate;
+* unpicklable inputs (lambda providers, open handles) — caught by a
+  cheap pre-flight so exceptions escaping the pool are genuine worker
+  bugs and propagate.  The pre-flight probes ``fn``, one sample item and
+  ``initargs`` — it does **not** round-trip the full batch payload (the
+  shm transport additionally validates every item while exporting and
+  degrades, with cleanup, on the first unpicklable one);
 * a daemonic caller (e.g. a serve shard worker) — daemons may not have
   children;
 * platforms that cannot spawn (or keep) a pool: ``OSError`` /
@@ -23,15 +45,30 @@ Degradation triggers (all run the jobs sequentially in this process):
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.util import shm
+
 __all__ = ["fork_map"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+_TRANSPORTS = ("auto", "shm", "pickle")
+
+
+def _resolve_transport(transport: str) -> str:
+    """Collapse ``transport`` (+ env override) to ``"shm"`` or ``"pickle"``."""
+    if transport == "auto":
+        env = os.environ.get("REPRO_TRANSPORT", "")
+        transport = env if env in ("shm", "pickle") else "shm"
+    if transport == "shm" and not shm.shm_available():
+        return "pickle"
+    return transport
 
 
 def fork_map(
@@ -42,6 +79,7 @@ def fork_map(
     initializer: Callable | None = None,
     initargs: tuple = (),
     consume: Callable[[R], None] | None = None,
+    transport: str = "auto",
 ) -> list[R]:
     """``[fn(item) for item in items]``, fanned across a fork pool.
 
@@ -54,7 +92,15 @@ def fork_map(
     persist results incrementally survive interruption mid-batch instead
     of losing the whole barrier (the xp runner's artifact store relies on
     this).
+
+    ``transport`` selects the worker wire format (see the module
+    docstring): ``"auto"``, ``"shm"``, or ``"pickle"``.
     """
+
+    if transport not in _TRANSPORTS:
+        raise ValueError(
+            f"transport must be one of {_TRANSPORTS}, got {transport!r}"
+        )
 
     def sequential() -> list[R]:
         results = []
@@ -73,10 +119,64 @@ def fork_map(
     if multiprocessing.current_process().daemon:
         # Daemonic processes (serve shards) may not have children.
         return sequential()
+
+    # Cheap pre-flight: fn, one sample item, initargs.  Anything that
+    # escapes the pool after this passes is a genuine worker bug and must
+    # propagate, not be misread as "degrade sequentially".
     try:
-        pickle.dumps((fn, items, initargs))
+        pickle.dumps((fn, items[0], initargs))
     except (pickle.PicklingError, AttributeError, TypeError):
         return sequential()
+
+    wire = _resolve_transport(transport)
+    if wire == "shm":
+        plane = shm.OperandPlane()
+        try:
+            payloads = [plane.export((fn, item)) for item in items]
+        except (pickle.PicklingError, AttributeError, TypeError):
+            # Some item beyond the sample was unpicklable: degrade, but
+            # never leak the segments exported so far.
+            plane.close()
+            return sequential()
+        except BaseException:
+            plane.close()
+            raise
+        try:
+            return _pool_map(
+                shm.invoke_exported,
+                payloads,
+                processes=processes,
+                initializer=initializer,
+                initargs=initargs,
+                consume=consume,
+                sequential=sequential,
+            )
+        finally:
+            # Reached only after the pool context has exited (workers
+            # joined), so unlinking here is safe on success, worker
+            # error, and interrupt alike.
+            plane.close()
+    return _pool_map(
+        fn,
+        items,
+        processes=processes,
+        initializer=initializer,
+        initargs=initargs,
+        consume=consume,
+        sequential=sequential,
+    )
+
+
+def _pool_map(
+    fn: Callable,
+    items: list,
+    *,
+    processes: int,
+    initializer: Callable | None,
+    initargs: tuple,
+    consume: Callable | None,
+    sequential: Callable[[], list],
+) -> list:
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -88,8 +188,14 @@ def fork_map(
             initializer=initializer,
             initargs=initargs,
         ) as pool:
+            # Chunked submission: one pipe round-trip per chunk, not per
+            # item.  With compact payloads (the shm transport ships
+            # OperandRef descriptors, not tensors) per-task latency is
+            # what dominates, so ~4 chunks per worker amortizes it while
+            # keeping the pool load-balanced.  Order is preserved.
+            chunksize = max(1, len(items) // (processes * 4))
             results = []
-            for result in pool.map(fn, items):
+            for result in pool.map(fn, items, chunksize=chunksize):
                 if consume is not None:
                     consume(result)
                 results.append(result)

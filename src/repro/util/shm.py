@@ -1,0 +1,483 @@
+"""The zero-copy operand plane: shared-memory tensor transport.
+
+Every batch frontend (:func:`repro.util.pool.fork_map` and the layers on
+top of it — ``simulate_many``, ``predict_many``, the xp grid runner)
+ships jobs to worker processes by pickling them through a pipe.  For
+production batch sizes the payload is dominated by operand tensors, and
+pickling the same weight matrix into every worker turns the fan-out into
+a serialization benchmark.  This module moves the tensors out of the
+pipe: operand buffers are registered **once** into
+:mod:`multiprocessing.shared_memory` segments and the job pickle carries
+only compact :class:`OperandRef` descriptors that workers *attach* to —
+a zero-copy, read-only view onto the parent's bytes.
+
+Three pieces:
+
+* :class:`OperandPlane` — the sender side.  :meth:`OperandPlane.export`
+  pickles any job object with a custom pickler whose
+  ``reducer_override`` intercepts large ``numpy`` arrays (``nbytes >=
+  min_bytes``), copies each **distinct** array into one shared segment
+  (identity-deduplicated, so a stationary operand shared by a whole
+  batch is transported once no matter how many jobs reference it), and
+  substitutes an :class:`OperandRef`.  The plane owns segment lifetime:
+  :meth:`OperandPlane.close` unlinks everything, on success *and* error
+  paths.
+* :func:`loads` / :func:`invoke_exported` — the receiver side.  The
+  payload is plain pickle; refs reconstruct through :func:`_attach_ref`,
+  which attaches by segment name (memoized per process) and returns a
+  read-only ndarray view.  Nothing is copied until someone writes —
+  and writes are forbidden, which is exactly the discipline the
+  simulator's operand contract already assumes.
+* :class:`OperandCacheNamespace` — long-lived *named* segments for
+  cooperating processes (the serve shard workers): ``get_or_build(key,
+  builder)`` attaches to the segment another shard already
+  materialized, or builds and publishes it.  The server that owns the
+  namespace unlinks everything at shutdown.
+
+Degradation is always available and bit-identical: callers that cannot
+use shared memory (no ``/dev/shm``, unpicklable payloads, pool-less
+platforms) fall back to the classic pickle transport or sequential
+execution — see :func:`repro.util.pool.fork_map`.
+
+Segment names all start with :data:`SEGMENT_PREFIX`, so a leak check is
+one directory scan (``tools/check_shm_leaks.py``, wired into CI).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import secrets
+import struct
+import time
+from dataclasses import dataclass
+from hashlib import blake2s
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+try:  # stdlib since 3.8; guarded so exotic builds degrade, not crash
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - no POSIX/Windows shm at all
+    _shared_memory = None
+
+__all__ = [
+    "DEFAULT_MIN_BYTES",
+    "OperandCacheNamespace",
+    "OperandPlane",
+    "OperandRef",
+    "SEGMENT_PREFIX",
+    "active_operand_segments",
+    "invoke_exported",
+    "loads",
+    "shm_available",
+]
+
+#: Every segment this module creates is named with this prefix, making
+#: "are any repro segments still alive?" a single /dev/shm scan.
+SEGMENT_PREFIX = "repro-op"
+
+#: Arrays below this size ride the ordinary pickle (segment setup has a
+#: fixed cost; small metadata arrays are cheaper inline).  Override via
+#: the ``REPRO_SHM_MIN_BYTES`` environment variable or per-plane.
+DEFAULT_MIN_BYTES = 64 * 1024
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def _default_min_bytes() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_SHM_MIN_BYTES", "")))
+    except ValueError:
+        return DEFAULT_MIN_BYTES
+
+
+def _untrack(segment) -> None:
+    """Opt a segment out of the resource tracker's bookkeeping.
+
+    Segment lifetime is owned explicitly (plane close / namespace
+    unlink), never by the tracker.  Creators and attachers both register
+    into one shared tracker set keyed by name (3.10–3.12 have no
+    ``track=False``), so a worker's exit-time unregister would strip the
+    creator's entry and the eventual ``unlink()`` would trip a KeyError
+    inside the tracker process.  Untracking everyone on sight — paired
+    with :func:`_unlink_quiet` re-registering just before unlink — keeps
+    the tracker's ledger balanced and silent.
+    """
+    try:  # pragma: no cover - exercised indirectly on every attach
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # noqa: BLE001 - best-effort, platform-dependent
+        pass
+
+
+def _unlink_quiet(segment) -> None:
+    """Close + unlink a segment previously :func:`_untrack`-ed."""
+    try:  # pragma: no cover - partner of _untrack, see its docstring
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(segment._name, "shared_memory")
+    except Exception:  # noqa: BLE001
+        pass
+    segment.close()
+    segment.unlink()
+
+
+@dataclass(frozen=True)
+class OperandRef:
+    """Compact descriptor of one shared-memory-resident array.
+
+    This — not the tensor — is what worker submits carry: segment name,
+    dtype string, and shape.  ``_attach_ref(ref)`` rebuilds the
+    read-only view on the other side.
+    """
+
+    segment: str
+    dtype: str
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the referenced array."""
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape)))
+
+
+#: Per-process memo of attached segments: name -> SharedMemory.  Entries
+#: live as long as the process (pool workers die with their pool); the
+#: mapping keeps the buffer alive for every view handed out.
+_ATTACHED: dict[str, Any] = {}
+
+#: Per-process memo of handed-out views: (segment, dtype, shape) ->
+#: ndarray.  Returning the *same* view object for the same ref — across
+#: separate payload loads, not just within one pickle — is a load-bearing
+#: guarantee: identity-keyed derived-state caches downstream (e.g. the
+#: scheduler's stationary preparation memo) only hit when repeated jobs
+#: of a batch really do carry the same array object.
+_VIEWS: dict[tuple[str, str, tuple[int, ...]], np.ndarray] = {}
+
+
+def _attach_ref(ref: OperandRef) -> np.ndarray:
+    """Reconstructor pickled into every :class:`OperandRef`: attach, view."""
+    view_key = (ref.segment, ref.dtype, ref.shape)
+    view = _VIEWS.get(view_key)
+    if view is not None:
+        return view
+    segment = _ATTACHED.get(ref.segment)
+    if segment is None:
+        segment = _shared_memory.SharedMemory(name=ref.segment)
+        _untrack(segment)
+        _ATTACHED[ref.segment] = segment
+    view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
+    view.flags.writeable = False
+    _VIEWS[view_key] = view
+    return view
+
+
+def shm_available() -> bool:
+    """Whether this platform can create + attach shared-memory segments.
+
+    Probed once per process (create a 1-byte segment, unlink it); the
+    answer is cached.  ``REPRO_TRANSPORT=pickle`` short-circuits to
+    ``False``, giving a global kill switch for the zero-copy path.
+    """
+    global _SHM_AVAILABLE
+    if os.environ.get("REPRO_TRANSPORT") == "pickle":
+        return False
+    if _SHM_AVAILABLE is None:
+        if _shared_memory is None:
+            _SHM_AVAILABLE = False
+        else:
+            try:
+                probe = _shared_memory.SharedMemory(
+                    name=_segment_name(), create=True, size=1
+                )
+                probe.close()
+                probe.unlink()
+                _SHM_AVAILABLE = True
+            except Exception:  # noqa: BLE001 - any failure means "no"
+                _SHM_AVAILABLE = False
+    return _SHM_AVAILABLE
+
+
+_SHM_AVAILABLE: bool | None = None
+
+
+def _segment_name() -> str:
+    """A fresh collision-free segment name carrying the leak-check prefix."""
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(6)}"
+
+
+def active_operand_segments() -> list[str]:
+    """Names of live repro segments (``/dev/shm`` scan; [] where absent).
+
+    The test suite and ``tools/check_shm_leaks.py`` use this to assert
+    that every batch cleaned up after itself.
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux
+        return []
+    return sorted(
+        p.name for p in root.iterdir() if p.name.startswith(SEGMENT_PREFIX)
+    )
+
+
+class _PlanePickler(pickle.Pickler):
+    """Pickler that swaps large ndarrays for :class:`OperandRef`\\ s."""
+
+    def __init__(self, buffer: io.BytesIO, plane: "OperandPlane") -> None:
+        super().__init__(buffer, protocol=_PICKLE_PROTOCOL)
+        self._plane = plane
+
+    def reducer_override(self, obj):
+        if (
+            type(obj) is np.ndarray
+            and obj.nbytes >= self._plane.min_bytes
+            and not obj.dtype.hasobject
+        ):
+            return (_attach_ref, (self._plane.put(obj),))
+        return NotImplemented
+
+
+class OperandPlane:
+    """One batch's worth of shared operand segments (sender side).
+
+    Use as a context manager (or call :meth:`close` in a ``finally``):
+    the plane owns every segment it created and unlinking them is the
+    contract that keeps ``/dev/shm`` leak-free on success, worker
+    error, and interrupt alike.
+    """
+
+    def __init__(self, min_bytes: int | None = None) -> None:
+        self.min_bytes = max(
+            1, min_bytes if min_bytes is not None else _default_min_bytes()
+        )
+        #: id(array) -> (array, ref): the array reference keeps ids stable.
+        self._exported: dict[int, tuple[np.ndarray, OperandRef]] = {}
+        self._segments: list[Any] = []
+
+    # ------------------------------------------------------------- exporting
+    def put(self, array: np.ndarray) -> OperandRef:
+        """Copy *array* into a segment (once per distinct array object)."""
+        known = self._exported.get(id(array))
+        if known is not None:
+            return known[1]
+        segment = _shared_memory.SharedMemory(
+            name=_segment_name(), create=True, size=array.nbytes
+        )
+        _untrack(segment)
+        self._segments.append(segment)
+        dtype = array.dtype
+        staged = np.ndarray(array.shape, dtype=dtype, buffer=segment.buf)
+        np.copyto(staged, array)
+        ref = OperandRef(
+            segment=segment.name, dtype=dtype.str, shape=tuple(array.shape)
+        )
+        self._exported[id(array)] = (array, ref)
+        return ref
+
+    def export(self, obj: Any) -> bytes:
+        """Pickle *obj* with every large array lifted into the plane."""
+        buffer = io.BytesIO()
+        _PlanePickler(buffer, self).dump(obj)
+        return buffer.getvalue()
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def segment_names(self) -> list[str]:
+        """Names of the segments this plane currently owns."""
+        return [segment.name for segment in self._segments]
+
+    @property
+    def exported_bytes(self) -> int:
+        """Total payload bytes resident in this plane's segments."""
+        return sum(segment.size for segment in self._segments)
+
+    def close(self) -> None:
+        """Unlink every owned segment (idempotent, never raises)."""
+        segments, self._segments = self._segments, []
+        self._exported.clear()
+        for segment in segments:
+            try:
+                _unlink_quiet(segment)
+            except Exception:  # noqa: BLE001 - already gone is fine
+                pass
+
+    def __enter__(self) -> "OperandPlane":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - backstop only
+        self.close()
+
+
+def loads(payload: bytes) -> Any:
+    """Inverse of :meth:`OperandPlane.export` (plain pickle + attach)."""
+    return pickle.loads(payload)
+
+
+def invoke_exported(payload: bytes) -> Any:
+    """Pool task for the zero-copy transport: unpack ``(fn, item)``, call."""
+    fn, item = loads(payload)
+    return fn(item)
+
+
+# ---------------------------------------------------------------------------
+# cross-process warm operand cache (serve shards)
+# ---------------------------------------------------------------------------
+
+#: Named-segment layout: uint64 header length, pickled (dtype, shape)
+#: header, raw array bytes.  The length word is written *last* so an
+#: attacher racing the creator can tell "still being filled" from ready.
+_HEADER_LEN = struct.Struct("<Q")
+
+
+class OperandCacheNamespace:
+    """Deterministically named shared segments keyed by content identity.
+
+    Serve shard workers all materialize the *same* proxy operands for
+    the cycle fidelity tier (the builder is seeded, hence deterministic
+    per key).  This cache lets the first shard that needs an operand
+    publish it under a key-derived segment name; every other shard —
+    and the parent, for in-process compute — attaches instead of
+    re-materializing.  The namespace owner (the server) calls
+    :meth:`unlink_all` at shutdown.
+    """
+
+    def __init__(self, prefix: str) -> None:
+        if not prefix.startswith(SEGMENT_PREFIX):
+            raise ValueError(
+                f"namespace prefix must start with {SEGMENT_PREFIX!r} "
+                f"(leak checks scan for it), got {prefix!r}"
+            )
+        self.prefix = prefix
+        self._local: dict[tuple, np.ndarray] = {}
+        self._created: list[str] = []
+
+    def _name_for(self, key: tuple) -> str:
+        digest = blake2s(repr(key).encode(), digest_size=10).hexdigest()
+        return f"{self.prefix}-{digest}"
+
+    def get_or_build(
+        self, key: tuple, builder: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """The array for *key*: local memo, then attach, then build+publish.
+
+        Returns a read-only view backed by the shared segment (or the
+        builder's own array when shared memory is unavailable).  A
+        concurrent creator is waited out briefly; on timeout the builder
+        runs locally so correctness never depends on the race.
+        """
+        cached = self._local.get(key)
+        if cached is not None:
+            return cached
+        if not shm_available():
+            array = builder()
+            self._local[key] = array
+            return array
+        name = self._name_for(key)
+        array = self._attach(name)
+        if array is None:
+            array = self._publish(name, builder)
+        self._local[key] = array
+        return array
+
+    def _attach(self, name: str, spins: int = 200) -> np.ndarray | None:
+        segment = _ATTACHED.get(name)
+        if segment is None:
+            try:
+                segment = _shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                return None
+            except OSError:  # pragma: no cover - degraded platform
+                return None
+            _untrack(segment)
+        for _ in range(spins):  # creator may still be filling the segment
+            (header_len,) = _HEADER_LEN.unpack_from(segment.buf, 0)
+            if header_len:
+                break
+            time.sleep(0.005)
+        else:  # pragma: no cover - stuck creator; build locally instead
+            segment.close()
+            return None
+        offset = _HEADER_LEN.size
+        dtype_str, shape = pickle.loads(
+            bytes(segment.buf[offset : offset + header_len])
+        )
+        view = np.ndarray(
+            shape,
+            dtype=np.dtype(dtype_str),
+            buffer=segment.buf,
+            offset=offset + header_len,
+        )
+        view.flags.writeable = False
+        _ATTACHED[name] = segment  # keep the mapping alive for the view
+        return view
+
+    def _publish(
+        self, name: str, builder: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        array = np.ascontiguousarray(builder())
+        header = pickle.dumps(
+            (array.dtype.str, tuple(array.shape)), protocol=_PICKLE_PROTOCOL
+        )
+        size = _HEADER_LEN.size + len(header) + array.nbytes
+        try:
+            segment = _shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+        except FileExistsError:  # lost the creation race: attach instead
+            attached = self._attach(name)
+            return attached if attached is not None else array
+        except OSError:  # pragma: no cover - /dev/shm full etc.
+            return array
+        _untrack(segment)
+        offset = _HEADER_LEN.size
+        segment.buf[offset : offset + len(header)] = header
+        staged = np.ndarray(
+            array.shape,
+            dtype=array.dtype,
+            buffer=segment.buf,
+            offset=offset + len(header),
+        )
+        np.copyto(staged, array)
+        _HEADER_LEN.pack_into(segment.buf, 0, len(header))  # publish last
+        self._created.append(name)
+        _ATTACHED[name] = segment
+        view = staged
+        view.flags.writeable = False
+        return view
+
+    def unlink_all(self) -> int:
+        """Unlink every namespace segment; returns how many were removed.
+
+        Scans ``/dev/shm`` for the prefix (covering segments created by
+        *other* processes in the namespace, e.g. shard workers) and
+        falls back to this process's creation list elsewhere.
+        """
+        names = set(self._created)
+        root = Path("/dev/shm")
+        if root.is_dir():
+            names.update(
+                p.name for p in root.iterdir() if p.name.startswith(self.prefix)
+            )
+        removed = 0
+        for name in sorted(names):
+            segment = _ATTACHED.pop(name, None)
+            try:
+                if segment is None:
+                    segment = _shared_memory.SharedMemory(name=name)
+                    _untrack(segment)
+                _unlink_quiet(segment)
+                removed += 1
+            except FileNotFoundError:
+                continue
+            except Exception:  # noqa: BLE001 - best effort
+                continue
+        self._created.clear()
+        self._local.clear()
+        return removed

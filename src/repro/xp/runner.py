@@ -102,6 +102,10 @@ class RunConfig:
         that are not cached (``repro xp report``'s pure re-render mode).
         Skipped cells are excluded from the grid and counted on the
         summary; grid checks only run on complete grids.
+    transport:
+        Worker wire format for the flat cell batch: ``"auto"`` (the
+        zero-copy operand plane where available), ``"shm"``, or
+        ``"pickle"`` — see :func:`repro.util.pool.fork_map`.
     """
 
     backend: str = "local"
@@ -115,6 +119,7 @@ class RunConfig:
     report: bool = True
     record: bool = True
     cached_only: bool = False
+    transport: str = "auto"
 
 
 @dataclass
@@ -234,6 +239,7 @@ class RunSummary:
             "force": self.config.force,
             "isolate": self.config.isolate,
             "processes": self.config.processes,
+            "transport": self.config.transport,
             "cells": self.total_cells,
             "executed_cells": self.executed_cells,
             "cached_cells": self.cached_cells,
@@ -385,7 +391,11 @@ def run_experiments(
             )
 
     outcomes = fork_map(
-        _execute_cell, pending, processes=config.processes, consume=persist
+        _execute_cell,
+        pending,
+        processes=config.processes,
+        consume=persist,
+        transport=config.transport,
     )
     by_key = {o.key: o for o in outcomes}
     for run in runs.values():

@@ -160,6 +160,25 @@ class TestSimulateMany:
         for job, (out, _report) in zip(jobs, batch):
             np.testing.assert_allclose(out, sim.run_gemm(*job)[0])
 
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
+    def test_transports_bit_identical_to_sequential(
+        self, sim, rng, transport, monkeypatch
+    ):
+        # The zero-copy operand plane must change how operands travel,
+        # never what comes back: outputs bit-for-bit, reports equal.
+        # REPRO_SHM_MIN_BYTES=1 pushes even these small operands through
+        # shared segments so the shm path is genuinely exercised.
+        from repro.util import shm as shm_mod
+
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "1")
+        jobs = self._jobs(rng)
+        batch = sim.simulate_many(jobs, processes=2, transport=transport)
+        seq = sim.simulate_many(jobs, processes=1)
+        for (out, report), (out_seq, rep_seq) in zip(batch, seq):
+            assert np.array_equal(out, out_seq)  # bit-identical, not close
+            assert report == rep_seq
+        assert shm_mod.active_operand_segments() == []
+
 
 class TestDynamicRegistration:
     def test_new_stream_protocol_reaches_run_gemm(self, sim, rng):

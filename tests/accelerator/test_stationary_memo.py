@@ -1,0 +1,122 @@
+"""Identity-keyed stationary preparation memo (`scheduler.prepare_stationary`).
+
+The zero-copy operand plane hands every job of a batch the *same*
+read-only view of a shared stationary operand; preparing the PE-buffer
+layout and searching the minimal K-tiling are pure functions of those
+buffers, so they memoize on buffer identity.  These tests pin the
+eligibility rules (read-only buffers only), result equality, and the
+weakref-based eviction that keeps ``id()`` reuse from resurrecting a
+dead key.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.accelerator import AcceleratorConfig, WeightStationarySimulator
+from repro.accelerator.scheduler import (
+    _STATIONARY_MEMO,
+    _STATIONARY_MEMO_MAX,
+    compute_k_tiles,
+    prepare_stationary,
+)
+from repro.formats.csc import CscMatrix
+from repro.formats.csr import CsrMatrix
+from repro.formats.dense import DenseMatrix
+from repro.formats.registry import Format
+from tests.conftest import make_sparse
+
+
+@pytest.fixture(autouse=True)
+def _clean_memo():
+    _STATIONARY_MEMO.clear()
+    yield
+    _STATIONARY_MEMO.clear()
+
+
+def _frozen_dense(rng, shape=(40, 12)) -> DenseMatrix:
+    b = DenseMatrix.from_dense(make_sparse(rng, shape, 0.5))
+    b.values.flags.writeable = False
+    return b
+
+
+class TestEligibility:
+    def test_frozen_operand_hits_on_second_call(self, rng):
+        b = _frozen_dense(rng)
+        first = prepare_stationary(b, Format.DENSE, 16)
+        second = prepare_stationary(b, Format.DENSE, 16)
+        assert second[0] is first[0]  # same prepared operand object
+        assert second[1] is first[1]  # same tiling
+        assert len(_STATIONARY_MEMO) == 1
+
+    def test_writeable_operand_never_memoizes(self, rng):
+        b = DenseMatrix.from_dense(make_sparse(rng, (40, 12), 0.5))
+        first = prepare_stationary(b, Format.DENSE, 16)
+        second = prepare_stationary(b, Format.DENSE, 16)
+        assert second[0] is not first[0]
+        assert not _STATIONARY_MEMO
+
+    def test_cached_preparation_is_frozen(self, rng):
+        stationary, _tiles = prepare_stationary(
+            _frozen_dense(rng), Format.DENSE, 16
+        )
+        assert not stationary.values.flags.writeable
+        assert not stationary.stored.flags.writeable
+
+    def test_capacity_is_part_of_the_key(self, rng):
+        b = _frozen_dense(rng)
+        _, tiles_small = prepare_stationary(b, Format.DENSE, 8)
+        _, tiles_large = prepare_stationary(b, Format.DENSE, 1 << 16)
+        assert len(tiles_small) > len(tiles_large)
+        assert len(_STATIONARY_MEMO) == 2
+
+
+class TestEquality:
+    @pytest.mark.parametrize("acf_b", [Format.DENSE, Format.CSC])
+    def test_memoized_matches_uncached(self, rng, acf_b):
+        dense = make_sparse(rng, (40, 12), 0.4)
+        cls = CscMatrix if acf_b is Format.CSC else DenseMatrix
+        frozen = cls.from_dense(dense)
+        for arr in vars(frozen).values():
+            if isinstance(arr, np.ndarray):
+                arr.flags.writeable = False
+        plain = cls.from_dense(dense)
+        prepare_stationary(frozen, acf_b, 16)  # populate
+        stationary, tiles = prepare_stationary(frozen, acf_b, 16)  # hit
+        reference, ref_tiles = prepare_stationary(plain, acf_b, 16)
+        assert np.array_equal(stationary.values, reference.values)
+        assert np.array_equal(stationary.stored, reference.stored)
+        assert tiles == ref_tiles == compute_k_tiles(plain, acf_b, 16)
+
+    def test_run_gemm_identical_with_and_without_memo(self, rng):
+        a_dense = make_sparse(rng, (8, 40), 0.3)
+        b_dense = make_sparse(rng, (40, 12), 0.4)
+        a = CsrMatrix.from_dense(a_dense)
+        frozen = DenseMatrix.from_dense(b_dense)
+        frozen.values.flags.writeable = False
+        plain = DenseMatrix.from_dense(b_dense)
+        sim = WeightStationarySimulator(AcceleratorConfig.walkthrough())
+        sim.run_gemm(a, Format.CSR, frozen, Format.DENSE)  # populate
+        out_hit, rep_hit = sim.run_gemm(a, Format.CSR, frozen, Format.DENSE)
+        out_ref, rep_ref = sim.run_gemm(a, Format.CSR, plain, Format.DENSE)
+        assert np.array_equal(out_hit, out_ref)
+        assert rep_hit == rep_ref
+
+
+class TestLifecycle:
+    def test_entry_evicted_when_buffers_die(self, rng):
+        b = _frozen_dense(rng)
+        prepare_stationary(b, Format.DENSE, 16)
+        assert len(_STATIONARY_MEMO) == 1
+        del b
+        gc.collect()
+        assert not _STATIONARY_MEMO
+
+    def test_fifo_cap_bounds_resident_entries(self, rng):
+        operands = [_frozen_dense(rng) for _ in range(_STATIONARY_MEMO_MAX + 2)]
+        for b in operands:
+            prepare_stationary(b, Format.DENSE, 16)
+        assert len(_STATIONARY_MEMO) == _STATIONARY_MEMO_MAX

@@ -191,8 +191,14 @@ class TestLocalRemoteParity:
     def server(self):
         from repro.serve import SageServer, ServeConfig
 
+        # near_hit off: the parity bar asserts bit-identical wire
+        # decisions, which is exactly the --exact serving mode.  The
+        # near-hit tier deliberately answers from a same-band neighbour
+        # (accuracy-for-latency) and is covered by tests/serve/.
         with SageServer(
-            serve=ServeConfig(port=0, shards=1, batch_window_ms=1.0)
+            serve=ServeConfig(
+                port=0, shards=1, batch_window_ms=1.0, near_hit=False
+            )
         ) as srv:
             yield srv
 

@@ -90,10 +90,20 @@ class TestNearHit:
         cache.put(_fp(nnz_a=10_000), "D")
         assert cache.get(_fp(nnz_a=40_000)) is None
 
+    def test_same_band_different_dims_served(self):
+        # The Table III regression: no two real workloads share exact
+        # dims, so a band key carrying exact dims never collided and
+        # near_hits stayed 0.  Dims within 2x now band together.
+        cache = DecisionCache(maxsize=4, near_hit=True)
+        cache.put(_fp(m=512, nnz_a=10_000), "D")
+        got = cache.get(_fp(m=700, nnz_a=11_000))  # same dim + nnz bands
+        assert got == "D"
+        assert cache.stats().near_hits == 1
+
     def test_band_pointer_cleared_on_eviction(self):
         cache = DecisionCache(maxsize=1, near_hit=True)
         cache.put(_fp(nnz_a=10_000), "OLD")
-        cache.put(_fp(m=999), "NEW")  # evicts OLD
+        cache.put(_fp(m=2000), "NEW")  # different dim band; evicts OLD
         assert cache.get(_fp(nnz_a=11_000)) is None
 
     def test_band_pointer_tracks_latest_representative(self):

@@ -89,6 +89,18 @@ class TestBanding:
         a, b = fingerprint_of(_wl(nnz_a=10_000)), fingerprint_of(_wl(nnz_a=20_000))
         assert a.band_key() != b.band_key()
 
+    def test_band_key_merges_dims_within_band(self):
+        # Real suites have no two workloads with identical extents; dims
+        # must band like nnz does or near hits never fire (the Table III
+        # near_hits=0 regression).
+        a, b = fingerprint_of(_wl(m=512)), fingerprint_of(_wl(m=700))
+        assert a.exact_key() != b.exact_key()
+        assert a.band_key() == b.band_key()
+
+    def test_band_key_splits_dims_across_bands(self):
+        a, b = fingerprint_of(_wl(m=512)), fingerprint_of(_wl(m=2048))
+        assert a.band_key() != b.band_key()
+
 
 class TestSharding:
     def test_shard_stable_and_in_range(self):
@@ -102,8 +114,10 @@ class TestSharding:
         assert a.shard(8) == b.shard(8)
 
     def test_shards_actually_spread(self):
+        # Multiplicative spread: band keys coarsen dims to powers of
+        # two, so additive nudges all land in one or two bands.
         seen = {
-            fingerprint_of(_wl(m=512 + 17 * i)).shard(4) for i in range(32)
+            fingerprint_of(_wl(m=512 * (i + 1))).shard(4) for i in range(32)
         }
         assert len(seen) > 1
 

@@ -133,12 +133,19 @@ class TestOptionsOverTheWire:
         assert served.to_wire() == local.to_wire()
 
     def test_default_options_ride_the_cache(self, server):
+        # Served-from-cache may be the exact tier or (same-band traffic
+        # from sibling tests) the near tier; either proves the request
+        # did not bypass the cache.
         wl = _wl(m=248)
         with ServeClient(*server.address) as client:
             client.predict(wl, options=PredictOptions())
-            before = client.stats()["cache"]["hits"]
+            before = client.stats()["cache"]
             client.predict(wl, options=PredictOptions())
-            assert client.stats()["cache"]["hits"] > before
+            after = client.stats()["cache"]
+        assert (
+            after["hits"] + after["near_hits"]
+            > before["hits"] + before["near_hits"]
+        )
 
     def test_off_tier_fidelity_bypasses_cache(self, server):
         # The server runs analytical; a cycle-tier request must not be

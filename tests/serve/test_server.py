@@ -60,12 +60,19 @@ class TestRoundTrip:
         assert served.workload_name == "bob"
 
     def test_repeat_is_served_from_cache(self, client):
+        # The repeat may land in the exact tier or (same-band traffic
+        # from sibling tests on this shared server) the near tier;
+        # either way it must be answered from cache, not recomputed.
         wl = _wl(m=260)
         first = client.predict(wl)
-        before = client.stats()["cache"]["hits"]
+        before = client.stats()["cache"]
         again = client.predict(wl)
+        after = client.stats()["cache"]
         assert again.best == first.best
-        assert client.stats()["cache"]["hits"] > before
+        assert (
+            after["hits"] + after["near_hits"]
+            > before["hits"] + before["near_hits"]
+        )
 
     def test_predict_many_preserves_order(self, client):
         suite = [_wl(m=200 + 10 * i) for i in range(4)]
@@ -196,6 +203,31 @@ class TestModes:
                 decision = c.predict(wl)
                 assert decision.fidelity == "cycle"
                 assert c.stats()["fidelity"] == "cycle"
+
+    def test_cycle_server_operand_segments_cleaned_on_close(self):
+        # Cycle-tier shards share proxy operands through named segments;
+        # the namespace must die with the server (leak-check contract).
+        from repro.sage import predictor
+        from repro.util import shm
+
+        if not shm.shm_available():
+            pytest.skip("no shared memory on this platform")
+        config = ServeConfig(port=0, shards=1, fidelity="cycle")
+        wl = MatrixWorkload("cyc-shm", Kernel.SPMM, m=96, k=96, n=64,
+                            nnz_a=900, nnz_b=96 * 64)
+        srv = SageServer(serve=config)
+        prefix = srv._operands.prefix
+        with srv:
+            with ServeClient(*srv.address) as c:
+                assert c.predict(wl).fidelity == "cycle"
+            assert any(
+                name.startswith(prefix)
+                for name in shm.active_operand_segments()
+            ), "cycle prediction should have published warm operands"
+        assert not any(
+            name.startswith(prefix) for name in shm.active_operand_segments()
+        )
+        assert predictor._PROXY_OPERAND_CACHE is None
 
     def test_unknown_fidelity_rejected_at_construction(self):
         with pytest.raises(ValueError, match="unknown serve fidelity"):

@@ -1,0 +1,184 @@
+"""The zero-copy operand plane: export/attach, dedup, lifecycle, cache."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.util import shm
+
+
+def _assert_no_segments():
+    assert shm.active_operand_segments() == []
+
+
+needs_shm = pytest.mark.skipif(
+    not shm.shm_available(), reason="no shared memory on this platform"
+)
+
+
+@needs_shm
+class TestExportAttach:
+    def test_round_trip_bit_identical(self):
+        rng = np.random.default_rng(7)
+        arr = rng.normal(size=(64, 48))
+        with shm.OperandPlane(min_bytes=1) as plane:
+            obj = shm.loads(plane.export({"a": arr, "tag": 3}))
+            assert obj["tag"] == 3
+            assert obj["a"].dtype == arr.dtype
+            assert np.array_equal(obj["a"], arr)
+
+    def test_attached_views_are_read_only(self):
+        arr = np.ones((32, 32))
+        with shm.OperandPlane(min_bytes=1) as plane:
+            view = shm.loads(plane.export(arr))
+            with pytest.raises(ValueError):
+                view[0, 0] = 2.0
+
+    def test_small_arrays_ride_the_pickle(self):
+        small = np.arange(4, dtype=np.float64)  # 32 bytes
+        with shm.OperandPlane(min_bytes=1024) as plane:
+            payload = plane.export(small)
+            assert plane.segment_names == []
+            out = shm.loads(payload)
+            assert out.flags.writeable  # plain pickled copy, not a view
+            assert np.array_equal(out, small)
+
+    def test_object_dtype_never_offloaded(self):
+        arr = np.array([{"k": 1}, None], dtype=object)
+        with shm.OperandPlane(min_bytes=1) as plane:
+            assert shm.loads(plane.export(arr))[0] == {"k": 1}
+            assert plane.segment_names == []
+
+    def test_shared_array_exported_once(self):
+        # The weight-stationary batch shape: one operand, many jobs.
+        big = np.zeros((256, 256))
+        with shm.OperandPlane(min_bytes=1) as plane:
+            jobs = [(i, big) for i in range(16)]
+            out = shm.loads(plane.export(jobs))
+            assert len(plane.segment_names) == 1
+            assert plane.exported_bytes == big.nbytes
+            # Identity is preserved on the receiving side too.
+            assert all(job[1] is out[0][1] for job in out)
+
+    def test_identity_stable_across_separate_payloads(self):
+        # A pool sends one payload per job; every payload referencing the
+        # same exported array must attach to the *same* view object, or
+        # identity-keyed derived-state caches (the scheduler's stationary
+        # memo) could never hit across jobs.
+        big = np.arange(100_000, dtype=np.float64)
+        with shm.OperandPlane(min_bytes=1) as plane:
+            first = shm.loads(plane.export((1, big)))
+            second = shm.loads(plane.export((2, big)))
+            assert first[1] is second[1]
+
+    def test_nested_structures_reach_the_plane(self):
+        arr = np.full((100, 100), 2.5)
+        nested = {"jobs": [((arr, "meta"), [arr]), (None, [])]}
+        with shm.OperandPlane(min_bytes=1) as plane:
+            out = shm.loads(plane.export(nested))
+            assert np.array_equal(out["jobs"][0][1][0], arr)
+
+    def test_refs_are_compact(self):
+        big = np.zeros(1 << 20)  # 8 MiB
+        with shm.OperandPlane(min_bytes=1) as plane:
+            payload = plane.export((big, big, big))
+            assert len(payload) < 4096  # descriptors, not data
+
+    def test_unpicklable_payload_propagates(self):
+        with shm.OperandPlane(min_bytes=1) as plane:
+            with pytest.raises(
+                (pickle.PicklingError, AttributeError, TypeError)
+            ):
+                plane.export(lambda: None)
+        _assert_no_segments()
+
+
+@needs_shm
+class TestLifecycle:
+    def test_close_unlinks_everything(self):
+        plane = shm.OperandPlane(min_bytes=1)
+        plane.export([np.ones(512), np.zeros(512)])
+        assert len(plane.segment_names) == 2
+        plane.close()
+        assert plane.segment_names == []
+        _assert_no_segments()
+
+    def test_close_is_idempotent(self):
+        plane = shm.OperandPlane(min_bytes=1)
+        plane.export(np.ones(512))
+        plane.close()
+        plane.close()
+        _assert_no_segments()
+
+    def test_context_manager_cleans_up_on_error(self):
+        with pytest.raises(RuntimeError):
+            with shm.OperandPlane(min_bytes=1) as plane:
+                plane.export(np.ones(512))
+                raise RuntimeError("mid-batch failure")
+        _assert_no_segments()
+
+    def test_segment_names_carry_the_leak_check_prefix(self):
+        with shm.OperandPlane(min_bytes=1) as plane:
+            plane.export(np.ones(512))
+            assert all(
+                name.startswith(shm.SEGMENT_PREFIX)
+                for name in plane.segment_names
+            )
+
+    def test_ref_nbytes(self):
+        ref = shm.OperandRef(segment="x", dtype="<f8", shape=(8, 4))
+        assert ref.nbytes == 8 * 4 * 8
+
+
+@needs_shm
+class TestOperandCacheNamespace:
+    def test_prefix_must_be_scannable(self):
+        with pytest.raises(ValueError):
+            shm.OperandCacheNamespace("someplace-else")
+
+    def test_get_or_build_builds_once(self):
+        ns = shm.OperandCacheNamespace(f"{shm.SEGMENT_PREFIX}-t1")
+        calls = []
+
+        def build():
+            calls.append(1)
+            return np.arange(1000, dtype=np.float64)
+
+        try:
+            first = ns.get_or_build(("k", 1), build)
+            second = ns.get_or_build(("k", 1), build)
+            assert len(calls) == 1
+            assert np.array_equal(first, second)
+        finally:
+            ns.unlink_all()
+        _assert_no_segments()
+
+    def test_second_namespace_attaches_instead_of_building(self):
+        # Two namespaces with one prefix model two cooperating processes.
+        prefix = f"{shm.SEGMENT_PREFIX}-t2"
+        writer = shm.OperandCacheNamespace(prefix)
+        reader = shm.OperandCacheNamespace(prefix)
+        built = writer.get_or_build(
+            ("w", 9), lambda: np.full((64, 64), 3.25)
+        )
+        try:
+            attached = reader.get_or_build(
+                ("w", 9),
+                lambda: (_ for _ in ()).throw(AssertionError("rebuilt")),
+            )
+            assert np.array_equal(attached, built)
+            assert not attached.flags.writeable
+        finally:
+            writer.unlink_all()
+        _assert_no_segments()
+
+    def test_unlink_all_reports_removals(self):
+        ns = shm.OperandCacheNamespace(f"{shm.SEGMENT_PREFIX}-t3")
+        ns.get_or_build(("a",), lambda: np.ones(100))
+        ns.get_or_build(("b",), lambda: np.ones(200))
+        assert ns.unlink_all() == 2
+        assert ns.unlink_all() == 0
+        _assert_no_segments()

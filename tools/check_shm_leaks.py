@@ -1,0 +1,47 @@
+"""Fail if any repro shared-memory segments are left in ``/dev/shm``.
+
+Every segment the zero-copy operand plane creates is named with
+``repro.util.shm.SEGMENT_PREFIX``, and every owner (an
+``OperandPlane``, an ``OperandCacheNamespace``) guarantees unlinking on
+success, error, and interrupt.  A segment that survives a test or bench
+run is therefore a lifecycle bug — leaked bytes that outlive the
+process and quietly fill ``/dev/shm`` on a shared host.
+
+CI runs this after the test suite and after bench-smoke::
+
+    PYTHONPATH=src python tools/check_shm_leaks.py
+
+Exit status is non-zero if any segment remains, listing each by name
+and size.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.util.shm import SEGMENT_PREFIX, active_operand_segments
+
+
+def main() -> int:
+    leaked = active_operand_segments()
+    if not leaked:
+        print(f"ok: no {SEGMENT_PREFIX}* segments in /dev/shm")
+        return 0
+    print(
+        f"LEAKED SEGMENTS: {len(leaked)} {SEGMENT_PREFIX}* segment(s) "
+        f"survived the run:",
+        file=sys.stderr,
+    )
+    for name in leaked:
+        path = Path("/dev/shm") / name
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        print(f"  {name}  ({size} bytes)", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
