@@ -43,6 +43,13 @@ FLOORS: dict[str, dict[str, float]] = {
         # large-stationary scenario, measured ~5x on a single core.
         "large_operand.speedup_shm_vs_pickle": 3.0,
     },
+    # The obs plane must stay within ~5% of REPRO_OBS=off on the predict
+    # hot path (median of paired per-round ratios, measured ~0.98-1.05).
+    "obs_overhead.json": {
+        "off_vs_on_ratio": 0.95,
+        # The sample trace artifact must actually contain spans.
+        "trace_sample_events": 4,
+    },
     # Orchestrated xp run vs one-process-per-figure seed scripts, measured
     # ~2.5x on a single core (process startup + warm-cache amortization)
     # and higher with a real fork pool.  Dotted keys index into nested

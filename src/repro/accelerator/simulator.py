@@ -52,8 +52,17 @@ from repro.accelerator.stream import build_beat_plan
 from repro.errors import SimulationError
 from repro.formats.base import MatrixFormat
 from repro.formats.registry import Format
+from repro.obs import registry, span
 from repro.util.bits import ceil_div
 from repro.util.pool import fork_map
+
+_GEMMS = registry().counter(
+    "repro_accel_gemms_total", "Simulated GEMMs, by engine"
+)
+_PHASE_CYCLES = registry().counter(
+    "repro_accel_phase_cycles_total",
+    "Modeled accelerator cycles, by phase (load/stream/compute/drain)",
+)
 
 #: One simulate_many job: (streamed operand, its ACF, stationary operand,
 #: its ACF) — exactly the run_gemm signature.
@@ -98,21 +107,45 @@ class WeightStationarySimulator:
             )
         if self.config.pe_buffer_entries < 1:  # pragma: no cover - config guard
             raise SimulationError("PE buffer must hold at least one entry")
-        # Layout preparation + K-tiling memoize on operand identity: under
-        # the zero-copy plane a stationary operand shared by the batch is
-        # prepared once per process, not once per job (see scheduler).
-        stationary, k_tiles = prepare_stationary(
-            b, acf_b, self.config.pe_buffer_entries
-        )
-        schedule = Schedule(
-            k_tiles=k_tiles,
-            rounds=compute_rounds(b.ncols, self.config.num_pes),
-        )
-        if engine == "vectorized":
-            return self._run_vectorized(a, proto, layout, stationary, schedule)
-        if engine == "reference":
-            return self._run_reference(a, proto, layout, stationary, schedule)
-        raise SimulationError(f"unknown engine {engine!r}")
+        with span(
+            "accel.gemm",
+            engine=engine,
+            streamed=str(acf_a),
+            stationary=str(acf_b),
+        ):
+            # Layout preparation + K-tiling memoize on operand identity:
+            # under the zero-copy plane a stationary operand shared by the
+            # batch is prepared once per process, not once per job (see
+            # scheduler).
+            with span("accel.prepare"):
+                stationary, k_tiles = prepare_stationary(
+                    b, acf_b, self.config.pe_buffer_entries
+                )
+                schedule = Schedule(
+                    k_tiles=k_tiles,
+                    rounds=compute_rounds(b.ncols, self.config.num_pes),
+                )
+            if engine == "vectorized":
+                out, report = self._run_vectorized(
+                    a, proto, layout, stationary, schedule
+                )
+            elif engine == "reference":
+                out, report = self._run_reference(
+                    a, proto, layout, stationary, schedule
+                )
+            else:
+                raise SimulationError(f"unknown engine {engine!r}")
+        _GEMMS.inc(engine=engine)
+        cycles = report.cycles
+        for phase, amount in (
+            ("load", cycles.load_cycles),
+            ("stream", cycles.stream_cycles),
+            ("compute", cycles.compute_cycles),
+            ("drain", cycles.drain_cycles),
+        ):
+            if amount:
+                _PHASE_CYCLES.inc(amount, phase=phase)
+        return out, report
 
     # ------------------------------------------------- vectorized engine --
     def _run_vectorized(

@@ -38,6 +38,7 @@ from repro.api.result import RunResult
 from repro.errors import ConfigError, PredictionError, SimulationError
 from repro.formats.registry import matrix_class
 from repro.mint.engine import MintEngine
+from repro.obs import span
 from repro.sage.predictor import SIM_CAP_ELEMENTS, Sage, SageDecision, _proxy_workload
 from repro.workloads.spec import (
     MatrixWorkload,
@@ -171,12 +172,13 @@ class Session:
         opts = resolve_options(options or self.options, **overrides)
         if isinstance(workload_or_workloads, (Mapping, MatrixWorkload,
                                               TensorWorkload)):
-            return self._backend.predict_one(
-                _parse_workload(workload_or_workloads), opts
-            )
+            wl = _parse_workload(workload_or_workloads)
+            with span("api.predict", workload=wl.name, batch=1):
+                return self._backend.predict_one(wl, opts)
         if isinstance(workload_or_workloads, Sequence):
             workloads = [_parse_workload(wl) for wl in workload_or_workloads]
-            return self._backend.predict_batch(workloads, opts)
+            with span("api.predict", batch=len(workloads)):
+                return self._backend.predict_batch(workloads, opts)
         raise TypeError(
             f"expected a workload or a sequence of workloads, got "
             f"{type(workload_or_workloads).__name__}"
@@ -221,7 +223,12 @@ class Session:
                 "simulator does not stream 3-D tensors); use "
                 "Session.predict for tensor decisions"
             )
-        decision = self._backend.predict_one(wl, opts.predict)
+        with span("api.run", workload=wl.name):
+            return self._run(wl, opts, a, b)
+
+    def _run(self, wl, opts, a, b) -> RunResult:
+        with span("api.predict", workload=wl.name, batch=1):
+            decision = self._backend.predict_one(wl, opts.predict)
 
         if a is not None or b is not None:
             if a is None or b is None:

@@ -25,15 +25,25 @@ Commands
     selection (or ``--all``) across the fork pool with artifact-store
     caching (``--resume`` / ``--force`` / ``--smoke``), ``xp report``
     re-renders the markdown reports from the store.
+``stats``
+    Pretty-print a running server's ``stats`` RPC — request/cache/batch
+    counters, latency percentiles, and the merged metrics registry
+    (front process plus every shard worker).
 ``paths``
     Print the registered conversion graph and the cost-aware route the
     planner chooses for a given operand size.
 
-``sage``, ``suite`` and ``sweep`` accept ``--json``, emitting one
-machine-readable JSON document on stdout instead of the human tables.
-Prediction commands go through the :class:`~repro.api.session.Session`
-facade, so ``--backend`` swaps in-process search for a remote server
-without changing anything else.
+``sage``, ``suite``, ``sweep`` and ``stats`` accept ``--json``, emitting
+one machine-readable JSON document on stdout instead of the human
+tables.  Prediction commands go through the
+:class:`~repro.api.session.Session` facade, so ``--backend`` swaps
+in-process search for a remote server without changing anything else.
+
+Observability (``repro.obs``) hooks: the global ``--log-level`` flag
+configures stdlib logging (same levels as the ``REPRO_LOG`` env var);
+``run --trace out.json`` and ``xp run --trace`` export Chrome
+trace-event JSON of the spans the pipeline recorded (open in
+``chrome://tracing`` or Perfetto).
 """
 
 from __future__ import annotations
@@ -123,8 +133,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
     )
-    with Session(args.backend) as session:
-        result = session.run(wl, opts)
+    if args.trace:
+        from repro.obs import export_chrome_trace, start_trace, stop_trace
+
+        start_trace()
+        try:
+            with Session(args.backend) as session:
+                result = session.run(wl, opts)
+        finally:
+            events = stop_trace()
+        export_chrome_trace(events, args.trace)
+        print(f"trace: {len(events)} span(s) -> {args.trace}",
+              file=sys.stderr)
+    else:
+        with Session(args.backend) as session:
+            result = session.run(wl, opts)
     if args.json:
         _emit_json(
             {
@@ -345,7 +368,22 @@ def _cmd_xp(args: argparse.Namespace) -> int:
         report=not args.no_report,
         transport=args.transport,
     )
-    summary = run_experiments(names, config)
+    if args.trace:
+        from repro.obs import export_chrome_trace, start_trace, stop_trace
+        from pathlib import Path
+
+        start_trace()
+        try:
+            summary = run_experiments(names, config)
+        finally:
+            events = stop_trace()
+        trace_path = Path(args.out or default_out_dir()) / "trace.json"
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        export_chrome_trace(events, trace_path)
+        print(f"trace: {len(events)} span(s) -> {trace_path}",
+              file=sys.stderr)
+    else:
+        summary = run_experiments(names, config)
     if args.json:
         _emit_json(summary.record())
         return 0 if summary.ok else 1
@@ -365,6 +403,95 @@ def _cmd_xp(args: argparse.Namespace) -> int:
         out = args.out or default_out_dir()
         print(f"report: {out}/report.md")
     return 0 if summary.ok else 1
+
+
+def _render_stats(stats: dict) -> str:
+    """Human form of the ``stats`` RPC payload, metrics section included."""
+    from repro.obs.metrics import snapshot_quantile
+
+    req = stats.get("requests", {})
+    cache = stats.get("cache", {})
+    batches = stats.get("batches", {})
+    latency = stats.get("latency_ms", {})
+    lines = [
+        f"uptime {stats.get('uptime_s', 0.0):.1f}s, "
+        f"fidelity {stats.get('fidelity', '?')}"
+        + (", DEGRADED (no live shards)" if stats.get("degraded") else ""),
+        "requests: "
+        + ", ".join(f"{k}={req.get(k, 0)}"
+                    for k in ("submitted", "served", "errors", "bypassed")),
+        f"cache: {cache.get('hits', 0)} hits, "
+        f"{cache.get('near_hits', 0)} near, {cache.get('misses', 0)} miss "
+        f"({100.0 * cache.get('hit_rate', 0.0):.1f}% hit rate, "
+        f"{cache.get('currsize', 0)}/{cache.get('maxsize', 0)} entries, "
+        f"{cache.get('evictions', 0)} evicted)",
+        f"batches: {batches.get('count', 0)} dispatched, "
+        f"max size {batches.get('max_size', 0)}, "
+        f"{batches.get('coalesced', 0)} coalesced",
+    ]
+    if latency.get("count"):
+        lines.append(
+            "latency: "
+            + ", ".join(
+                f"{k}={latency[k]:.2f}ms"
+                for k in ("p50", "p90", "p99")
+                if latency.get(k) is not None
+            )
+            + f" over {latency['count']} request(s)"
+        )
+    for shard in stats.get("shards", []):
+        state = "alive" if shard.get("alive") else "DEAD"
+        lines.append(
+            f"shard {shard.get('shard')}: pid {shard.get('pid')} {state}, "
+            f"queue depth {shard.get('queue_depth')}"
+        )
+    metrics = stats.get("metrics", {})
+    snapshot = metrics.get("registry", {})
+    if snapshot:
+        lines.append(
+            f"metrics ({metrics.get('shards_reporting', 0)}/"
+            f"{metrics.get('shards_polled', 0)} shard(s) reporting):"
+        )
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            kind = entry.get("type")
+            for key in sorted(entry.get("values", {})):
+                label = f"{name}{{{key}}}" if key else name
+                if kind == "histogram":
+                    state = entry["values"][key]
+                    parts = [f"count={state['count']}",
+                             f"sum={state['sum']:.4g}"]
+                    p50 = snapshot_quantile(entry, key, 0.50)
+                    p99 = snapshot_quantile(entry, key, 0.99)
+                    if p50 is not None:
+                        parts.append(f"p50~{p50:.4g}")
+                    if p99 is not None:
+                        parts.append(f"p99~{p99:.4g}")
+                    lines.append(f"  {label}  " + " ".join(parts))
+                else:
+                    value = entry["values"][key]
+                    lines.append(f"  {label}  {value:g}")
+    return "\n".join(lines)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    spec = args.server
+    if spec.startswith("tcp://"):
+        spec = spec[len("tcp://"):]
+    host, _, port = spec.partition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(
+            f"invalid server spec {args.server!r} (expected tcp://host:port)"
+        )
+    with ServeClient(host, int(port), timeout=args.timeout) as client:
+        stats = client.stats()
+    if args.json:
+        _emit_json(stats)
+    else:
+        print(_render_stats(stats))
+    return 0
 
 
 def _parse_format(name: str):
@@ -437,6 +564,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="stdlib logging level for repro.* loggers "
+        "(default: the REPRO_LOG env var, else silent)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_backend(p: argparse.ArgumentParser) -> None:
@@ -492,6 +626,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default="vectorized", help="cycle-simulator engine")
     p.add_argument("--json", action="store_true",
                    help="emit the run result as JSON")
+    p.add_argument("--trace", metavar="OUT.JSON", default=None,
+                   help="export Chrome trace-event JSON of the run's "
+                   "spans (open in chrome://tracing or Perfetto)")
     add_backend(p)
     p.set_defaults(fn=_cmd_run)
 
@@ -579,6 +716,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the markdown report stage")
     q.add_argument("--json", action="store_true",
                    help="emit the run record as JSON")
+    q.add_argument("--trace", action="store_true",
+                   help="export Chrome trace-event JSON of the grid run "
+                   "to <out>/trace.json")
     add_backend(q)
     q.set_defaults(fn=_cmd_xp)
 
@@ -593,6 +733,17 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--out", default=None)
     add_backend(q)  # grids measured against a server key on its spec
     q.set_defaults(fn=_cmd_xp)
+
+    p = sub.add_parser(
+        "stats",
+        help="pretty-print a running server's stats RPC (metrics included)",
+    )
+    p.add_argument("server", help="tcp://host:port of a running 'repro serve'")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="connection/RPC timeout in seconds")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw stats payload as JSON")
+    p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser(
         "paths", help="print the conversion graph and planned routes"
@@ -612,6 +763,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        from repro.obs import configure_logging
+
+        configure_logging(args.log_level)
     return args.fn(args)
 
 

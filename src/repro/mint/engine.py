@@ -19,6 +19,14 @@ from repro.formats.registry import Format
 from repro.hardware.energy import DEFAULT_ENERGY, EnergyModel
 from repro.mint.blockset import BlockSet
 from repro.mint.graph import HopStats, conversion_graph
+from repro.obs import registry, span
+
+_CONVERSIONS = registry().counter(
+    "repro_mint_conversions_total", "MINT conversions, by source and target"
+)
+_HOP_CYCLES = registry().counter(
+    "repro_mint_hop_cycles_total", "Modeled converter cycles, by datapath hop"
+)
 
 
 @dataclass(frozen=True)
@@ -94,17 +102,22 @@ class MintEngine:
         cycles = 0
         names: list[str] = []
         current: MatrixFormat | TensorFormat = obj
-        for idx, dp in enumerate(hops):
-            is_last = idx == len(hops) - 1
-            if is_last and kwargs:
-                current, hop_cycles = dp(current, blocks, **kwargs)
-            else:
-                current, hop_cycles = dp.fn(current, blocks)
-            # An engaged datapath occupies the converter for at least one
-            # cycle even when the operand is empty (it still has to read
-            # the descriptor to learn there is nothing to stream).
-            cycles += max(int(hop_cycles), 1)
-            names.append(dp.name)
+        with span("mint.convert", source=str(obj.format), target=str(target)):
+            for idx, dp in enumerate(hops):
+                is_last = idx == len(hops) - 1
+                with span("mint.hop", datapath=dp.name):
+                    if is_last and kwargs:
+                        current, hop_cycles = dp(current, blocks, **kwargs)
+                    else:
+                        current, hop_cycles = dp.fn(current, blocks)
+                # An engaged datapath occupies the converter for at least
+                # one cycle even when the operand is empty (it still has to
+                # read the descriptor to learn there is nothing to stream).
+                hop_cycles = max(int(hop_cycles), 1)
+                cycles += hop_cycles
+                _HOP_CYCLES.inc(hop_cycles, datapath=dp.name)
+                names.append(dp.name)
+        _CONVERSIONS.inc(source=str(obj.format), target=str(target))
         energy_j = blocks.energy_joules(obj.dtype_bits, self.energy)
         report = ConversionReport(
             source=obj.format,

@@ -1,0 +1,70 @@
+"""repro.obs — unified metrics + tracing plane.
+
+Three small modules:
+
+* :mod:`repro.obs.metrics` — process-local :class:`MetricRegistry` of
+  labeled counters/gauges/fixed-log-bucket histograms whose snapshots
+  merge exactly across processes;
+* :mod:`repro.obs.trace` — contextvar-scoped :class:`span` timers with
+  trace-ID propagation and Chrome trace-event export;
+* :mod:`repro.obs.log` — stdlib logging wiring (``REPRO_LOG`` env,
+  ``--log-level`` CLI flag).
+
+``REPRO_OBS=off`` disables the whole plane (see
+``benchmarks/bench_obs_overhead.py`` for the ≤5% overhead floor).
+"""
+
+from .log import configure as configure_logging, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    enabled,
+    merge_snapshots,
+    registry,
+    render_prometheus,
+    reset_registry,
+    set_enabled,
+)
+from .trace import (
+    TraceRecorder,
+    collect_spans,
+    current_trace_id,
+    drain_events,
+    export_chrome_trace,
+    new_trace_id,
+    recording,
+    resume_trace,
+    set_trace_id,
+    span,
+    start_trace,
+    stop_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "TraceRecorder",
+    "collect_spans",
+    "configure_logging",
+    "current_trace_id",
+    "drain_events",
+    "enabled",
+    "export_chrome_trace",
+    "get_logger",
+    "merge_snapshots",
+    "new_trace_id",
+    "recording",
+    "registry",
+    "render_prometheus",
+    "reset_registry",
+    "resume_trace",
+    "set_enabled",
+    "set_trace_id",
+    "span",
+    "start_trace",
+    "stop_trace",
+]

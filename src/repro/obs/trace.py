@@ -1,0 +1,263 @@
+"""Contextvar-scoped spans with Chrome trace-event export.
+
+One primitive — :class:`span` — feeds both halves of the obs plane:
+
+* every exited span observes ``repro_span_seconds{span=<name>}`` on the
+  process-global metric registry, so aggregate where-does-time-go data
+  exists even when no trace is being recorded;
+* when a :class:`TraceRecorder` is active (``repro run --trace out.json``
+  turns one on), each span additionally emits a Chrome trace-event
+  ``"X"`` (complete) event with microsecond ``ts``/``dur`` derived from
+  ``time.perf_counter()`` — CLOCK_MONOTONIC on Linux, so timestamps from
+  forked workers land on the same timeline as the parent's.
+
+Trace identity is a :mod:`contextvars` ``ContextVar`` so concurrent
+serve handlers keep distinct trace IDs; :func:`current_trace_id` /
+:func:`set_trace_id` are the propagation hooks the serve wire schema
+(optional ``"trace"`` message key) and the fork-pool initializer use to
+carry the ID across process and socket boundaries.
+
+Span *names* follow a ``layer.operation`` taxonomy (``api.predict``,
+``sage.enumerate``, ``mint.hop``, ``accel.gemm`` …) documented in
+``docs/observability.md``.  Extra keyword arguments on ``span(...)``
+become Chrome-trace ``args`` (and are never used as metric labels, to
+keep series cardinality bounded).
+
+Like the metric plane, everything short-circuits when ``REPRO_OBS=off``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+import uuid
+from typing import Any
+
+from .metrics import enabled, registry
+
+__all__ = [
+    "TraceRecorder",
+    "collect_spans",
+    "current_trace_id",
+    "drain_events",
+    "export_chrome_trace",
+    "new_trace_id",
+    "recording",
+    "resume_trace",
+    "set_trace_id",
+    "span",
+    "start_trace",
+    "stop_trace",
+]
+
+_TRACE_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_trace_id", default=None
+)
+
+#: Histogram every span observes into (one series per span name).
+_SPAN_SECONDS = registry().histogram(
+    "repro_span_seconds", "Wall-seconds spent inside each span"
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace ID."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> str | None:
+    """The trace ID bound to the current context, if any."""
+    return _TRACE_ID.get()
+
+
+def set_trace_id(trace_id: str | None) -> None:
+    """Bind *trace_id* to the current context (``None`` clears it)."""
+    _TRACE_ID.set(trace_id)
+
+
+class TraceRecorder:
+    """Buffers Chrome trace events for one recording session."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+
+    def record(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def extend(self, events: list[dict]) -> None:
+        """Absorb events shipped back from another process."""
+        if events:
+            with self._lock:
+                self._events.extend(events)
+
+    def drain(self) -> list[dict]:
+        """Remove and return all buffered events."""
+        with self._lock:
+            events = self._events
+            self._events = []
+            return events
+
+    def events(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+
+_RECORDER: TraceRecorder | None = None
+#: Collector stack depth — see :class:`collect_spans`.  A plain int
+#: guarded by the GIL; incremented/decremented on enter/exit.
+_COLLECTORS: list["collect_spans"] = []
+
+
+def recording() -> bool:
+    """Whether a trace recorder or span collector is active."""
+    return _RECORDER is not None or bool(_COLLECTORS)
+
+
+def start_trace() -> TraceRecorder:
+    """Install a fresh process-global :class:`TraceRecorder`."""
+    global _RECORDER
+    _RECORDER = TraceRecorder()
+    if _TRACE_ID.get() is None:
+        _TRACE_ID.set(new_trace_id())
+    return _RECORDER
+
+
+def resume_trace(recorder: TraceRecorder | None) -> None:
+    """Install an existing recorder (fork-pool worker init)."""
+    global _RECORDER
+    _RECORDER = recorder
+
+
+def stop_trace() -> list[dict]:
+    """Tear down the recorder, returning its buffered events."""
+    global _RECORDER
+    recorder, _RECORDER = _RECORDER, None
+    return recorder.drain() if recorder is not None else []
+
+
+def drain_events() -> list[dict]:
+    """Drain buffered events without stopping the recorder.
+
+    Fork-pool workers call this after each task so span deltas ride the
+    result chunk back to the parent, which folds them into its own
+    recorder — keeping worker spans on the trace without a shared file.
+    """
+    return _RECORDER.drain() if _RECORDER is not None else []
+
+
+def export_chrome_trace(events: list[dict], path: str) -> None:
+    """Write *events* as a Chrome trace-event JSON file.
+
+    Load the file at ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"traceEvents": events, "displayTimeUnit": "ms"},
+            fh,
+            default=str,
+        )
+
+
+class span:
+    """Context manager timing one named operation.
+
+    ``with span("sage.predict", nnz=workload.nnz): ...`` — on exit the
+    duration is observed into ``repro_span_seconds{span=...}`` and, when
+    a recorder/collector is live, a Chrome ``"X"`` event is buffered.
+    Deliberately a slim ``__slots__`` class (not ``@contextmanager``):
+    the predict hot path enters thousands of these, and the generator
+    protocol's frame churn is measurable at that rate.
+    """
+
+    __slots__ = ("name", "args", "_t0")
+
+    def __init__(self, name: str, **args: Any) -> None:
+        self.name = name
+        self.args = args
+        self._t0 = 0.0
+
+    def __enter__(self) -> "span":
+        if enabled():
+            self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not enabled() or not self._t0:
+            return
+        t1 = time.perf_counter()
+        seconds = t1 - self._t0
+        _SPAN_SECONDS.observe(seconds, span=self.name)
+        for collector in _COLLECTORS:
+            collector._add(self.name, seconds)
+        recorder = _RECORDER
+        if recorder is not None:
+            event: dict[str, Any] = {
+                "name": self.name,
+                "ph": "X",
+                "ts": self._t0 * 1e6,
+                "dur": seconds * 1e6,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "cat": self.name.split(".", 1)[0],
+            }
+            args = dict(self.args)
+            trace_id = _TRACE_ID.get()
+            if trace_id is not None:
+                args["trace_id"] = trace_id
+            if exc_type is not None:
+                args["error"] = exc_type.__name__
+            if args:
+                event["args"] = args
+            recorder.record(event)
+
+
+class collect_spans:
+    """Collect per-span aggregate timings within a scope.
+
+    The xp runner wraps each grid cell's measure function in one of
+    these so report pages can show where cell time goes even when no
+    global trace is being written::
+
+        with collect_spans() as spans:
+            result = measure(session, **params)
+        record["spans"] = spans.summary()
+
+    ``summary()`` maps span name to ``{"count": n, "seconds": total}``.
+    Collectors nest (each sees spans from its own scope inward) and work
+    independently of :func:`start_trace`.
+    """
+
+    def __init__(self) -> None:
+        self._spans: dict[str, dict[str, float]] = {}
+
+    def _add(self, name: str, seconds: float) -> None:
+        entry = self._spans.get(name)
+        if entry is None:
+            entry = self._spans[name] = {"count": 0, "seconds": 0.0}
+        entry["count"] += 1
+        entry["seconds"] += seconds
+
+    def __enter__(self) -> "collect_spans":
+        _COLLECTORS.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            _COLLECTORS.remove(self)
+        except ValueError:  # pragma: no cover - unbalanced exit
+            pass
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """``{span_name: {"count": n, "seconds": total}}``, name-sorted."""
+        return {
+            name: {
+                "count": int(entry["count"]),
+                "seconds": entry["seconds"],
+            }
+            for name, entry in sorted(self._spans.items())
+        }

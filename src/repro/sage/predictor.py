@@ -44,6 +44,7 @@ from repro.formats.dense import DenseMatrix
 from repro.formats.registry import Format, matrix_class
 from repro.hardware.dram import DramChannel
 from repro.mint.cost import shared_planner
+from repro.obs import registry, span
 from repro.sage.cost_model import (
     ConversionProvider,
     CostBreakdown,
@@ -67,6 +68,14 @@ CYCLE_TOP_K = 4
 #: Optional warm operand cache for the cycle tier (see
 #: :func:`set_proxy_operand_cache`).  ``None`` means "materialize fresh".
 _PROXY_OPERAND_CACHE = None
+
+_CANDIDATES = registry().counter(
+    "repro_sage_candidates_total",
+    "MCF/ACF candidates priced by the cost model, by kind and feasibility",
+)
+_PREDICTIONS = registry().counter(
+    "repro_sage_predictions_total", "SAGE decisions produced, by fidelity"
+)
 
 
 def set_proxy_operand_cache(cache) -> None:
@@ -228,20 +237,30 @@ class Sage:
             fidelity=fidelity,
         )
         candidates: list[CostBreakdown] = []
-        for mcf, acf in matrix_combos(**opts.search_kwargs()):
-            cost = evaluate_matrix_combo(
-                workload,
-                mcf,
-                acf,
-                config=self.config,
-                dram=self.dram,
-                provider=self.provider,
-            )
-            if cost is not None:
-                candidates.append(cost)
+        enumerated = 0
+        with span("sage.enumerate", workload=workload.name):
+            for mcf, acf in matrix_combos(**opts.search_kwargs()):
+                enumerated += 1
+                cost = evaluate_matrix_combo(
+                    workload,
+                    mcf,
+                    acf,
+                    config=self.config,
+                    dram=self.dram,
+                    provider=self.provider,
+                )
+                if cost is not None:
+                    candidates.append(cost)
+        # Aggregated (not per-candidate) incs: the enumerate loop is the
+        # predict hot path and counter cost must not scale with it.
+        _CANDIDATES.inc(len(candidates), kind="matrix", feasible="yes")
+        _CANDIDATES.inc(enumerated - len(candidates), kind="matrix",
+                        feasible="no")
         decision = self._decide(workload.name, candidates)
         if opts.fidelity == "cycle":
-            decision = self._cycle_rerank(workload, decision)
+            with span("sage.rerank", workload=workload.name):
+                decision = self._cycle_rerank(workload, decision)
+        _PREDICTIONS.inc(fidelity=decision.fidelity)
         return truncate_ranking(decision, opts.top_k)
 
     def predict_tensor(
@@ -277,18 +296,26 @@ class Sage:
                 "kernels are analytical-only (matricized streaming specs)"
             )
         candidates: list[CostBreakdown] = []
-        for mcf, acf in tensor_combos(fixed_mcf=opts.fixed_mcf):
-            cost = evaluate_tensor_combo(
-                workload,
-                mcf,
-                acf,
-                config=self.config,
-                dram=self.dram,
-                provider=self.provider,
-            )
-            if cost is not None:
-                candidates.append(cost)
-        return truncate_ranking(self._decide(workload.name, candidates), opts.top_k)
+        enumerated = 0
+        with span("sage.enumerate", workload=workload.name):
+            for mcf, acf in tensor_combos(fixed_mcf=opts.fixed_mcf):
+                enumerated += 1
+                cost = evaluate_tensor_combo(
+                    workload,
+                    mcf,
+                    acf,
+                    config=self.config,
+                    dram=self.dram,
+                    provider=self.provider,
+                )
+                if cost is not None:
+                    candidates.append(cost)
+        _CANDIDATES.inc(len(candidates), kind="tensor", feasible="yes")
+        _CANDIDATES.inc(enumerated - len(candidates), kind="tensor",
+                        feasible="no")
+        decision = self._decide(workload.name, candidates)
+        _PREDICTIONS.inc(fidelity=decision.fidelity)
+        return truncate_ranking(decision, opts.top_k)
 
     def predict(
         self,

@@ -24,12 +24,21 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.obs import registry
 from repro.serve.fingerprint import WorkloadFingerprint
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sage.predictor import SageDecision
 
 __all__ = ["CacheStats", "DecisionCache"]
+
+#: Per-instance counters stay (CacheStats is part of the stats RPC shape);
+#: every event is *also* mirrored onto the process-global metric registry
+#: so merged serve metrics include shard-local cache activity.
+_CACHE_EVENTS = registry().counter(
+    "repro_serve_cache_events_total",
+    "DecisionCache lookups/evictions, by cache scope and event",
+)
 
 
 @dataclass(frozen=True)
@@ -71,11 +80,18 @@ class CacheStats:
 class DecisionCache:
     """LRU ``fingerprint -> SageDecision`` map with a density-band tier."""
 
-    def __init__(self, maxsize: int = 4096, *, near_hit: bool = False) -> None:
+    def __init__(
+        self,
+        maxsize: int = 4096,
+        *,
+        near_hit: bool = False,
+        scope: str = "local",
+    ) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
         self.near_hit = near_hit
+        self.scope = scope
         self._lock = threading.Lock()
         #: exact key -> (decision, band key); the band rides along so
         #: eviction can clean its index entry in O(1).
@@ -102,14 +118,17 @@ class DecisionCache:
             if entry is not None:
                 self._exact.move_to_end(exact)
                 self._hits += 1
+                _CACHE_EVENTS.inc(scope=self.scope, event="hit")
                 return entry[0]
             if self.near_hit:
                 rep = self._bands.get(fp.band_key())
                 if rep is not None and rep in self._exact:
                     self._exact.move_to_end(rep)
                     self._near_hits += 1
+                    _CACHE_EVENTS.inc(scope=self.scope, event="near_hit")
                     return self._exact[rep][0]
             self._misses += 1
+            _CACHE_EVENTS.inc(scope=self.scope, event="miss")
             return None
 
     def put(self, fp: WorkloadFingerprint, decision: "SageDecision") -> None:
@@ -125,6 +144,7 @@ class DecisionCache:
                     last=False
                 )
                 self._evictions += 1
+                _CACHE_EVENTS.inc(scope=self.scope, event="eviction")
                 # Drop the band pointer if the eviction left it dangling.
                 if self._bands.get(evicted_band) == evicted_key:
                     del self._bands[evicted_band]

@@ -16,6 +16,7 @@ from typing import Mapping, Sequence
 
 from repro.api.options import PredictOptions, WIRE_SCHEMA_VERSION
 from repro.errors import ServeError
+from repro.obs import current_trace_id, span
 from repro.sage.predictor import SageDecision
 from repro.workloads.spec import MatrixWorkload, TensorWorkload
 
@@ -71,11 +72,18 @@ class ServeClient:
         if self._broken:
             raise ServeError("connection poisoned by an earlier transport "
                              "failure; open a new ServeClient")
+        trace_id = current_trace_id()
+        if trace_id is not None and "trace" not in payload:
+            # Both schema versions ignore unknown top-level keys, so the
+            # trace ID rides every request without a version bump; the
+            # server adopts it for its handler-side spans.
+            payload["trace"] = trace_id
         self._sock.settimeout(self._timeout * max(1, scale))
         try:
-            self._file.write((json.dumps(payload) + "\n").encode())
-            self._file.flush()
-            line = self._file.readline()
+            with span("serve.rpc", op=str(payload.get("op"))):
+                self._file.write((json.dumps(payload) + "\n").encode())
+                self._file.flush()
+                line = self._file.readline()
         except (OSError, ValueError) as exc:  # ValueError: closed file
             self._poison()
             raise ServeError(f"transport failed: {exc}") from exc

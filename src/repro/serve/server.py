@@ -54,12 +54,14 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import multiprocessing
 import os
 import queue
 import socketserver
 import threading
 import time
+import uuid
 from collections import deque
 from dataclasses import dataclass
 
@@ -70,6 +72,8 @@ from repro.api.options import (
     WIRE_SCHEMA_VERSION,
 )
 from repro.mint.cost import shared_planner
+from repro.obs import get_logger, registry, set_trace_id, span
+from repro.obs import metrics as obs_metrics
 from repro.sage.predictor import Sage, SageDecision, set_proxy_operand_cache
 from repro.serve.cache import DecisionCache
 from repro.serve.fingerprint import WorkloadFingerprint, fingerprint_of
@@ -79,6 +83,25 @@ from repro.workloads.spec import workload_from_dict
 __all__ = ["SageServer", "ServeConfig"]
 
 _STOP = object()
+
+_LOG = get_logger("serve")
+
+#: Sentinel key prefix for in-band shard metric collection.  Prediction
+#: keys are fingerprint tuples, so a *string* key can never collide.
+_METRICS_KEY = "__metrics__:"
+
+_REQUESTS = registry().counter(
+    "repro_serve_requests_total",
+    "Serve request lifecycle events (submitted/served/error/bypassed/"
+    "coalesced)",
+)
+_BATCHES = registry().counter(
+    "repro_serve_batches_total", "Coalescing-batcher dispatch rounds"
+)
+_STAGE_SECONDS = registry().histogram(
+    "repro_serve_stage_seconds",
+    "Per-request wall-seconds by serve stage (queue/compute/total)",
+)
 
 
 @dataclass(frozen=True)
@@ -132,6 +155,7 @@ class _PendingRequest:
 
     __slots__ = (
         "workload", "parsed", "fp", "done", "decision", "error", "t_submit",
+        "t_dispatch",
     )
 
     def __init__(self, workload: dict, parsed, fp: WorkloadFingerprint) -> None:
@@ -142,6 +166,9 @@ class _PendingRequest:
         self.decision: SageDecision | None = None
         self.error: str | None = None
         self.t_submit = time.perf_counter()
+        #: When the batcher handed the request onward (queue-stage end);
+        #: stays None on cache hits and bypasses.
+        self.t_dispatch: float | None = None
 
 
 def _shard_main(
@@ -165,24 +192,40 @@ def _shard_main(
     request per shard.
     """
     shared_planner().seed_snapshot(snapshot)
+    # The forked child inherits the parent's metric values; zero them so
+    # the in-band snapshots this shard ships cover only its own work and
+    # merging them into the parent never double-counts.
+    obs_metrics.reset_registry()
     if operand_prefix is not None:
         set_proxy_operand_cache(OperandCacheNamespace(operand_prefix))
-    local = DecisionCache(maxsize=1024, near_hit=near_hit)
+    local = DecisionCache(maxsize=1024, near_hit=near_hit, scope="shard")
     while True:
         msg = in_q.get()
         if msg is None:
             out_q.put(None)
             return
         key, wl_dict = msg
+        if isinstance(key, str) and key.startswith(_METRICS_KEY):
+            # In-band metrics poll: answer with this shard's registry
+            # snapshot through the ordinary result queue.
+            out_q.put((key, obs_metrics.registry().snapshot(), None))
+            continue
         try:
             workload = workload_from_dict(wl_dict)
             fp = fingerprint_of(workload, sage.config)
             decision = local.get(fp)
             if decision is None:
-                decision = sage.predict(workload, fidelity=fidelity)
+                with span("serve.shard_predict", workload=workload.name):
+                    decision = sage.predict(workload, fidelity=fidelity)
                 local.put(fp, decision)
             out_q.put((key, decision, None))
         except Exception as exc:  # noqa: BLE001 - shipped to the client
+            _LOG.warning(
+                "shard %d prediction failed for %r",
+                os.getpid(),
+                wl_dict.get("name") if isinstance(wl_dict, dict) else wl_dict,
+                exc_info=True,
+            )
             out_q.put((key, None, f"{type(exc).__name__}: {exc}"))
 
 
@@ -238,6 +281,9 @@ class _Handler(socketserver.StreamRequestHandler):
                 op = message.get("op")
                 response = server.handle_message(message)
             except Exception as exc:  # noqa: BLE001 - reported in-band
+                _LOG.warning(
+                    "handler failed on op %r", op, exc_info=True
+                )
                 response = {
                     "ok": False,
                     "error": f"{type(exc).__name__}: {exc}",
@@ -274,7 +320,7 @@ class SageServer:
             )
         self._sage = sage or Sage()
         self._cache = DecisionCache(
-            self.serve.cache_size, near_hit=self.serve.near_hit
+            self.serve.cache_size, near_hit=self.serve.near_hit, scope="front"
         )
         # Cycle-fidelity servers share proxy simulator operands between
         # the parent and every shard through one named shared-memory
@@ -297,6 +343,9 @@ class SageServer:
         self._started = False
         self._degraded: str | None = None
         self._t_start = 0.0
+        #: In-band shard metric polls awaiting replies: sentinel key ->
+        #: [event, snapshot-or-None] box filled by the collector thread.
+        self._metric_boxes: dict[str, list] = {}
         # Monotonic service counters (guarded by self._lock).
         self._submitted = 0
         self._served = 0
@@ -435,7 +484,16 @@ class SageServer:
     # ------------------------------------------------------------- protocol
     def handle_message(self, message: dict) -> dict:
         """Dispatch one decoded request dict to its ``op`` handler."""
+        trace = message.get("trace")
+        if trace is not None:
+            # Adopt the client's trace ID on this handler thread so spans
+            # recorded while serving the request correlate with it.
+            set_trace_id(str(trace))
         op = message.get("op")
+        with span("serve.handle", op=str(op)):
+            return self._handle_message(message, op)
+
+    def _handle_message(self, message: dict, op) -> dict:
         if op == "ping":
             return {"ok": True, "pong": True}
         if op == "stats":
@@ -521,6 +579,7 @@ class SageServer:
         if req.error is not None:
             with self._lock:
                 self._errors += 1
+            _REQUESTS.inc(event="error")
             return {"ok": False, "error": req.error}
         assert req.decision is not None
         decision = req.decision
@@ -534,6 +593,7 @@ class SageServer:
         wire = decision.to_wire(top=None if limit <= 0 else limit)
         with self._lock:
             self._served += 1
+        _REQUESTS.inc(event="served")
         return {"ok": True, "decision": wire}
 
     # ------------------------------------------------------------ data path
@@ -572,20 +632,26 @@ class SageServer:
         with self._lock:
             self._submitted += len(workloads)
             self._bypassed += len(workloads)
+        _REQUESTS.inc(len(workloads), event="submitted")
+        _REQUESTS.inc(len(workloads), event="bypassed")
         try:
             parsed = [workload_from_dict(wl) for wl in workloads]
             decisions = self._sage.predict_many(
                 parsed, options=self._effective_options(options)
             )
         except Exception as exc:  # noqa: BLE001 - reported in-band
+            _LOG.warning("restricted batch predict failed", exc_info=True)
             with self._lock:
                 self._errors += 1
+            _REQUESTS.inc(event="error")
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
         elapsed = time.perf_counter() - t_submit
         limit = self.serve.ranking_top if top is None else int(top)
         with self._lock:
             self._served += len(decisions)
             self._latencies.append(elapsed)
+        _REQUESTS.inc(len(decisions), event="served")
+        _STAGE_SECONDS.observe(elapsed, stage="total")
         return {
             "ok": True,
             "decisions": [
@@ -603,6 +669,7 @@ class SageServer:
         req = _PendingRequest(workload, parsed, fp)
         with self._lock:
             self._submitted += 1
+        _REQUESTS.inc(event="submitted")
         if self._closed.is_set():
             # The batcher is gone; fail fast instead of timing out.
             req.error = "server shutting down"
@@ -615,11 +682,16 @@ class SageServer:
             # extra latency and keeps the cache tier-consistent.
             with self._lock:
                 self._bypassed += 1
+            _REQUESTS.inc(event="bypassed")
             try:
-                req.decision = self._sage.predict(
-                    parsed, options=self._effective_options(options)
-                )
+                with span("serve.bypass_predict", workload=parsed.name):
+                    req.decision = self._sage.predict(
+                        parsed, options=self._effective_options(options)
+                    )
             except Exception as exc:  # noqa: BLE001 - reported in-band
+                _LOG.warning(
+                    "bypass predict failed for %r", parsed.name, exc_info=True
+                )
                 req.error = f"{type(exc).__name__}: {exc}"
             self._record_latency(req)
             req.done.set()
@@ -666,7 +738,10 @@ class SageServer:
         with self._lock:
             self._batches += 1
             self._max_batch_seen = max(self._max_batch_seen, len(batch))
+        _BATCHES.inc()
+        now = time.perf_counter()
         for req in batch:
+            req.t_dispatch = now
             key = req.fp.exact_key()
             with self._lock:
                 waiters = self._inflight.get(key)
@@ -674,6 +749,7 @@ class SageServer:
                     # Same fingerprint already being computed: attach.
                     waiters.append(req)
                     self._coalesced += 1
+                    _REQUESTS.inc(event="coalesced")
                     continue
                 self._inflight[key] = [req]
             shard = (
@@ -698,10 +774,14 @@ class SageServer:
     def _compute_inline(self, key: tuple, workload) -> None:
         """Shardless fallback: run the search in this (worker) thread."""
         try:
-            decision = self._sage.predict(
-                workload, fidelity=self.serve.fidelity
-            )
+            with span("serve.inline_predict", workload=workload.name):
+                decision = self._sage.predict(
+                    workload, fidelity=self.serve.fidelity
+                )
         except Exception as exc:  # noqa: BLE001 - reported in-band
+            _LOG.warning(
+                "inline predict failed for %r", workload.name, exc_info=True
+            )
             self._resolve(key, None, f"{type(exc).__name__}: {exc}")
         else:
             self._resolve(key, decision, None)
@@ -713,6 +793,15 @@ class SageServer:
             if msg is None:
                 return
             key, decision, error = msg
+            if isinstance(key, str) and key.startswith(_METRICS_KEY):
+                # In-band metrics reply: deliver to the waiting stats()
+                # call instead of the request-resolution path.
+                with self._lock:
+                    box = self._metric_boxes.get(key)
+                if box is not None:
+                    box[1] = decision  # the shard's registry snapshot
+                    box[0].set()
+                continue
             self._resolve(key, decision, error)
 
     def _resolve(
@@ -731,13 +820,58 @@ class SageServer:
             req.done.set()
 
     def _record_latency(self, req: _PendingRequest) -> None:
-        elapsed = time.perf_counter() - req.t_submit
+        now = time.perf_counter()
+        elapsed = now - req.t_submit
         with self._lock:
             self._latencies.append(elapsed)
+        _STAGE_SECONDS.observe(elapsed, stage="total")
+        if req.t_dispatch is not None:
+            _STAGE_SECONDS.observe(req.t_dispatch - req.t_submit, stage="queue")
+            _STAGE_SECONDS.observe(now - req.t_dispatch, stage="compute")
 
     # --------------------------------------------------------------- stats
+    def collect_metrics(self, timeout_s: float = 1.0) -> dict:
+        """Merged metrics (this process + live shards) with poll coverage.
+
+        Each alive shard is polled in-band (a sentinel string key through
+        its ordinary request queue — fingerprint keys are tuples, so the
+        sentinel cannot collide) and given a shared *timeout_s* deadline;
+        shards busy past the deadline simply miss this poll.  Snapshots
+        merge exactly, so worker-side counters (shard-local cache events,
+        SAGE candidate counts, span histograms) land in one registry view
+        under ``"registry"``; ``"shards_polled"`` / ``"shards_reporting"``
+        say how complete this poll was.
+        """
+        merged = obs_metrics.MetricRegistry()
+        merged.merge_snapshot(registry().snapshot())
+        boxes: list[list] = []
+        for shard in self._shards:
+            if not shard.proc.is_alive():
+                continue
+            token = f"{_METRICS_KEY}{uuid.uuid4().hex}"
+            box = [threading.Event(), None, token]
+            with self._lock:
+                self._metric_boxes[token] = box
+            shard.in_q.put((token, None))
+            boxes.append(box)
+        deadline = time.monotonic() + timeout_s
+        reporting = 0
+        for box in boxes:
+            remaining = max(0.0, deadline - time.monotonic())
+            if box[0].wait(timeout=remaining) and box[1] is not None:
+                merged.merge_snapshot(box[1])
+                reporting += 1
+            with self._lock:
+                self._metric_boxes.pop(box[2], None)
+        return {
+            "registry": merged.snapshot(),
+            "shards_polled": len(boxes),
+            "shards_reporting": reporting,
+        }
+
     def stats(self) -> dict:
-        """The ``stats`` RPC payload: cache, batching, shard, latency."""
+        """The ``stats`` RPC payload: cache, batching, shard, latency,
+        and the merged metrics registry (``metrics`` section)."""
         with self._lock:
             latencies = sorted(self._latencies)
             counters = {
@@ -769,19 +903,24 @@ class SageServer:
                 for index, shard in enumerate(self._shards)
             ],
             "latency_ms": _percentiles_ms(latencies),
+            "metrics": self.collect_metrics(),
         }
 
 
 def _percentiles_ms(sorted_latencies_s: list[float]) -> dict:
-    """p50/p90/p99 (milliseconds) of an ascending latency sample."""
+    """p50/p90/p99 (milliseconds) of an ascending latency sample.
+
+    Nearest-rank via ``ceil(q * n)``: the q-quantile is the smallest
+    sample with at least ``q*n`` samples at or below it.  (``round``
+    banker's-rounds half cases down and under-selects — p90 of 5 samples
+    picked index 3, the 80th percentile.)
+    """
     out: dict = {"count": len(sorted_latencies_s)}
+    n = len(sorted_latencies_s)
     for label, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
-        if not sorted_latencies_s:
+        if not n:
             out[label] = None
             continue
-        index = min(
-            len(sorted_latencies_s) - 1,
-            max(0, round(q * len(sorted_latencies_s)) - 1),
-        )
+        index = min(n - 1, max(0, math.ceil(q * n) - 1))
         out[label] = sorted_latencies_s[index] * 1e3
     return out

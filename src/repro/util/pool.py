@@ -40,6 +40,19 @@ Degradation triggers (all run the jobs sequentially in this process):
   children;
 * platforms that cannot spawn (or keep) a pool: ``OSError`` /
   ``PermissionError`` / ``BrokenProcessPool``.
+
+Observability
+-------------
+When the obs plane is on, pool workers are telemetry-transparent: each
+task's result travels back inside an envelope that also carries the
+worker's current metric-registry snapshot (cumulative, sequence-numbered)
+and its span-event delta.  The parent keeps the *latest* snapshot per
+worker pid and merges them once the map completes, so aggregated worker
+metrics are exactly equal to what a sequential run would have recorded
+(pinned by a parity test).  Worker registries are reset in the pool
+initializer — a forked child inherits the parent's counts, which would
+otherwise double on merge.  Trace IDs and the enabled flag propagate the
+same way, so ``repro run --trace`` sees inside workers.
 """
 
 from __future__ import annotations
@@ -47,10 +60,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.util import shm
 
 __all__ = ["fork_map"]
@@ -59,6 +75,65 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 _TRANSPORTS = ("auto", "shm", "pickle")
+
+_MAPS = obs_metrics.registry().counter(
+    "repro_pool_maps_total", "fork_map invocations by execution path"
+)
+_TASK_SECONDS = obs_metrics.registry().histogram(
+    "repro_pool_task_seconds", "Per-task wall-seconds inside pool workers"
+)
+
+#: Per-worker monotonically increasing task sequence number.  Snapshots
+#: are cumulative, so the parent only needs the highest-sequence one per
+#: pid to reconstruct that worker's full contribution.
+_TASK_SEQ = 0
+
+
+def _obs_worker_init(
+    enabled: bool,
+    trace_id: str | None,
+    tracing: bool,
+    initializer: Callable | None,
+    initargs: tuple,
+) -> None:
+    """Pool initializer: obs worker setup composed with the caller's.
+
+    Resets the fork-inherited registry (its counts already live in the
+    parent — merging them back would double-count), propagates the
+    runtime enabled flag and trace ID, and installs a local recorder
+    whose events ride result envelopes back when the parent is tracing.
+    """
+    obs_metrics.set_enabled(enabled)
+    obs_metrics.reset_registry()
+    obs_trace.set_trace_id(trace_id)
+    obs_trace.resume_trace(obs_trace.TraceRecorder() if tracing else None)
+    global _TASK_SEQ
+    _TASK_SEQ = 0
+    if initializer is not None:
+        initializer(*initargs)
+
+
+class _InstrumentedTask:
+    """Worker-side wrapper: time the task, envelope its telemetry."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+
+    def __call__(self, item):
+        global _TASK_SEQ
+        t0 = time.perf_counter()
+        result = self.fn(item)
+        _TASK_SECONDS.observe(time.perf_counter() - t0)
+        _TASK_SEQ += 1
+        return (
+            result,
+            os.getpid(),
+            _TASK_SEQ,
+            obs_metrics.registry().snapshot(),
+            obs_trace.drain_events(),
+        )
 
 
 def _resolve_transport(transport: str) -> str:
@@ -102,16 +177,19 @@ def fork_map(
             f"transport must be one of {_TRANSPORTS}, got {transport!r}"
         )
 
+    items = list(items)
+
     def sequential() -> list[R]:
+        _MAPS.inc(path="sequential")
         results = []
-        for item in items:
-            result = fn(item)
-            if consume is not None:
-                consume(result)
-            results.append(result)
+        with obs_trace.span("pool.fork_map", items=len(items), path="seq"):
+            for item in items:
+                result = fn(item)
+                if consume is not None:
+                    consume(result)
+                results.append(result)
         return results
 
-    items = list(items)
     if processes is None:
         processes = min(len(items), multiprocessing.cpu_count())
     if len(items) <= 1 or processes <= 1:
@@ -150,6 +228,7 @@ def fork_map(
                 initargs=initargs,
                 consume=consume,
                 sequential=sequential,
+                n_items=len(items),
             )
         finally:
             # Reached only after the pool context has exited (workers
@@ -164,6 +243,7 @@ def fork_map(
         initargs=initargs,
         consume=consume,
         sequential=sequential,
+        n_items=len(items),
     )
 
 
@@ -176,17 +256,25 @@ def _pool_map(
     initargs: tuple,
     consume: Callable | None,
     sequential: Callable[[], list],
+    n_items: int | None = None,
 ) -> list:
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         ctx = multiprocessing.get_context()
+    tracing = obs_trace.recording()
     try:
         with ProcessPoolExecutor(
             max_workers=processes,
             mp_context=ctx,
-            initializer=initializer,
-            initargs=initargs,
+            initializer=_obs_worker_init,
+            initargs=(
+                obs_metrics.enabled(),
+                obs_trace.current_trace_id(),
+                tracing,
+                initializer,
+                initargs,
+            ),
         ) as pool:
             # Chunked submission: one pipe round-trip per chunk, not per
             # item.  With compact payloads (the shm transport ships
@@ -195,10 +283,33 @@ def _pool_map(
             # keeping the pool load-balanced.  Order is preserved.
             chunksize = max(1, len(items) // (processes * 4))
             results = []
-            for result in pool.map(fn, items, chunksize=chunksize):
-                if consume is not None:
-                    consume(result)
-                results.append(result)
+            # Worker snapshots are cumulative: keep only the
+            # highest-sequence one per worker pid, merge at the end.
+            latest: dict[int, tuple[int, dict]] = {}
+            span_events: list[dict] = []
+            with obs_trace.span(
+                "pool.fork_map",
+                items=n_items if n_items is not None else len(items),
+                processes=processes,
+                path="pool",
+            ):
+                task = _InstrumentedTask(fn)
+                for envelope in pool.map(task, items, chunksize=chunksize):
+                    result, pid, seq, snapshot, events = envelope
+                    prev = latest.get(pid)
+                    if prev is None or seq > prev[0]:
+                        latest[pid] = (seq, snapshot)
+                    span_events.extend(events)
+                    if consume is not None:
+                        consume(result)
+                    results.append(result)
+            reg = obs_metrics.registry()
+            for _, snapshot in latest.values():
+                reg.merge_snapshot(snapshot)
+            recorder = obs_trace._RECORDER
+            if recorder is not None:
+                recorder.extend(span_events)
+            _MAPS.inc(path="pool")
             return results
     except (OSError, PermissionError, BrokenProcessPool):
         # Platforms that cannot spawn (or keep) a pool at all.

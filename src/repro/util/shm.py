@@ -58,10 +58,29 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.obs import registry as _obs_registry
+
 try:  # stdlib since 3.8; guarded so exotic builds degrade, not crash
     from multiprocessing import shared_memory as _shared_memory
 except ImportError:  # pragma: no cover - no POSIX/Windows shm at all
     _shared_memory = None
+
+_EXPORTED_SEGMENTS = _obs_registry().counter(
+    "repro_shm_exported_segments_total",
+    "Shared-memory segments created by operand planes",
+)
+_EXPORTED_BYTES = _obs_registry().counter(
+    "repro_shm_exported_bytes_total",
+    "Payload bytes copied into operand-plane segments",
+)
+_ATTACHED_SEGMENTS = _obs_registry().counter(
+    "repro_shm_attached_segments_total",
+    "Segment attaches performed by receivers (first attach per process)",
+)
+_ATTACHED_BYTES = _obs_registry().counter(
+    "repro_shm_attached_bytes_total",
+    "Payload bytes made visible through zero-copy attach views",
+)
 
 __all__ = [
     "DEFAULT_MIN_BYTES",
@@ -170,9 +189,11 @@ def _attach_ref(ref: OperandRef) -> np.ndarray:
         segment = _shared_memory.SharedMemory(name=ref.segment)
         _untrack(segment)
         _ATTACHED[ref.segment] = segment
+        _ATTACHED_SEGMENTS.inc()
     view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
     view.flags.writeable = False
     _VIEWS[view_key] = view
+    _ATTACHED_BYTES.inc(ref.nbytes)
     return view
 
 
@@ -276,6 +297,8 @@ class OperandPlane:
             segment=segment.name, dtype=dtype.str, shape=tuple(array.shape)
         )
         self._exported[id(array)] = (array, ref)
+        _EXPORTED_SEGMENTS.inc()
+        _EXPORTED_BYTES.inc(array.nbytes)
         return ref
 
     def export(self, obj: Any) -> bytes:

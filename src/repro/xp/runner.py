@@ -48,6 +48,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import collect_spans, span
 from repro.util.pool import fork_map
 from repro.xp.artifacts import ArtifactStore
 from repro.xp.registry import Experiment, get_experiment
@@ -132,6 +133,10 @@ class CellState:
     error: str | None = None
     elapsed_s: float = 0.0
     cached: bool = False
+    #: Per-span breakdown of the cell's measure time
+    #: (``{span_name: {"count": n, "seconds": total}}``); persisted with
+    #: the artifact so report pages can show where grid time goes.
+    spans: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -293,7 +298,11 @@ def _execute_cell(job: _CellJob) -> CellState:
         exp = get_experiment(job.experiment)
         session, transient = _session_for(job.backend, job.isolate)
         try:
-            result = exp.validate_result(params, exp.measure(session, params))
+            with collect_spans() as spans, span(
+                "xp.cell", experiment=job.experiment
+            ):
+                measured = exp.measure(session, params)
+            result = exp.validate_result(params, measured)
         finally:
             if transient:
                 session.close()
@@ -302,6 +311,7 @@ def _execute_cell(job: _CellJob) -> CellState:
             key=job.key,
             result=result,
             elapsed_s=time.perf_counter() - t0,
+            spans=spans.summary() or None,
         )
     except Exception as exc:  # noqa: BLE001 - cell failures are data
         return CellState(
@@ -354,6 +364,7 @@ def run_experiments(
                         result=cached["result"],
                         elapsed_s=float(cached.get("elapsed_s", 0.0)),
                         cached=True,
+                        spans=cached.get("spans"),
                     )
                 )
                 continue
@@ -386,6 +397,7 @@ def run_experiments(
                     "params": cell.params,
                     "result": cell.result,
                     "elapsed_s": round(cell.elapsed_s, 6),
+                    "spans": cell.spans,
                     "digest": store.config_digest(),
                 },
             )

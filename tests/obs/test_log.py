@@ -1,0 +1,61 @@
+"""Logging wiring: namespace helper, explicit and env configuration."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs import configure_logging, get_logger
+from repro.obs import log as obs_log
+
+
+@pytest.fixture(autouse=True)
+def _reset_logging():
+    yield
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+def test_get_logger_prefixes_namespace():
+    assert get_logger("serve").name == "repro.serve"
+    assert get_logger("repro.xp").name == "repro.xp"
+
+
+def test_unconfigured_logger_is_silent(capsys):
+    get_logger("quiet").warning("should go nowhere visible")
+    assert capsys.readouterr().err == ""
+
+
+def test_configure_attaches_one_stream_handler():
+    configure_logging("debug")
+    configure_logging("info")  # reconfigure: level changes, no new handler
+    root = logging.getLogger("repro")
+    streams = [
+        h for h in root.handlers
+        if isinstance(h, logging.StreamHandler)
+        and not isinstance(h, logging.NullHandler)
+    ]
+    assert len(streams) == 1
+    assert root.level == logging.INFO
+
+
+def test_configure_rejects_unknown_level():
+    with pytest.raises(ValueError, match="unknown log level"):
+        configure_logging("chatty")
+
+
+def test_env_var_configures_on_first_use(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG", "warning")
+    monkeypatch.setattr(obs_log, "_configured", False)
+    get_logger("envtest")
+    assert logging.getLogger("repro").level == logging.WARNING
+
+
+def test_messages_flow_once_configured(capsys):
+    configure_logging("info")
+    get_logger("flow").info("hello from the obs plane")
+    assert "hello from the obs plane" in capsys.readouterr().err

@@ -1,0 +1,168 @@
+"""Spans, trace recording, Chrome export, and trace-ID propagation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    collect_spans,
+    current_trace_id,
+    export_chrome_trace,
+    new_trace_id,
+    recording,
+    registry,
+    set_enabled,
+    set_trace_id,
+    span,
+    start_trace,
+    stop_trace,
+)
+from repro.obs.trace import drain_events
+
+
+@pytest.fixture(autouse=True)
+def _clean_trace_state():
+    """Every test starts and ends with no recorder and no trace ID."""
+    stop_trace()
+    set_trace_id(None)
+    yield
+    stop_trace()
+    set_trace_id(None)
+    set_enabled(True)
+
+
+def _span_count(name: str) -> int:
+    return registry().histogram("repro_span_seconds").count(span=name)
+
+
+class TestSpan:
+    def test_span_observes_histogram(self):
+        before = _span_count("test.alpha")
+        with span("test.alpha"):
+            pass
+        assert _span_count("test.alpha") == before + 1
+
+    def test_disabled_plane_records_nothing(self):
+        set_enabled(False)
+        before = _span_count("test.gated")
+        start_trace()
+        with span("test.gated"):
+            pass
+        assert _span_count("test.gated") == before
+        assert stop_trace() == []
+
+    def test_no_recorder_no_events(self):
+        with span("test.quiet"):
+            pass
+        assert drain_events() == []
+        assert not recording()
+
+
+class TestRecorder:
+    def test_start_stop_roundtrip(self):
+        start_trace()
+        assert recording()
+        with span("layer.outer", detail=7):
+            with span("layer.inner"):
+                pass
+        events = stop_trace()
+        assert not recording()
+        names = [e["name"] for e in events]
+        assert names == ["layer.inner", "layer.outer"]  # exit order
+        outer = events[1]
+        assert outer["ph"] == "X"
+        assert outer["cat"] == "layer"
+        assert outer["dur"] >= events[0]["dur"]
+        assert outer["args"]["detail"] == 7
+
+    def test_start_trace_binds_a_trace_id(self):
+        assert current_trace_id() is None
+        start_trace()
+        trace_id = current_trace_id()
+        assert trace_id is not None
+        with span("test.traced"):
+            pass
+        (event,) = stop_trace()
+        assert event["args"]["trace_id"] == trace_id
+
+    def test_existing_trace_id_is_kept(self):
+        set_trace_id("feedface00000000")
+        start_trace()
+        assert current_trace_id() == "feedface00000000"
+
+    def test_exception_recorded_on_event(self):
+        start_trace()
+        with pytest.raises(RuntimeError):
+            with span("test.boom"):
+                raise RuntimeError("nope")
+        (event,) = stop_trace()
+        assert event["args"]["error"] == "RuntimeError"
+
+    def test_drain_keeps_recorder_installed(self):
+        start_trace()
+        with span("test.first"):
+            pass
+        assert len(drain_events()) == 1
+        assert recording()
+        with span("test.second"):
+            pass
+        assert [e["name"] for e in stop_trace()] == ["test.second"]
+
+
+class TestTraceIds:
+    def test_new_trace_id_shape(self):
+        tid = new_trace_id()
+        assert len(tid) == 16
+        int(tid, 16)  # hex
+        assert tid != new_trace_id()
+
+    def test_set_and_clear(self):
+        set_trace_id("abc")
+        assert current_trace_id() == "abc"
+        set_trace_id(None)
+        assert current_trace_id() is None
+
+
+class TestChromeExport:
+    def test_export_is_loadable_chrome_trace(self, tmp_path):
+        start_trace()
+        with span("api.thing", nnz=12):
+            pass
+        out = tmp_path / "trace.json"
+        export_chrome_trace(stop_trace(), str(out))
+        doc = json.loads(out.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        (event,) = doc["traceEvents"]
+        assert event["name"] == "api.thing"
+        assert {"ph", "ts", "dur", "pid", "tid", "cat"} <= set(event)
+
+
+class TestCollectSpans:
+    def test_summary_aggregates_by_name(self):
+        with collect_spans() as spans:
+            for _ in range(3):
+                with span("test.repeat"):
+                    pass
+        summary = spans.summary()
+        assert summary["test.repeat"]["count"] == 3
+        assert summary["test.repeat"]["seconds"] >= 0.0
+
+    def test_collectors_nest_independently(self):
+        with collect_spans() as outer:
+            with span("test.outer_only"):
+                pass
+            with collect_spans() as inner:
+                with span("test.both"):
+                    pass
+        assert set(outer.summary()) == {"test.outer_only", "test.both"}
+        assert set(inner.summary()) == {"test.both"}
+
+    def test_collector_works_without_recorder(self):
+        assert not recording()
+        with collect_spans() as spans:
+            assert recording()
+            with span("test.collected"):
+                pass
+        assert spans.summary()["test.collected"]["count"] == 1

@@ -29,6 +29,9 @@ class TestParser:
             ["suite", "journals"],
             ["paths"],
             ["paths", "--tensor", "--src", "COO", "--dst", "CSF"],
+            ["stats", "tcp://127.0.0.1:7342"],
+            ["--log-level", "info", "run", "--trace", "out.json"],
+            ["xp", "run", "--all", "--smoke", "--trace"],
         ],
     )
     def test_commands_parse(self, argv):
@@ -92,6 +95,22 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "SAGE" in out and "MINT" in out and "simulator" in out
         assert "output verified" in out
+
+    def test_run_trace_exports_multi_layer_chrome_trace(self, tmp_path,
+                                                        capsys):
+        out = tmp_path / "trace.json"
+        assert main(["run", "--m", "64", "--k", "64", "--n", "32",
+                     "--trace", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        cats = {event["cat"] for event in events}
+        # The acceptance bar: spans from at least the api, sage, mint
+        # and accelerator layers on one timeline.
+        assert {"api", "sage", "mint", "accel"} <= cats
+        assert all(event["ph"] == "X" for event in events)
+        trace_ids = {event["args"]["trace_id"] for event in events
+                     if "args" in event and "trace_id" in event["args"]}
+        assert len(trace_ids) == 1
 
     def test_run_unknown_backend_exits_with_config_error(self):
         from repro.errors import ConfigError
