@@ -21,10 +21,11 @@ from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
 
-#: file -> {json key: minimum value}.  Measured values at the time the
-#: floors were set: path_planning warm-route speedup ~1.5x and estimate-
-#: layer memoization ~220x; serve warm-vs-naive ~130x; simulate_many
-#: vectorized-vs-reference ~130x.
+#: file -> {json key: bound}.  A bare number is a minimum (floor); a
+#: ``{"max": v}`` dict is a ceiling (e.g. a latency bound).  Measured
+#: values at the time the floors were set: path_planning warm-route
+#: speedup ~1.5x and estimate-layer memoization ~220x; serve
+#: warm-vs-naive ~130x; simulate_many vectorized-vs-reference ~130x.
 FLOORS: dict[str, dict[str, float]] = {
     "path_planning.json": {
         "speedup": 1.1,
@@ -35,6 +36,16 @@ FLOORS: dict[str, dict[str, float]] = {
         # The banded tier must actually fire on the near-traffic pass
         # (it silently recorded 0 before dims were banded in band_key).
         "cache.near_hits": 1,
+    },
+    # Fleet loadgen (bench_serve_fleet.py): router + 2 replicas on the
+    # binary wire vs the single-process JSON-lines server, Zipf replay.
+    # Measured ~3x speedup and ~2 ms warm p99 on a single core; the p99
+    # bound is a ceiling ("max"), per the serve-fleet acceptance bar.
+    "serve_fleet.json": {
+        "speedup_fleet_vs_single": 2.0,
+        "warm_p99_ms": {"max": 50.0},
+        # The edge + replica caches must actually carry the hot set.
+        "fleet_relay.edge_hits": 1,
     },
     "simulate_many.json": {
         "speedup_vectorized_vs_reference": 5.0,
@@ -79,16 +90,30 @@ def check(out_dir: Path = OUT_DIR) -> list[str]:
             failures.append(f"{filename}: missing (did its bench run?)")
             continue
         data = json.loads(path.read_text())
-        for key, floor in sorted(floors.items()):
+        for key, bound in sorted(floors.items()):
             value = _lookup(data, key)
+            if isinstance(bound, dict):
+                ceiling, kind, ok = bound["max"], "ceiling", (
+                    isinstance(value, (int, float)) and value <= bound["max"]
+                )
+                limit = ceiling
+            else:
+                kind, ok = "floor", (
+                    isinstance(value, (int, float)) and value >= bound
+                )
+                limit = bound
             if not isinstance(value, (int, float)):
                 failures.append(f"{filename}: {key} absent or non-numeric")
-            elif value < floor:
+            elif not ok:
                 failures.append(
-                    f"{filename}: {key} = {value:.2f} below floor {floor:g}"
+                    f"{filename}: {key} = {value:.2f} "
+                    f"{'below floor' if kind == 'floor' else 'above ceiling'}"
+                    f" {limit:g}"
                 )
             else:
-                print(f"ok: {filename} {key} = {value:.2f} (floor {floor:g})")
+                print(
+                    f"ok: {filename} {key} = {value:.2f} ({kind} {limit:g})"
+                )
     return failures
 
 

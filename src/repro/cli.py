@@ -166,29 +166,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import SageServer, ServeConfig
+    from repro.serve import RouterConfig, SageRouter, SageServer, ServeConfig
 
-    server = SageServer(
-        serve=ServeConfig(
-            host=args.host,
-            port=args.port,
-            shards=args.shards,
-            batch_window_ms=args.batch_window_ms,
-            cache_size=args.cache_size,
-            near_hit=not args.exact,
-            ranking_top=args.top,
-            fidelity=args.fidelity,
-        )
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        batch_window_ms=args.batch_window_ms,
+        cache_size=args.cache_size,
+        near_hit=not args.exact,
+        ranking_top=args.top,
+        fidelity=args.fidelity,
+        warm_bands=args.warm_bands,
     )
-    host, port = server.start()
     mode = "exact-only" if args.exact else "near-hit"
-    print(
-        f"repro serve listening on {host}:{port} "
-        f"({args.shards} shard(s), {mode} cache, "
-        f"{args.fidelity} fidelity; Ctrl-C or a "
-        f'{{"op": "shutdown"}} line stops it)',
-        flush=True,  # supervisors watching a pipe need the banner now
+    warm = (
+        f"warming {args.warm_bands} band(s)" if args.warm_bands else
+        "no warming"
     )
+    if args.replicas > 1:
+        server = SageRouter(
+            router=RouterConfig(
+                host=args.host, port=args.port, replicas=args.replicas,
+                serve=serve_config,
+            )
+        )
+        host, port = server.start()
+        print(
+            f"repro serve fleet listening on {host}:{port} "
+            f"({args.replicas} replica(s) x {args.shards} shard(s), "
+            f"{mode} cache, {args.fidelity} fidelity, {warm}; Ctrl-C or "
+            f'an {{"op": "shutdown"}} request stops the fleet)',
+            flush=True,  # supervisors watching a pipe need the banner now
+        )
+    else:
+        server = SageServer(serve=serve_config)
+        host, port = server.start()
+        print(
+            f"repro serve listening on {host}:{port} "
+            f"({args.shards} shard(s), {mode} cache, "
+            f"{args.fidelity} fidelity, {warm}; Ctrl-C or a "
+            f'{{"op": "shutdown"}} request stops it)',
+            flush=True,
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
@@ -405,12 +425,66 @@ def _cmd_xp(args: argparse.Namespace) -> int:
     return 0 if summary.ok else 1
 
 
+def _render_fleet_stats(stats: dict) -> str:
+    """Human form of a router's aggregated ``stats`` payload."""
+    ring = stats.get("fleet", {}).get("ring", {})
+    relay = stats.get("fleet", {}).get("relay", {})
+    req = stats.get("requests", {})
+    cache = stats.get("cache", {})
+    nodes = ring.get("nodes", [])
+    down = set(ring.get("down", []))
+    lines = [
+        f"fleet uptime {stats.get('uptime_s', 0.0):.1f}s, "
+        f"{len(nodes)} replica(s) on the ring"
+        + (f", {len(down)} DOWN" if down else ""),
+        "relay: "
+        + ", ".join(f"{k}={relay.get(k, 0)}"
+                    for k in ("frames", "edge_hits", "parsed", "local",
+                              "forwarded", "failed")),
+        "requests (fleet total): "
+        + ", ".join(f"{k}={req.get(k, 0)}"
+                    for k in ("submitted", "served", "errors", "bypassed",
+                              "fast_path")),
+        f"cache (fleet total): {cache.get('hits', 0)} hits, "
+        f"{cache.get('near_hits', 0)} near, {cache.get('misses', 0)} miss "
+        f"({100.0 * cache.get('hit_rate', 0.0):.1f}% hit rate)",
+    ]
+    for outcome, pct in stats.get("latency_by_outcome_ms", {}).items():
+        if pct.get("count"):
+            p99 = pct.get("p99")
+            lines.append(
+                f"latency[{outcome}]: worst-replica "
+                f"p99={p99:.2f}ms over {pct['count']} request(s)"
+                if p99 is not None
+                else f"latency[{outcome}]: {pct['count']} request(s)"
+            )
+    for entry in stats.get("fleet", {}).get("replicas", []):
+        node = entry.get("node")
+        state = "DOWN" if entry.get("down") else "up"
+        detail = ""
+        rstats = entry.get("stats")
+        if rstats:
+            rreq = rstats.get("requests", {})
+            detail = (
+                f", served {rreq.get('served', 0)}"
+                f"/{rreq.get('submitted', 0)} request(s)"
+            )
+        elif entry.get("error"):
+            detail = f", stats unavailable ({entry['error']})"
+        lines.append(f"replica {node} [{entry.get('address')}]: "
+                     f"{state}{detail}")
+    return "\n".join(lines)
+
+
 def _render_stats(stats: dict) -> str:
     """Human form of the ``stats`` RPC payload, metrics section included."""
     from repro.obs.metrics import snapshot_quantile
 
+    if "fleet" in stats:
+        return _render_fleet_stats(stats)
     req = stats.get("requests", {})
     cache = stats.get("cache", {})
+    reply_cache = stats.get("reply_cache", {})
     batches = stats.get("batches", {})
     latency = stats.get("latency_ms", {})
     lines = [
@@ -419,16 +493,28 @@ def _render_stats(stats: dict) -> str:
         + (", DEGRADED (no live shards)" if stats.get("degraded") else ""),
         "requests: "
         + ", ".join(f"{k}={req.get(k, 0)}"
-                    for k in ("submitted", "served", "errors", "bypassed")),
+                    for k in ("submitted", "served", "errors", "bypassed",
+                              "fast_path")),
         f"cache: {cache.get('hits', 0)} hits, "
         f"{cache.get('near_hits', 0)} near, {cache.get('misses', 0)} miss "
         f"({100.0 * cache.get('hit_rate', 0.0):.1f}% hit rate, "
         f"{cache.get('currsize', 0)}/{cache.get('maxsize', 0)} entries, "
         f"{cache.get('evictions', 0)} evicted)",
+        f"reply cache: {reply_cache.get('hits', 0)} hits, "
+        f"{reply_cache.get('currsize', 0)}/{reply_cache.get('maxsize', 0)} "
+        f"frame(s)",
         f"batches: {batches.get('count', 0)} dispatched, "
         f"max size {batches.get('max_size', 0)}, "
         f"{batches.get('coalesced', 0)} coalesced",
     ]
+    warming = stats.get("warming")
+    if warming:
+        lines.append(
+            "warming: "
+            + ", ".join(f"{k}={warming.get(k, 0)}"
+                        for k in ("queued", "warmed", "skipped", "dropped",
+                                  "failed", "depth"))
+        )
     if latency.get("count"):
         lines.append(
             "latency: "
@@ -439,6 +525,17 @@ def _render_stats(stats: dict) -> str:
             )
             + f" over {latency['count']} request(s)"
         )
+    for outcome, pct in stats.get("latency_by_outcome_ms", {}).items():
+        if pct.get("count"):
+            lines.append(
+                f"latency[{outcome}]: "
+                + ", ".join(
+                    f"{k}={pct[k]:.2f}ms"
+                    for k in ("p50", "p90", "p99")
+                    if pct.get(k) is not None
+                )
+                + f" over {pct['count']} request(s)"
+            )
     for shard in stats.get("shards", []):
         state = "alive" if shard.get("alive") else "DEAD"
         lines.append(
@@ -649,6 +746,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fidelity", choices=["analytical", "cycle"],
                    default="analytical",
                    help="prediction tier the server answers with")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="server replicas; >1 boots a consistent-hash "
+                   "router fleet behind the bind address")
+    p.add_argument("--warm-bands", type=int, default=1,
+                   help="speculative warming depth on cache misses "
+                   "(adjacent density bands per direction; 0 disables)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("sweep", help="Fig. 4-style compactness sweep")

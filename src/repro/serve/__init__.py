@@ -1,18 +1,30 @@
-"""``repro.serve`` — SAGE as a batched, cached, sharded prediction service.
+"""``repro.serve`` — SAGE as a batched, cached, sharded prediction fleet.
 
 The serving subsystem (stdlib only) layered over the in-process predictor:
 
 * :mod:`repro.serve.fingerprint` — canonical workload identity (kernel,
   dims, nnz, dtype, accelerator-config digest) with exact and
-  density-band keys plus stable shard assignment;
+  density-band keys, stable shard assignment, and the config-free
+  :func:`~repro.serve.fingerprint.routing_key` fleet routers shard on;
 * :mod:`repro.serve.cache` — thread-safe LRU
   :class:`~repro.serve.cache.DecisionCache` with hit/miss/eviction
   counters and an optional near-hit tier;
-* :mod:`repro.serve.server` — the JSON-lines TCP
-  :class:`~repro.serve.server.SageServer`: request coalescing, a shard
-  pool of warm-seeded worker processes, and a ``stats`` RPC;
+* :mod:`repro.serve.wire` — the length-prefixed binary frame (and its
+  packed body codec) with one-byte auto-detection against the legacy
+  JSON-lines protocol;
+* :mod:`repro.serve.server` — the async-front-end TCP
+  :class:`~repro.serve.server.SageServer`: request coalescing, an
+  encoded-reply fast path, a shard pool of warm-seeded worker
+  processes, outcome-split latency, and a ``stats`` RPC;
+* :mod:`repro.serve.warmer` — speculative
+  :class:`~repro.serve.warmer.BandWarmer` pre-computing adjacent
+  density bands on misses;
+* :mod:`repro.serve.router` — the consistent-hash
+  :class:`~repro.serve.router.SageRouter` fronting N replicas behind
+  one address with health checks and miss-forwarding;
 * :mod:`repro.serve.client` — the blocking
-  :class:`~repro.serve.client.ServeClient`.
+  :class:`~repro.serve.client.ServeClient` (binary wire, transparent
+  retry) and :class:`~repro.serve.client.ServeClientPool`.
 
 Quickstart::
 
@@ -22,32 +34,55 @@ Quickstart::
         with ServeClient(*server.address) as client:
             decision = client.predict(workload)
 
-or from a shell: ``python -m repro serve --port 7342``.  Most callers
-should go through the :class:`~repro.api.session.Session` facade
-(``Session("tcp://host:port")``), which fronts this client and the
-in-process predictor with one backend-transparent surface.  The request
-schema is versioned and shared with :mod:`repro.api.options`; legacy
-(version-1) workload dicts remain accepted.
+or a fleet::
+
+    from repro.serve import RouterConfig, SageRouter
+
+    with SageRouter(router=RouterConfig(replicas=2)) as fleet:
+        with ServeClient(*fleet.address) as client:
+            decision = client.predict(workload)
+
+or from a shell: ``python -m repro serve --port 7342 --replicas 2``.
+Most callers should go through the
+:class:`~repro.api.session.Session` facade (``Session("tcp://host:port")``),
+which fronts this client and the in-process predictor with one
+backend-transparent surface.  The request schema is versioned and shared
+with :mod:`repro.api.options`; legacy (version-1) workload dicts remain
+accepted, and legacy JSON-lines clients interoperate with fleets
+unchanged.
 """
 
 from repro.serve.cache import CacheStats, DecisionCache
-from repro.serve.client import ServeClient
+from repro.serve.client import ServeClient, ServeClientPool
 from repro.serve.fingerprint import (
     WorkloadFingerprint,
     config_digest,
     density_band,
     fingerprint_of,
+    routing_key,
 )
-from repro.serve.server import SageServer, ServeConfig
+from repro.serve.router import HashRing, RouterConfig, SageRouter
+from repro.serve.server import OUTCOMES, SageServer, ServeConfig
+from repro.serve.warmer import BandWarmer, warm_candidates
+from repro.serve.wire import WireError
 
 __all__ = [
+    "BandWarmer",
     "CacheStats",
     "DecisionCache",
+    "HashRing",
+    "OUTCOMES",
+    "RouterConfig",
+    "SageRouter",
     "SageServer",
     "ServeClient",
+    "ServeClientPool",
     "ServeConfig",
+    "WireError",
     "WorkloadFingerprint",
     "config_digest",
     "density_band",
     "fingerprint_of",
+    "routing_key",
+    "warm_candidates",
 ]

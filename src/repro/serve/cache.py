@@ -112,6 +112,17 @@ class DecisionCache:
         representative is served (and counted separately) when no exact
         entry exists.
         """
+        return self.lookup(fp)[0]
+
+    def lookup(
+        self, fp: WorkloadFingerprint
+    ) -> "tuple[SageDecision | None, str]":
+        """Like :meth:`get`, but also names the outcome tier.
+
+        Returns ``(decision, "hit")`` / ``(decision, "near_hit")`` /
+        ``(None, "miss")`` so callers can attribute latency per cache
+        outcome instead of inferring the tier from counter deltas.
+        """
         exact = fp.exact_key()
         with self._lock:
             entry = self._exact.get(exact)
@@ -119,17 +130,27 @@ class DecisionCache:
                 self._exact.move_to_end(exact)
                 self._hits += 1
                 _CACHE_EVENTS.inc(scope=self.scope, event="hit")
-                return entry[0]
+                return entry[0], "hit"
             if self.near_hit:
                 rep = self._bands.get(fp.band_key())
                 if rep is not None and rep in self._exact:
                     self._exact.move_to_end(rep)
                     self._near_hits += 1
                     _CACHE_EVENTS.inc(scope=self.scope, event="near_hit")
-                    return self._exact[rep][0]
+                    return self._exact[rep][0], "near_hit"
             self._misses += 1
             _CACHE_EVENTS.inc(scope=self.scope, event="miss")
-            return None
+            return None, "miss"
+
+    def has_band(self, band_key: tuple) -> bool:
+        """Whether *any* live entry covers this band key (no counters).
+
+        The speculative warmer probes this before spending a search on a
+        band the cache already answers.
+        """
+        with self._lock:
+            rep = self._bands.get(band_key)
+            return rep is not None and rep in self._exact
 
     def put(self, fp: WorkloadFingerprint, decision: "SageDecision") -> None:
         """Insert (or refresh) the decision for *fp*."""

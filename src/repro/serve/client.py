@@ -1,8 +1,29 @@
-"""Blocking JSON-lines client for :class:`~repro.serve.server.SageServer`.
+"""Blocking client for :class:`~repro.serve.server.SageServer`.
 
 One :class:`ServeClient` holds one TCP connection and issues one request
-at a time (the server multiplexes many clients; open more clients for
-client-side concurrency).  Workload objects are serialized with
+at a time (the server multiplexes many clients; use a
+:class:`ServeClientPool` for client-side concurrency).  Two wire modes:
+
+* ``wire="binary"`` (default) — length-prefixed frames
+  (:mod:`repro.serve.wire`); ``predict`` requests travel packed and
+  stamped with their config-free routing key, so a fleet router can
+  shard them without parsing, and byte-identical repeats ride the
+  server's encoded-reply fast path.
+* ``wire="json"`` — the legacy JSON-lines protocol, byte-for-byte what
+  PR-2-era clients speak.  Kept for interop and for pinning the
+  compatibility contract in tests.
+
+Transient transport failures are retried transparently: every op this
+client issues is idempotent (predictions are pure functions of the
+workload; ``stats``/``ping`` are reads), so a dropped connection is
+reconnected and the request resent, up to ``retries`` times.  Only
+``shutdown`` is never retried — the first attempt may well have
+succeeded, and re-sending it to a fresh server would stop the wrong
+instance.  A client whose retries are exhausted (or constructed with
+``retries=0``) poisons itself exactly like the legacy client did, since
+a late reply could still be sitting in the dead socket's buffer.
+
+Workload objects are serialized with
 :meth:`~repro.workloads.spec.MatrixWorkload.to_dict`; decisions come back
 as :class:`~repro.sage.predictor.SageDecision` rebuilt from their wire
 form, so downstream code cannot tell a served decision from a local one.
@@ -11,18 +32,26 @@ form, so downstream code cannot tell a served decision from a local one.
 from __future__ import annotations
 
 import json
+import queue
 import socket
+import threading
 from typing import Mapping, Sequence
 
 from repro.api.options import PredictOptions, WIRE_SCHEMA_VERSION
 from repro.errors import ServeError
-from repro.obs import current_trace_id, span
+from repro.obs import current_trace_id, get_logger, span
 from repro.sage.predictor import SageDecision
+from repro.serve import wire
+from repro.serve.fingerprint import routing_key
 from repro.workloads.spec import MatrixWorkload, TensorWorkload
 
-__all__ = ["ServeClient"]
+__all__ = ["ServeClient", "ServeClientPool"]
+
+_LOG = get_logger("serve.client")
 
 _Workload = MatrixWorkload | TensorWorkload
+
+WIRE_MODES = ("binary", "json")
 
 
 def _wire_workload(workload: _Workload | Mapping) -> dict:
@@ -42,32 +71,91 @@ class ServeClient:
     """Connect to a running server and predict over the wire."""
 
     def __init__(
-        self, host: str, port: int, *, timeout: float = 150.0
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 150.0,
+        wire_mode: str = "binary",
+        retries: int = 1,
     ) -> None:
-        # The default deliberately outlasts the server's request_timeout_s
-        # (120 s): a slow request should die server-side with a clean
-        # in-band error, not poison this connection.
-        try:
-            self._sock = socket.create_connection((host, port), timeout)
-        except OSError as exc:
-            raise ServeError(f"cannot connect to {host}:{port}: {exc}") from exc
-        self._file = self._sock.makefile("rwb")
+        # The default timeout deliberately outlasts the server's
+        # request_timeout_s (120 s): a slow request should die server-side
+        # with a clean in-band error, not poison this connection.
+        if wire_mode not in WIRE_MODES:
+            raise ValueError(
+                f"unknown wire_mode {wire_mode!r} "
+                f"(choose from {', '.join(WIRE_MODES)})"
+            )
+        self._host = host
+        self._port = port
         self._timeout = timeout
+        self.wire_mode = wire_mode
+        self.retries = max(0, retries)
         self._broken = False
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (self._host, self._port), self._timeout
+            )
+        except OSError as exc:
+            self._sock = None
+            raise ServeError(
+                f"cannot connect to {self._host}:{self._port}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
 
     # ------------------------------------------------------------ transport
-    def _rpc(self, payload: dict, *, scale: int = 1) -> dict:
-        """One request line out, one response line in.
+    def _send_recv(
+        self, payload: dict, *, scale: int, key: int | None, packed: bool
+    ) -> dict:
+        """One attempt: request out, response in, on the configured wire."""
+        assert self._sock is not None and self._file is not None
+        self._sock.settimeout(self._timeout * max(1, scale))
+        if self.wire_mode == "binary":
+            self._file.write(
+                wire.encode_frame(payload, packed=packed, routing_key=key)
+            )
+            self._file.flush()
+            return wire.read_frame(self._file)
+        self._file.write((json.dumps(payload) + "\n").encode())
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"malformed reply: {exc}") from exc
+
+    def _rpc(
+        self,
+        payload: dict,
+        *,
+        scale: int = 1,
+        key: int | None = None,
+        packed: bool = False,
+        retryable: bool = True,
+    ) -> dict:
+        """One request out, one response in, with transparent retry.
 
         ``scale`` multiplies the socket deadline for requests whose
         server-side processing time grows with payload size
         (``predict_many`` waits per workload).
 
-        Any transport-level failure (timeout, dropped connection,
-        undecodable reply) poisons the connection: a late reply could
-        still be sitting in the socket buffer, and reading it on the
-        next call would pair it with the wrong request.  In-band
-        ``{"ok": false}`` errors keep the connection usable.
+        Transport-level failures (timeout, dropped connection, truncated
+        or undecodable reply) on a *retryable* op trigger reconnect-and-
+        resend, up to ``self.retries`` times — every op here except
+        ``shutdown`` is idempotent, so a resend can at worst recompute a
+        pure function.  When retries are exhausted (or disabled) the
+        connection is poisoned: a late reply could still be sitting in
+        the old socket's buffer, and reading it later would pair it with
+        the wrong request.  In-band ``{"ok": false}`` errors keep the
+        connection usable and are never retried.
         """
         if self._broken:
             raise ServeError("connection poisoned by an earlier transport "
@@ -78,26 +166,38 @@ class ServeClient:
             # trace ID rides every request without a version bump; the
             # server adopts it for its handler-side spans.
             payload["trace"] = trace_id
-        self._sock.settimeout(self._timeout * max(1, scale))
-        try:
-            with span("serve.rpc", op=str(payload.get("op"))):
-                self._file.write((json.dumps(payload) + "\n").encode())
-                self._file.flush()
-                line = self._file.readline()
-        except (OSError, ValueError) as exc:  # ValueError: closed file
-            self._poison()
-            raise ServeError(f"transport failed: {exc}") from exc
-        if not line:
-            self._poison()
-            raise ServeError("server closed the connection")
-        try:
-            response = json.loads(line)
-        except json.JSONDecodeError as exc:
-            self._poison()
-            raise ServeError(f"malformed reply: {exc}") from exc
-        if not response.get("ok"):
-            raise ServeError(response.get("error", "unknown server error"))
-        return response
+        attempts = 1 + (self.retries if retryable else 0)
+        last_exc: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                # Reconnect before the resend; a failure here burns this
+                # attempt (the server may still be restarting).
+                try:
+                    self.close()
+                except (OSError, ValueError):
+                    pass
+                try:
+                    self._connect()
+                except ServeError as exc:
+                    last_exc = exc
+                    continue
+                _LOG.info(
+                    "retrying %s after transport failure (attempt %d/%d)",
+                    payload.get("op"), attempt + 1, attempts,
+                )
+            try:
+                with span("serve.rpc", op=str(payload.get("op"))):
+                    response = self._send_recv(
+                        payload, scale=scale, key=key, packed=packed
+                    )
+            except (OSError, ValueError, wire.WireError, ServeError) as exc:
+                last_exc = exc
+                continue
+            if not response.get("ok"):
+                raise ServeError(response.get("error", "unknown server error"))
+            return response
+        self._poison()
+        raise ServeError(f"transport failed: {last_exc}") from last_exc
 
     def _poison(self) -> None:
         self._broken = True
@@ -105,6 +205,11 @@ class ServeClient:
             self.close()
         except (OSError, ValueError):  # already torn down
             pass
+
+    @property
+    def broken(self) -> bool:
+        """Whether this client has been poisoned (pool eviction probe)."""
+        return self._broken
 
     # ------------------------------------------------------------------ api
     def ping(self) -> bool:
@@ -125,12 +230,24 @@ class ServeClient:
         ``options`` attaches a typed option set (search restrictions,
         fidelity tier) in the versioned wire schema; requests without
         options stay in the legacy (version-1) shape old servers accept.
+
+        On the binary wire the request travels packed and carries its
+        routing key in the frame header (fleet routers shard on it).
         """
-        payload: dict = {"op": "predict", "workload": _wire_workload(workload)}
+        wl_dict = _wire_workload(workload)
+        payload: dict = {"op": "predict", "workload": wl_dict}
         if top is not None:
             payload["top"] = top
         _attach_options(payload, options)
-        return SageDecision.from_wire(self._rpc(payload)["decision"])
+        key = packed = None
+        if self.wire_mode == "binary":
+            packed = True
+            try:
+                key = routing_key(wl_dict)
+            except Exception:  # noqa: BLE001 - malformed workloads stay the
+                key = None  # server's to reject (in-band), not the client's
+        reply = self._rpc(payload, key=key, packed=bool(packed))
+        return SageDecision.from_wire(reply["decision"])
 
     def predict_many(
         self,
@@ -141,7 +258,8 @@ class ServeClient:
     ) -> list[SageDecision]:
         """Decisions for a suite, in input order, via one round trip.
 
-        ``options`` applies to every workload in the batch.
+        ``options`` applies to every workload in the batch.  Batches ship
+        unrouted (they fan out across fingerprints anyway) and unpacked.
         """
         payload: dict = {
             "op": "predict_many",
@@ -151,24 +269,139 @@ class ServeClient:
             payload["top"] = top
         _attach_options(payload, options)
         reply = self._rpc(payload, scale=max(1, len(payload["workloads"])))
-        return [SageDecision.from_wire(wire) for wire in reply["decisions"]]
+        return [SageDecision.from_wire(w) for w in reply["decisions"]]
 
     def stats(self) -> dict:
         """The server's cache/batching/shard/latency counters."""
         return self._rpc({"op": "stats"})["stats"]
 
     def shutdown_server(self) -> None:
-        """Ask the server to stop accepting and wind down gracefully."""
-        self._rpc({"op": "shutdown"})
+        """Ask the server to stop accepting and wind down gracefully.
+
+        Never retried: the first attempt may have landed, and re-sending
+        after a reconnect could stop a freshly-restarted server.
+        """
+        self._rpc({"op": "shutdown"}, retryable=False)
 
     def close(self) -> None:
         """Close this connection (the server keeps running)."""
         try:
-            self._file.close()
+            if self._file is not None:
+                self._file.close()
         finally:
-            self._sock.close()
+            if self._sock is not None:
+                self._sock.close()
 
     def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ServeClientPool:
+    """A small thread-safe pool of :class:`ServeClient` connections.
+
+    Callers that fan requests across threads (benchmarks, the experiment
+    orchestrator) check a connection out per call instead of serializing
+    on one socket.  Connections are created lazily up to ``size``,
+    poisoned ones are discarded and replaced on the next checkout, and
+    the pool's ``predict``/``predict_many``/``stats`` methods mirror the
+    client API.
+    """
+
+    def __init__(
+        self, host: str, port: int, *, size: int = 4, **client_kwargs
+    ) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self._host = host
+        self._port = port
+        self.size = size
+        self._client_kwargs = client_kwargs
+        self._idle: queue.LifoQueue = queue.LifoQueue()
+        self._lock = threading.Lock()
+        self._created = 0
+        self._closed = False
+
+    def _checkout(self) -> ServeClient:
+        while True:
+            try:
+                client = self._idle.get_nowait()
+            except queue.Empty:
+                break
+            if not client.broken:
+                return client
+            with self._lock:
+                self._created -= 1  # replaced below or by a later checkout
+        with self._lock:
+            if self._closed:
+                raise ServeError("pool is closed")
+            if self._created < self.size:
+                self._created += 1
+                make = True
+            else:
+                make = False
+        if make:
+            try:
+                return ServeClient(
+                    self._host, self._port, **self._client_kwargs
+                )
+            except Exception:
+                with self._lock:
+                    self._created -= 1
+                raise
+        # At capacity: wait for a checkin (LIFO keeps hot sockets hot).
+        client = self._idle.get()
+        if client.broken:
+            with self._lock:
+                self._created -= 1
+            return self._checkout()
+        return client
+
+    def _checkin(self, client: ServeClient) -> None:
+        if self._closed or client.broken:
+            if client.broken:
+                with self._lock:
+                    self._created -= 1
+            else:
+                client.close()
+            return
+        self._idle.put(client)
+
+    def _call(self, method: str, *args, **kwargs):
+        client = self._checkout()
+        try:
+            return getattr(client, method)(*args, **kwargs)
+        finally:
+            self._checkin(client)
+
+    def ping(self) -> bool:
+        return self._call("ping")
+
+    def predict(self, workload, **kwargs) -> SageDecision:
+        return self._call("predict", workload, **kwargs)
+
+    def predict_many(self, workloads, **kwargs) -> list[SageDecision]:
+        return self._call("predict_many", workloads, **kwargs)
+
+    def stats(self) -> dict:
+        return self._call("stats")
+
+    def close(self) -> None:
+        """Close every idle connection and refuse new checkouts."""
+        self._closed = True
+        while True:
+            try:
+                client = self._idle.get_nowait()
+            except queue.Empty:
+                return
+            try:
+                client.close()
+            except (OSError, ValueError):
+                pass
+
+    def __enter__(self) -> "ServeClientPool":
         return self
 
     def __exit__(self, *exc_info) -> None:

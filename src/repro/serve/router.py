@@ -1,0 +1,686 @@
+"""Consistent-hash replica router: N SageServers behind one address.
+
+One accelerator's serving capacity tops out at one process; the fleet
+answer is N :class:`~repro.serve.server.SageServer` replicas behind a
+single :class:`SageRouter` address.  The router shards traffic on the
+workload's **routing key** (:func:`~repro.serve.fingerprint.routing_key`
+— config-free, density-banded, client-computable), so every workload
+band has exactly one home replica and that replica's decision cache,
+shard-local planners, and speculative warmer stay hot for its key range.
+
+The relay is deliberately dumb and fast: binary clients stamp the
+routing key in the frame header (``FLAG_ROUTED``), so the router reads
+16 bytes, picks a replica off the hash ring, and relays the frame
+*verbatim* — no JSON parse, no payload decode, no re-encoding in either
+direction.  Legacy JSON-lines clients still work: their requests are
+parsed at the router (the one place the fleet pays the JSON tax) and
+relayed as lines.
+
+Consistent hashing (virtual nodes on a BLAKE2 ring) keeps rebalancing
+local: when a replica is marked down by the health checker, only its
+arc of the ring moves to the survivors, and requests mid-flight fail
+over to the next node in ring order (**miss-forwarding**) rather than
+erroring back to the client.
+
+Router-level ops: ``ping`` answers locally; ``stats`` aggregates every
+replica's stats under one payload (plus a ``fleet`` section describing
+the ring); ``shutdown`` cascades to owned replicas and then stops the
+router itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import dataclasses
+import hashlib
+import json
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.obs import get_logger, registry
+from repro.serve import wire
+from repro.serve.client import ServeClient
+from repro.serve.fingerprint import routing_key
+from repro.serve.server import (
+    SageServer,
+    ServeConfig,
+    _AsyncFrontEnd,
+    _ReplyCache,
+)
+
+__all__ = ["HashRing", "RouterConfig", "SageRouter"]
+
+_LOG = get_logger("serve.router")
+
+_RELAYS = registry().counter(
+    "repro_serve_router_relays_total",
+    "Router relay events (frame/line/local/edge_hit/forwarded/failed)",
+)
+
+#: Replica replies are framed JSON with compact separators, so a final
+#: cache outcome appears as one of these exact byte strings.  Only final
+#: outcomes may be memoized at the edge; a near-hit answer can still be
+#: refined once the band's exact decision lands.
+_FINAL_OUTCOMES = (b'"outcome":"hit"', b'"outcome":"miss"')
+
+
+def _is_final_reply(reply: bytes) -> bool:
+    return any(marker in reply for marker in _FINAL_OUTCOMES)
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Each node is planted at ``vnodes`` pseudo-random points (BLAKE2 of
+    ``"{node}#{i}"``), and a key maps to the first node clockwise from
+    its own hash.  Adding or removing one node moves only ~``1/N`` of
+    the key space — the property that makes replica loss a local event.
+    """
+
+    def __init__(self, nodes=(), *, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: list[int] = []  # sorted vnode hashes
+        self._owners: dict[int, str] = {}  # vnode hash -> node
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _hash(label: str) -> int:
+        digest = hashlib.blake2s(label.encode(), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    @property
+    def nodes(self) -> set[str]:
+        return set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            point = self._hash(f"{node}#{i}")
+            if point in self._owners:  # vanishing-probability collision
+                continue
+            self._owners[point] = node
+            bisect.insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        dead = [p for p, owner in self._owners.items() if owner == node]
+        for point in dead:
+            del self._owners[point]
+        dead_set = set(dead)
+        self._points = [p for p in self._points if p not in dead_set]
+
+    def node_for(self, key: int) -> str | None:
+        """The node owning *key*, or ``None`` on an empty ring."""
+        if not self._points:
+            return None
+        index = bisect.bisect_right(self._points, key) % len(self._points)
+        return self._owners[self._points[index]]
+
+    def nodes_for(self, key: int, count: int) -> list[str]:
+        """Up to *count* distinct nodes in ring order from *key*.
+
+        The first entry is the key's owner; the rest are its failover
+        sequence (the nodes its arc would rebalance onto).
+        """
+        if not self._points or count <= 0:
+            return []
+        out: list[str] = []
+        start = bisect.bisect_right(self._points, key)
+        for offset in range(len(self._points)):
+            point = self._points[(start + offset) % len(self._points)]
+            owner = self._owners[point]
+            if owner not in out:
+                out.append(owner)
+                if len(out) >= count:
+                    break
+        return out
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tuning knobs of one :class:`SageRouter`.
+
+    Attributes
+    ----------
+    host, port:
+        The fleet's public bind address (``port=0`` = ephemeral).
+    replicas:
+        How many :class:`SageServer` replicas to boot in-process when no
+        external ``addresses`` are given.
+    vnodes:
+        Virtual nodes per replica on the hash ring.
+    health_interval_s:
+        Period of the background replica health check (framed ``ping``);
+        a failed probe removes the replica from the ring, a succeeding
+        one restores it.
+    health_timeout_s:
+        Per-probe deadline.
+    reply_cache_size:
+        Edge cache: final reply frames memoized at the router, keyed by
+        the request's raw body bytes, so byte-identical hot requests are
+        answered without a replica round trip (``0`` disables).  Same
+        admission rule as the replica-side reply cache — only replies
+        naming a *final* outcome (exact hit or computed miss) are kept;
+        near-hit answers may still be refined by warming.
+    serve:
+        Template :class:`ServeConfig` for owned replicas (host/port are
+        overridden per replica with ephemeral binds).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    replicas: int = 2
+    vnodes: int = 64
+    health_interval_s: float = 2.0
+    health_timeout_s: float = 1.0
+    reply_cache_size: int = 4096
+    serve: ServeConfig = field(default_factory=ServeConfig)
+
+
+class _RouterFrontEnd(_AsyncFrontEnd):
+    """The router's event loop: same boot/stop, relay-centric handler."""
+
+    async def _on_connection(self, reader, writer) -> None:
+        owner = self._owner
+        try:
+            while True:
+                first = await reader.read(1)
+                if not first:
+                    break
+                close_after = False
+                if first == wire.MAGIC_BYTE:
+                    try:
+                        reply, close_after = await owner._route_frame(
+                            reader, first
+                        )
+                    except wire.WireError as exc:
+                        writer.write(wire.encode_frame(
+                            {"ok": False, "error": f"WireError: {exc}"}
+                        ))
+                        await writer.drain()
+                        break
+                else:
+                    line = first + await reader.readline()
+                    line = line.strip()
+                    if not line:
+                        continue
+                    reply, close_after = await owner._route_line(line)
+                writer.write(reply)
+                await writer.drain()
+                if close_after:
+                    # Shutdown reply flushed; the cascade thread waits on
+                    # this before tearing the loop down.
+                    owner._shutdown_flushed.set()
+                    break
+        except (
+            asyncio.IncompleteReadError, ConnectionError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        except RuntimeError:  # pragma: no cover - loop torn down mid-close
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+
+class SageRouter:
+    """N replicas, one address, zero-parse frame relay.
+
+    Owned-fleet use (the CLI's ``repro serve --replicas N``)::
+
+        with SageRouter(router=RouterConfig(replicas=2)) as fleet:
+            host, port = fleet.address
+            ...
+
+    or front external replicas by address::
+
+        SageRouter(addresses=[("10.0.0.5", 7070), ("10.0.0.6", 7070)])
+    """
+
+    def __init__(
+        self,
+        *,
+        router: RouterConfig | None = None,
+        addresses: list[tuple[str, int]] | None = None,
+    ) -> None:
+        self.router = router or RouterConfig()
+        self._external = [(h, int(p)) for h, p in (addresses or [])]
+        self._servers: list[SageServer] = []  # owned replicas
+        self._addresses: dict[str, tuple[str, int]] = {}
+        self._ring = HashRing(vnodes=self.router.vnodes)
+        self._down: set[str] = set()
+        self._pools: dict[str, deque] = {}  # node -> idle (reader, writer)
+        self._reply_cache = _ReplyCache(self.router.reply_cache_size)
+        self._frontend: _RouterFrontEnd | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._health_task = None
+        self._closed = threading.Event()
+        self._shutdown_flushed = threading.Event()
+        self._started = False
+        self._t_start = 0.0
+        self._lock = threading.Lock()
+        # Relay counters (guarded by self._lock).
+        self._frames = 0  # keyed frames relayed without a payload parse
+        self._edge_hits = 0  # answered from the router's reply cache
+        self._parsed = 0  # requests the router had to decode to route
+        self._local = 0  # ops answered at the router (ping/stats/shutdown)
+        self._forwarded = 0  # failovers onto the next ring node
+        self._failed = 0  # requests no replica could answer
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> tuple[str, int]:
+        """Boot replicas (unless external), the ring, and the listener."""
+        if self._started:
+            raise RuntimeError("router already started")
+        self._started = True
+        self._t_start = time.monotonic()
+        if self._external:
+            for host, port in self._external:
+                self._addresses[f"{host}:{port}"] = (host, port)
+        else:
+            if self.router.replicas < 1:
+                raise ValueError("a fleet needs at least one replica")
+            for index in range(self.router.replicas):
+                server = SageServer(
+                    serve=dataclasses.replace(
+                        self.router.serve, host="127.0.0.1", port=0
+                    )
+                )
+                address = server.start()
+                self._servers.append(server)
+                self._addresses[f"replica-{index}"] = address
+        for node in self._addresses:
+            self._ring.add(node)
+        self._executor = ThreadPoolExecutor(
+            max_workers=4, thread_name_prefix="router-worker"
+        )
+        self._frontend = _RouterFrontEnd(
+            self, self.router.host, self.router.port
+        )
+        address = self._frontend.start()
+        loop = self._frontend._loop
+        assert loop is not None
+        loop.call_soon_threadsafe(
+            lambda: setattr(
+                self, "_health_task", loop.create_task(self._health_loop())
+            )
+        )
+        return address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._frontend is None or self._frontend._address is None:
+            raise RuntimeError("router not started")
+        return self._frontend._address
+
+    @property
+    def replica_addresses(self) -> dict[str, tuple[str, int]]:
+        """Node name -> ``(host, port)`` for every fleet member."""
+        return dict(self._addresses)
+
+    def serve_forever(self) -> None:
+        self._closed.wait()
+
+    def close(self) -> None:
+        """Stop the listener, reap owned replicas, drop replica sockets."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self._frontend is not None:
+            self._frontend.stop()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        for server in self._servers:
+            server.close()
+
+    def __enter__(self) -> "SageRouter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------- replica relays
+    async def _acquire(self, node: str):
+        """An open ``(reader, writer)`` to *node* (pooled, else fresh)."""
+        pool = self._pools.setdefault(node, deque())
+        while pool:
+            reader, writer = pool.popleft()
+            if not writer.is_closing():
+                return reader, writer
+        host, port = self._addresses[node]
+        return await asyncio.wait_for(
+            asyncio.open_connection(host, port, limit=wire.MAX_FRAME),
+            timeout=5.0,
+        )
+
+    def _release(self, node: str, conn) -> None:
+        self._pools.setdefault(node, deque()).append(conn)
+
+    def _drop_node_pool(self, node: str) -> None:
+        for _, writer in self._pools.pop(node, ()):  # close idle sockets
+            writer.close()
+
+    def _mark_down(self, node: str) -> None:
+        if node in self._down:
+            return
+        self._down.add(node)
+        self._ring.remove(node)
+        self._drop_node_pool(node)
+        _LOG.warning("replica %s marked down; ring rebalanced", node)
+
+    def _mark_up(self, node: str) -> None:
+        if node not in self._down:
+            return
+        self._down.discard(node)
+        self._ring.add(node)
+        _LOG.info("replica %s recovered; ring restored", node)
+
+    async def _read_reply_frame(self, reader) -> bytes:
+        """One raw reply frame off a replica connection (no decode)."""
+        header = await reader.readexactly(wire.HEADER.size)
+        flags, length = wire.parse_header(header)
+        extra = b""
+        if flags & wire.FLAG_ROUTED:  # pragma: no cover - replicas don't
+            extra = await reader.readexactly(8)
+        body = await reader.readexactly(length) if length else b""
+        return header + extra + body
+
+    async def _relay(
+        self, key: int, request: bytes, mode: str
+    ) -> bytes | None:
+        """Send *request* to the key's owner, failing over in ring order.
+
+        ``mode`` is ``"frame"`` (raw frame bytes in/out) or ``"line"``
+        (JSON line in/out).  Returns the raw reply bytes, or ``None`` if
+        every live replica refused the connection (the caller answers the
+        client with an in-band error).
+        """
+        candidates = self._ring.nodes_for(key, len(self._addresses))
+        for attempt, node in enumerate(candidates):
+            try:
+                reader, writer = await self._acquire(node)
+            except (OSError, asyncio.TimeoutError):
+                self._mark_down(node)
+                continue
+            try:
+                writer.write(request)
+                await writer.drain()
+                if mode == "frame":
+                    reply = await self._read_reply_frame(reader)
+                else:
+                    reply = await reader.readline()
+                    if not reply:
+                        raise ConnectionError("replica closed mid-request")
+            except (
+                OSError, asyncio.IncompleteReadError, wire.WireError,
+                ConnectionError,
+            ):
+                writer.close()
+                self._mark_down(node)
+                continue
+            self._release(node, (reader, writer))
+            if attempt:
+                with self._lock:
+                    self._forwarded += 1
+                _RELAYS.inc(event="forwarded")
+            return reply
+        with self._lock:
+            self._failed += 1
+        _RELAYS.inc(event="failed")
+        return None
+
+    # -------------------------------------------------------- request paths
+    async def _route_frame(self, reader, first: bytes) -> tuple[bytes, bool]:
+        """One framed request: relay verbatim if keyed, else decode-route."""
+        header = first + await reader.readexactly(wire.HEADER.size - 1)
+        flags, length = wire.parse_header(header)
+        raw_key = b""
+        key: int | None = None
+        if flags & wire.FLAG_ROUTED:
+            raw_key = await reader.readexactly(8)
+            key = wire.parse_routing_key(raw_key)
+        body = await reader.readexactly(length) if length else b""
+        request = header + raw_key + body
+        if key is not None:
+            # The fast path this whole module exists for: 16 bytes read,
+            # zero payload bytes parsed, frame relayed byte-for-byte.
+            cache_key = (flags & wire.FLAG_PACKED, body)
+            cached = self._reply_cache.get(cache_key)
+            if cached is not None:
+                with self._lock:
+                    self._edge_hits += 1
+                _RELAYS.inc(event="edge_hit")
+                return cached, False
+            with self._lock:
+                self._frames += 1
+            _RELAYS.inc(event="frame")
+            reply = await self._relay(key, request, "frame")
+            if reply is None:
+                return self._error_frame("no live replica for request"), False
+            if _is_final_reply(reply):
+                # Edge memoization: decisions are pure functions of the
+                # request bytes, and final (hit/miss) outcomes never
+                # change — the next byte-identical request skips the
+                # replica round trip entirely.  Near-hit replies are not
+                # kept (speculative warming may refine the band).
+                self._reply_cache.put(cache_key, reply)
+            return reply, False
+        # Unkeyed frame: decode the payload to find out where it goes.
+        payload = wire.decode_body(body, flags)
+        op = payload.get("op")
+        if op in ("ping", "stats", "shutdown"):
+            response, close_after = await self._local_op(op)
+            return wire.encode_frame(response), close_after
+        key = self._payload_key(payload)
+        if key is None:
+            return self._error_frame(f"cannot route op {op!r}"), False
+        with self._lock:
+            self._parsed += 1
+        _RELAYS.inc(event="parsed")
+        reply = await self._relay(key, request, "frame")
+        if reply is None:
+            return self._error_frame("no live replica for request"), False
+        return reply, False
+
+    async def _route_line(self, line: bytes) -> tuple[bytes, bool]:
+        """One legacy JSON line: parse (the slow path), route, relay."""
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValueError("request must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return self._error_line(f"undecodable request: {exc}"), False
+        op = payload.get("op")
+        if op in ("ping", "stats", "shutdown"):
+            response, close_after = await self._local_op(op)
+            return (json.dumps(response) + "\n").encode(), close_after
+        key = self._payload_key(payload)
+        if key is None:
+            return self._error_line(f"cannot route op {op!r}"), False
+        with self._lock:
+            self._parsed += 1
+        _RELAYS.inc(event="line")
+        reply = await self._relay(key, line + b"\n", "line")
+        if reply is None:
+            return self._error_line("no live replica for request"), False
+        return reply, False
+
+    def _payload_key(self, payload: dict) -> int | None:
+        """Routing key from a decoded payload (predict / predict_many)."""
+        op = payload.get("op")
+        try:
+            if op == "predict" and isinstance(payload.get("workload"), dict):
+                return routing_key(payload["workload"])
+            if op == "predict_many":
+                workloads = payload.get("workloads")
+                # A batch fans across fingerprints anyway; home the whole
+                # round trip on the first workload's band.
+                if isinstance(workloads, list) and workloads:
+                    return routing_key(workloads[0])
+        except Exception:  # noqa: BLE001 - malformed workload
+            return None
+        return None
+
+    async def _local_op(self, op: str) -> tuple[dict, bool]:
+        """Ops the router answers itself (off-loop for the blocking ones)."""
+        with self._lock:
+            self._local += 1
+        _RELAYS.inc(event="local")
+        if op == "ping":
+            return {"ok": True, "pong": True}, False
+        loop = asyncio.get_running_loop()
+        if op == "stats":
+            stats = await loop.run_in_executor(self._executor, self.stats)
+            return {"ok": True, "stats": stats}, False
+        # shutdown: reply first, then cascade off-thread.
+        threading.Thread(target=self._shutdown_fleet, daemon=True).start()
+        return {"ok": True, "stopping": True}, True
+
+    def _shutdown_fleet(self) -> None:
+        # Let the front end flush the "stopping" reply before the teardown
+        # closes the loop under it.
+        self._shutdown_flushed.wait(timeout=1.0)
+        for node, (host, port) in list(self._addresses.items()):
+            if self._servers:
+                continue  # owned replicas close via close() below
+            try:  # external replicas get the shutdown op
+                with ServeClient(host, port, retries=0) as client:
+                    client.shutdown_server()
+            except Exception:  # noqa: BLE001 - best-effort cascade
+                _LOG.warning("shutdown relay to %s failed", node)
+        self.close()
+
+    @staticmethod
+    def _error_frame(message: str) -> bytes:
+        return wire.encode_frame({"ok": False, "error": message})
+
+    @staticmethod
+    def _error_line(message: str) -> bytes:
+        return (json.dumps({"ok": False, "error": message}) + "\n").encode()
+
+    # -------------------------------------------------------- health checks
+    async def _health_loop(self) -> None:
+        ping = wire.encode_frame({"op": "ping"})
+        while not self._closed.is_set():
+            await asyncio.sleep(self.router.health_interval_s)
+            for node in list(self._addresses):
+                try:
+                    host, port = self._addresses[node]
+                    reader, writer = await asyncio.wait_for(
+                        asyncio.open_connection(host, port),
+                        timeout=self.router.health_timeout_s,
+                    )
+                    try:
+                        writer.write(ping)
+                        await writer.drain()
+                        await asyncio.wait_for(
+                            self._read_reply_frame(reader),
+                            timeout=self.router.health_timeout_s,
+                        )
+                    finally:
+                        writer.close()
+                except (OSError, asyncio.TimeoutError, wire.WireError,
+                        asyncio.IncompleteReadError):
+                    self._mark_down(node)
+                else:
+                    self._mark_up(node)
+
+    # --------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        """Aggregated fleet stats: ring + relay counters + every replica.
+
+        Top-level ``requests`` and ``cache`` sections are element-wise
+        sums across replicas (the shapes the single-server payload uses),
+        so fleet-unaware tooling still reads sensible totals; per-replica
+        detail (latency percentiles included) nests under
+        ``fleet.replicas``.
+        """
+        replicas = []
+        for node, (host, port) in self._addresses.items():
+            entry: dict = {
+                "node": node,
+                "address": f"{host}:{port}",
+                "down": node in self._down,
+            }
+            try:
+                with ServeClient(host, port, retries=0, timeout=5.0) as c:
+                    entry["stats"] = c.stats()
+            except Exception as exc:  # noqa: BLE001 - down replica
+                entry["error"] = str(exc)
+            replicas.append(entry)
+        requests: dict = {}
+        cache: dict = {}
+        outcome_samples: dict = {}
+        for entry in replicas:
+            stats = entry.get("stats")
+            if not stats:
+                continue
+            for section, sums in (("requests", requests), ("cache", cache)):
+                for name, value in stats.get(section, {}).items():
+                    if isinstance(value, (int, float)):
+                        sums[name] = sums.get(name, 0) + value
+            for outcome, pct in stats.get(
+                "latency_by_outcome_ms", {}
+            ).items():
+                bucket = outcome_samples.setdefault(
+                    outcome, {"count": 0, "p99": None}
+                )
+                bucket["count"] += pct.get("count", 0)
+                if pct.get("p99") is not None:
+                    bucket["p99"] = max(bucket["p99"] or 0.0, pct["p99"])
+        if "hit_rate" in cache:  # summed rates are meaningless; recompute
+            lookups = (
+                cache.get("hits", 0) + cache.get("near_hits", 0)
+                + cache.get("misses", 0)
+            )
+            cache["hit_rate"] = (
+                (cache.get("hits", 0) + cache.get("near_hits", 0)) / lookups
+                if lookups else 0.0
+            )
+        with self._lock:
+            relay = {
+                "frames": self._frames,
+                "edge_hits": self._edge_hits,
+                "parsed": self._parsed,
+                "local": self._local,
+                "forwarded": self._forwarded,
+                "failed": self._failed,
+            }
+        return {
+            "uptime_s": time.monotonic() - self._t_start,
+            "fleet": {
+                "replicas": replicas,
+                "ring": {
+                    "nodes": sorted(self._ring.nodes),
+                    "vnodes": self._ring.vnodes,
+                    "down": sorted(self._down),
+                },
+                "relay": relay,
+            },
+            "requests": requests,
+            "cache": cache,
+            "latency_by_outcome_ms": outcome_samples,
+        }

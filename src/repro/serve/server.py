@@ -1,33 +1,48 @@
-"""SAGE-as-a-service: a batched, cached JSON-lines TCP prediction server.
+"""SAGE-as-a-service: an async, batched, cached TCP prediction server.
 
 The ROADMAP's north star is a system that serves sustained prediction
 traffic; this module is the layer that turns the in-process primitives
 (:class:`~repro.sage.predictor.Sage`, the memoized
 :class:`~repro.mint.cost.PathPlanner`, the
 :class:`~repro.serve.cache.DecisionCache`) into a long-lived service.
-Stdlib only — ``socketserver`` + ``multiprocessing`` + ``threading``.
+Stdlib only — ``asyncio`` + ``multiprocessing`` + ``threading``.
 
 Request path
 ------------
 
-1. A connection-handler thread parses one JSON line and consults the
-   :class:`DecisionCache` — hits (exact or density-band near-hits) are
-   answered immediately, bypassing the batcher entirely.
-2. Misses enter the **coalescing batcher**: requests arriving within one
-   batch window are collected, duplicates of an already-in-flight
+1. One **asyncio event loop** (its own thread) owns every connection:
+   thousands of idle clients cost file descriptors, not threads.  Each
+   message's first byte picks the protocol — ``0xA5`` opens a binary
+   frame (:mod:`repro.serve.wire`), anything else is a legacy JSON line
+   — so old clients and ``repro stats`` keep working unchanged.
+2. Framed ``predict`` requests first probe the **encoded-reply cache**:
+   a repeat of a byte-identical request is answered with the previously
+   framed reply — no JSON parse, no fingerprint, no ``to_wire`` — right
+   on the event loop.  (Legacy lines always take the full path; the
+   binary frame *is* the fast path.)
+3. Everything else dispatches to a bounded worker pool where the
+   request parses once and consults the :class:`DecisionCache` — hits
+   (exact or density-band near-hits) are answered immediately.
+4. Misses enter the **coalescing batcher**: requests arriving within
+   one batch window are collected, duplicates of an already-in-flight
    fingerprint attach to the pending computation instead of dispatching
-   again, and the rest fan out to the shard pool.
-3. **Shards** are persistent worker processes, each warm-seeded at spawn
-   with the parent planner's :meth:`~repro.mint.cost.PathPlanner.
+   again, and the rest fan out to the shard pool.  Each miss (and
+   near-hit) also feeds the **speculative warmer**
+   (:class:`~repro.serve.warmer.BandWarmer`, ``warm_bands > 0``), which
+   pre-computes adjacent density bands in the background so the next
+   cold request in the band becomes a hit.
+5. **Shards** are persistent worker processes, each warm-seeded at
+   spawn with the parent planner's :meth:`~repro.mint.cost.PathPlanner.
    export_snapshot` (routes *and* exact-stats costs) and addressed by
    the fingerprint's stable band-key hash — repeats of a workload always
    hit the same worker, so every shard's planner and local decision
    caches stay hot.  ``shards=0`` computes in-process instead (no extra
    processes; useful on platforms without ``fork``).
-4. Results flow back through per-shard collector threads, populate the
+6. Results flow back through per-shard collector threads, populate the
    front cache, and release every waiter that coalesced onto them.
 
-Wire protocol (one JSON object per line, response per request)::
+Wire protocol — binary frames (:mod:`repro.serve.wire`) or legacy
+JSON-lines (one JSON object per line, response per request)::
 
     {"op": "predict", "workload": {...}, "top": 8}
     {"op": "predict", "schema_version": 2, "workload": {...},
@@ -36,7 +51,8 @@ Wire protocol (one JSON object per line, response per request)::
     {"op": "stats"} | {"op": "ping"} | {"op": "shutdown"}
 
 Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error": msg}``;
-decisions travel as :meth:`SageDecision.to_wire` dicts.
+decisions travel as :meth:`SageDecision.to_wire` dicts, and ``predict``
+replies name their cache ``outcome`` (hit / near_hit / miss / bypassed).
 
 The request schema is **versioned** (shared with :mod:`repro.api.options`):
 requests without a ``schema_version`` are the PR-2-era legacy shape
@@ -47,22 +63,23 @@ speaks.  Requests whose options restrict the search space (or ask for a
 different fidelity tier than the server's) bypass the decision cache and
 the coalescing batcher — restricted decisions are workload-specific in a
 way fingerprints do not capture — and are computed directly on the
-connection-handler thread.
+worker-pool thread handling them.
 """
 
 from __future__ import annotations
 
+import asyncio
 import dataclasses
 import json
 import math
 import multiprocessing
 import os
 import queue
-import socketserver
 import threading
 import time
 import uuid
-from collections import deque
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.api.options import (
@@ -75,12 +92,14 @@ from repro.mint.cost import shared_planner
 from repro.obs import get_logger, registry, set_trace_id, span
 from repro.obs import metrics as obs_metrics
 from repro.sage.predictor import Sage, SageDecision, set_proxy_operand_cache
+from repro.serve import wire
 from repro.serve.cache import DecisionCache
 from repro.serve.fingerprint import WorkloadFingerprint, fingerprint_of
+from repro.serve.warmer import BandWarmer
 from repro.util.shm import SEGMENT_PREFIX, OperandCacheNamespace
 from repro.workloads.spec import workload_from_dict
 
-__all__ = ["SageServer", "ServeConfig"]
+__all__ = ["OUTCOMES", "SageServer", "ServeConfig"]
 
 _STOP = object()
 
@@ -90,10 +109,13 @@ _LOG = get_logger("serve")
 #: keys are fingerprint tuples, so a *string* key can never collide.
 _METRICS_KEY = "__metrics__:"
 
+#: Cache outcomes a request can resolve with (the latency label set).
+OUTCOMES = ("hit", "near_hit", "miss", "bypassed")
+
 _REQUESTS = registry().counter(
     "repro_serve_requests_total",
     "Serve request lifecycle events (submitted/served/error/bypassed/"
-    "coalesced)",
+    "coalesced/fast_path)",
 )
 _BATCHES = registry().counter(
     "repro_serve_batches_total", "Coalescing-batcher dispatch rounds"
@@ -101,6 +123,11 @@ _BATCHES = registry().counter(
 _STAGE_SECONDS = registry().histogram(
     "repro_serve_stage_seconds",
     "Per-request wall-seconds by serve stage (queue/compute/total)",
+)
+_LATENCY = registry().histogram(
+    "repro_serve_latency_seconds",
+    "Request wall-seconds split by cache outcome "
+    "(hit/near_hit/miss/bypassed)",
 )
 
 
@@ -132,9 +159,25 @@ class ServeConfig:
         top-k re-ranked on the cycle-level simulator).  Fidelity is a
         server-level property so the decision cache stays tier-consistent.
     latency_window:
-        Number of most-recent request latencies kept for percentiles.
+        Number of most-recent request latencies kept for percentiles
+        (overall and per cache outcome).
     request_timeout_s:
         Server-side cap on how long one request may stay in flight.
+    max_inflight:
+        Worker-pool width: how many requests may be *processing*
+        concurrently.  Idle connections are free (the async front end
+        holds them on one event loop); this bounds active work only.
+    reply_cache_size:
+        Encoded-reply entries kept for the framed fast path (``0``
+        disables it; legacy JSON-lines requests never use it).
+    warm_bands:
+        Speculative warming depth: on a miss or near-hit, pre-compute
+        this many adjacent density bands (each direction) plus the
+        predicted-next problem size in the background.  ``0`` (default)
+        disables speculation — embedded/test servers stay deterministic;
+        ``repro serve`` turns it on.
+    warm_queue:
+        Bound on the speculative warm queue (drop-new beyond it).
     """
 
     host: str = "127.0.0.1"
@@ -148,6 +191,10 @@ class ServeConfig:
     fidelity: str = "analytical"
     latency_window: int = 4096
     request_timeout_s: float = 120.0
+    max_inflight: int = 16
+    reply_cache_size: int = 2048
+    warm_bands: int = 0
+    warm_queue: int = 256
 
 
 class _PendingRequest:
@@ -155,7 +202,7 @@ class _PendingRequest:
 
     __slots__ = (
         "workload", "parsed", "fp", "done", "decision", "error", "t_submit",
-        "t_dispatch",
+        "t_dispatch", "outcome",
     )
 
     def __init__(self, workload: dict, parsed, fp: WorkloadFingerprint) -> None:
@@ -169,6 +216,49 @@ class _PendingRequest:
         #: When the batcher handed the request onward (queue-stage end);
         #: stays None on cache hits and bypasses.
         self.t_dispatch: float | None = None
+        #: Cache outcome label: hit / near_hit / miss / bypassed.
+        self.outcome: str = "miss"
+
+
+class _ReplyCache:
+    """Tiny thread-safe LRU of fully-encoded reply frames.
+
+    Keyed by the request's raw body bytes (plus its body encoding):
+    byte-identical framed ``predict`` requests get byte-identical framed
+    replies — decisions are pure functions of the fingerprint, so
+    entries never go stale, only cold.  Near-hit replies are *not*
+    cached (a later exact computation or a speculative warm may refine
+    the band's answer); exact hits and computed decisions are final.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, bytes] = OrderedDict()
+        self.hits = 0
+
+    def get(self, key: tuple) -> bytes | None:
+        if self.maxsize <= 0:
+            return None
+        with self._lock:
+            reply = self._entries.get(key)
+            if reply is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            return reply
+
+    def put(self, key: tuple, reply: bytes) -> None:
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            self._entries[key] = reply
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 def _shard_main(
@@ -260,42 +350,173 @@ class _Shard:
             return None
 
 
-class _TcpServer(socketserver.ThreadingTCPServer):
-    allow_reuse_address = True
-    daemon_threads = True
-    owner: "SageServer"
+class _AsyncFrontEnd:
+    """One event-loop thread owning every client connection.
 
+    Replaces the thread-per-connection ``socketserver`` front end: idle
+    connections cost nothing, and the per-message first byte selects
+    binary frames vs legacy JSON lines.  The owner supplies two hooks:
 
-class _Handler(socketserver.StreamRequestHandler):
-    """One thread per connection; JSON-lines request/response."""
+    * ``fast_reply(body, mode, t_recv) -> bytes | None`` — loop-side
+      fast path (must not block);
+    * ``handle_raw(body, mode) -> (reply_bytes, close_after)`` — full
+      path, dispatched to the owner's worker pool.
+    """
 
-    def handle(self) -> None:  # pragma: no cover - exercised via sockets
-        server = self.server.owner  # type: ignore[attr-defined]
-        for raw in self.rfile:
-            line = raw.strip()
-            if not line:
-                continue
-            op = None
-            try:
-                message = json.loads(line)
-                op = message.get("op")
-                response = server.handle_message(message)
-            except Exception as exc:  # noqa: BLE001 - reported in-band
-                _LOG.warning(
-                    "handler failed on op %r", op, exc_info=True
-                )
-                response = {
-                    "ok": False,
-                    "error": f"{type(exc).__name__}: {exc}",
-                }
-            self.wfile.write((json.dumps(response) + "\n").encode())
-            self.wfile.flush()
-            if op == "shutdown":
+    def __init__(self, owner, host: str, port: int) -> None:
+        self._owner = owner
+        self._host = host
+        self._port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._address: tuple[str, int] | None = None
+        self._ready = threading.Event()
+        self._boot_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="serve-async", daemon=True
+        )
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> tuple[str, int]:
+        self._thread.start()
+        self._ready.wait()
+        if self._boot_error is not None:
+            raise self._boot_error
+        assert self._address is not None
+        return self._address
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return
+
+        def _shutdown() -> None:
+            if self._server is not None:
+                self._server.close()
+            loop.stop()
+
+        loop.call_soon_threadsafe(_shutdown)
+        self._thread.join(timeout=5)
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+
+        def _quiet_cancel(loop_, context) -> None:
+            # Connection tasks cancelled at shutdown are expected; the
+            # default handler would log them at ERROR.
+            if isinstance(context.get("exception"), asyncio.CancelledError):
                 return
+            loop_.default_exception_handler(context)
+
+        loop.set_exception_handler(_quiet_cancel)
+        self._loop = loop
+        try:
+            self._server = loop.run_until_complete(
+                asyncio.start_server(
+                    self._on_connection, self._host, self._port,
+                    limit=wire.MAX_FRAME,
+                )
+            )
+            sockname = self._server.sockets[0].getsockname()
+            self._address = (str(sockname[0]), int(sockname[1]))
+        except BaseException as exc:  # pragma: no cover - bind failures
+            self._boot_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            try:
+                if self._server is not None:
+                    self._server.close()
+                    loop.run_until_complete(self._server.wait_closed())
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+            finally:
+                loop.close()
+
+    # ------------------------------------------------------------- traffic
+    async def _read_message(self, reader) -> tuple[bytes, str] | None:
+        """One message: ``(body, mode)`` or ``None`` on clean EOF.
+
+        ``mode`` is ``"line"`` (legacy JSON line, newline stripped),
+        ``"frame-json"`` or ``"frame-packed"``.  Frame integrity errors
+        raise :class:`~repro.serve.wire.WireError` (frame sync is lost;
+        the connection must close).
+        """
+        first = await reader.read(1)
+        if not first:
+            return None
+        if first == wire.MAGIC_BYTE:
+            header = first + await reader.readexactly(wire.HEADER.size - 1)
+            flags, length = wire.parse_header(header)
+            if flags & wire.FLAG_ROUTED:
+                # Replicas ignore the routing key (the router consumed
+                # it); drain it to stay frame-aligned.
+                await reader.readexactly(8)
+            body = await reader.readexactly(length) if length else b""
+            mode = "frame-packed" if flags & wire.FLAG_PACKED else "frame-json"
+            return body, mode
+        line = first + await reader.readline()
+        return line.strip(), "line"
+
+    async def _on_connection(self, reader, writer) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    message = await self._read_message(reader)
+                except wire.WireError as exc:
+                    # Frame sync is gone: report in-band, then hang up.
+                    writer.write(wire.encode_frame(
+                        {"ok": False, "error": f"WireError: {exc}"}
+                    ))
+                    await writer.drain()
+                    break
+                if message is None:
+                    break
+                body, mode = message
+                if not body:
+                    continue
+                t_recv = time.perf_counter()
+                reply = self._owner._fast_reply(body, mode, t_recv)
+                close_after = False
+                if reply is None:
+                    reply, close_after = await loop.run_in_executor(
+                        self._owner._executor,
+                        self._owner._handle_raw, body, mode,
+                    )
+                writer.write(reply)
+                await writer.drain()
+                if close_after:
+                    # The shutdown reply is on the wire; the deferred
+                    # close (waiting on this event) may now stop the loop.
+                    self._owner._shutdown_flushed.set()
+                    break
+        except (
+            asyncio.IncompleteReadError, ConnectionError, asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-message; nothing to answer
+        except RuntimeError:  # pragma: no cover - executor shut down mid-close
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
 
 
 class SageServer:
-    """The serving frontend: TCP listener, batcher, cache, shard pool.
+    """The serving frontend: async listener, batcher, cache, shard pool.
 
     Typical embedded use (tests, benchmarks, notebooks)::
 
@@ -322,6 +543,7 @@ class SageServer:
         self._cache = DecisionCache(
             self.serve.cache_size, near_hit=self.serve.near_hit, scope="front"
         )
+        self._reply_cache = _ReplyCache(self.serve.reply_cache_size)
         # Cycle-fidelity servers share proxy simulator operands between
         # the parent and every shard through one named shared-memory
         # namespace: first user builds, everyone else attaches warm.
@@ -334,12 +556,18 @@ class SageServer:
         self._lock = threading.Lock()
         self._inflight: dict[tuple, list[_PendingRequest]] = {}
         self._latencies: deque[float] = deque(maxlen=self.serve.latency_window)
+        self._latencies_by_outcome: dict[str, deque[float]] = {
+            outcome: deque(maxlen=self.serve.latency_window)
+            for outcome in OUTCOMES
+        }
         self._shards: list[_Shard] = []
         self._collectors: list[threading.Thread] = []
-        self._tcp: _TcpServer | None = None
-        self._tcp_thread: threading.Thread | None = None
+        self._frontend: _AsyncFrontEnd | None = None
+        self._executor: ThreadPoolExecutor | None = None
         self._batcher: threading.Thread | None = None
+        self._warmer: BandWarmer | None = None
         self._closed = threading.Event()
+        self._shutdown_flushed = threading.Event()
         self._started = False
         self._degraded: str | None = None
         self._t_start = 0.0
@@ -354,6 +582,7 @@ class SageServer:
         self._max_batch_seen = 0
         self._coalesced = 0
         self._bypassed = 0  # restricted-options requests computed inline
+        self._fast_path = 0  # framed repeats answered from the reply cache
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> tuple[str, int]:
@@ -406,41 +635,59 @@ class SageServer:
             )
             collector.start()
             self._collectors.append(collector)
+        if self.serve.warm_bands > 0:
+            self._warmer = BandWarmer(
+                lambda wl: self._sage.predict(wl, fidelity=self.serve.fidelity),
+                self._cache,
+                config=self._sage.config,
+                bands=self.serve.warm_bands,
+                maxsize=self.serve.warm_queue,
+            )
         self._batcher = threading.Thread(
             target=self._batch_loop, name="serve-batcher", daemon=True
         )
         self._batcher.start()
-        self._tcp = _TcpServer((self.serve.host, self.serve.port), _Handler)
-        self._tcp.owner = self
-        self._tcp_thread = threading.Thread(
-            target=self._tcp.serve_forever,
-            kwargs={"poll_interval": 0.05},
-            name="serve-listener",
-            daemon=True,
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, self.serve.max_inflight),
+            thread_name_prefix="serve-worker",
         )
-        self._tcp_thread.start()
+        self._frontend = _AsyncFrontEnd(
+            self, self.serve.host, self.serve.port
+        )
+        self._frontend.start()
         return self.address
 
     @property
     def address(self) -> tuple[str, int]:
         """Bound ``(host, port)`` (resolves ``port=0`` ephemeral binds)."""
-        if self._tcp is None:
+        if self._frontend is None or self._frontend._address is None:
             raise RuntimeError("server not started")
-        host, port = self._tcp.server_address[:2]
-        return str(host), int(port)
+        return self._frontend._address
 
     def serve_forever(self) -> None:
         """Block until :meth:`close` is called (e.g. by a shutdown RPC)."""
         self._closed.wait()
+
+    def _close_after_flush(self) -> None:
+        """Close, but let the front end flush the shutdown reply first.
+
+        Without the wait, stopping the event loop races the reply write
+        and the client can see the connection die before the ``stopping``
+        frame arrives.  The timeout covers direct ``handle_message``
+        callers, where no connection ever sets the event.
+        """
+        self._shutdown_flushed.wait(timeout=1.0)
+        self.close()
 
     def close(self) -> None:
         """Graceful shutdown: stop intake, fail in-flight work, reap shards."""
         if self._closed.is_set():
             return
         self._closed.set()
-        if self._tcp is not None:
-            self._tcp.shutdown()
-            self._tcp.server_close()
+        if self._frontend is not None:
+            self._frontend.stop()
+        if self._warmer is not None:
+            self._warmer.close()
         self._queue.put(_STOP)
         if self._batcher is not None:
             self._batcher.join(timeout=5)
@@ -459,6 +706,8 @@ class SageServer:
             for req in waiters:
                 req.error = "server shutting down"
                 req.done.set()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
         for shard in self._shards:
             shard.in_q.put(None)
         for collector in self._collectors:
@@ -481,26 +730,89 @@ class SageServer:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # ----------------------------------------------------------- wire layer
+    def _fast_reply(self, body: bytes, mode: str, t_recv: float) -> bytes | None:
+        """Loop-side fast path: framed repeats answered from cached bytes.
+
+        Legacy JSON-lines requests never take this path (the binary
+        frame is the fast path; lines are the compatibility mode), and
+        only byte-identical ``predict`` repeats can match.
+        """
+        if mode == "line":
+            return None
+        reply = self._reply_cache.get((mode, body))
+        if reply is None:
+            return None
+        elapsed = time.perf_counter() - t_recv
+        with self._lock:
+            self._submitted += 1
+            self._served += 1
+            self._fast_path += 1
+            self._latencies.append(elapsed)
+            self._latencies_by_outcome["hit"].append(elapsed)
+        _REQUESTS.inc(event="submitted")
+        _REQUESTS.inc(event="served")
+        _REQUESTS.inc(event="fast_path")
+        _LATENCY.observe(elapsed, outcome="hit")
+        _STAGE_SECONDS.observe(elapsed, stage="total")
+        return reply
+
+    def _handle_raw(self, body: bytes, mode: str) -> tuple[bytes, bool]:
+        """Full path (worker pool): decode, dispatch, encode, maybe cache.
+
+        Returns ``(reply_bytes, close_after)``; the reply rides the same
+        protocol the request arrived on.
+        """
+        op = None
+        outcome = None
+        try:
+            if mode == "frame-packed":
+                message = wire.decode_body(body, wire.FLAG_PACKED)
+            else:
+                message = wire.decode_body(body, 0)
+            op = message.get("op")
+            response, outcome = self._handle_traced(message, op)
+        except Exception as exc:  # noqa: BLE001 - reported in-band
+            _LOG.warning("handler failed on op %r", op, exc_info=True)
+            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        if mode == "line":
+            reply = (json.dumps(response) + "\n").encode()
+        else:
+            reply = wire.encode_frame(response)
+        if (
+            mode != "line"
+            and op == "predict"
+            and response.get("ok")
+            and outcome in ("hit", "miss")
+        ):
+            # Exact decisions are final (pure function of the
+            # fingerprint); near-hit and bypass replies are not cached.
+            self._reply_cache.put((mode, body), reply)
+        return reply, op == "shutdown"
+
     # ------------------------------------------------------------- protocol
     def handle_message(self, message: dict) -> dict:
         """Dispatch one decoded request dict to its ``op`` handler."""
+        return self._handle_traced(message, message.get("op"))[0]
+
+    def _handle_traced(self, message: dict, op) -> tuple[dict, str | None]:
         trace = message.get("trace")
         if trace is not None:
             # Adopt the client's trace ID on this handler thread so spans
             # recorded while serving the request correlate with it.
             set_trace_id(str(trace))
-        op = message.get("op")
         with span("serve.handle", op=str(op)):
             return self._handle_message(message, op)
 
-    def _handle_message(self, message: dict, op) -> dict:
+    def _handle_message(self, message: dict, op) -> tuple[dict, str | None]:
         if op == "ping":
-            return {"ok": True, "pong": True}
+            return {"ok": True, "pong": True}, None
         if op == "stats":
-            return {"ok": True, "stats": self.stats()}
+            return {"ok": True, "stats": self.stats()}, None
         if op == "shutdown":
-            threading.Thread(target=self.close, daemon=True).start()
-            return {"ok": True, "stopping": True}
+            threading.Thread(target=self._close_after_flush,
+                             daemon=True).start()
+            return {"ok": True, "stopping": True}, None
         version = message.get("schema_version", 1)
         if version not in SUPPORTED_WIRE_SCHEMAS:
             return {
@@ -512,7 +824,7 @@ class SageServer:
                     f"(requests without a schema_version are treated as "
                     f"the version-1 legacy schema)"
                 ),
-            }
+            }, None
         options = None
         if message.get("options") is not None:
             if version < WIRE_SCHEMA_VERSION:
@@ -522,7 +834,7 @@ class SageServer:
                         "request carries options but declares the legacy "
                         f"schema; send schema_version {WIRE_SCHEMA_VERSION}"
                     ),
-                }
+                }, None
             options = PredictOptions.from_wire(message["options"])
         top = message.get("top")
         if top is None and options is not None:
@@ -532,33 +844,35 @@ class SageServer:
         if op == "predict":
             workload = message.get("workload")
             if not isinstance(workload, dict):
-                return {"ok": False, "error": "predict needs a workload dict"}
+                return {
+                    "ok": False, "error": "predict needs a workload dict",
+                }, None
             req = self._submit(workload, options)
-            return self._reply_one(req, top)
+            return self._reply_one(req, top), req.outcome
         if op == "predict_many":
             workloads = message.get("workloads")
             if not isinstance(workloads, list):
                 return {
                     "ok": False,
                     "error": "predict_many needs a workloads list",
-                }
+                }, None
             if not self._cacheable(options):
                 # Restricted batches skip cache/coalescing anyway; fan them
                 # across the predictor's process pool in one go instead of
                 # searching serially per workload on this handler thread.
-                return self._predict_many_bypass(workloads, options, top)
+                return self._predict_many_bypass(workloads, options, top), None
             requests = [self._submit(wl, options) for wl in workloads]
             replies = [self._reply_one(req, top) for req in requests]
             failed = next((r for r in replies if not r["ok"]), None)
             if failed is not None:
                 # All-or-nothing reply; the siblings that did succeed are
                 # already cached, so a corrected resend costs only hits.
-                return failed
+                return failed, None
             return {
                 "ok": True,
                 "decisions": [r["decision"] for r in replies],
-            }
-        return {"ok": False, "error": f"unknown op {op!r}"}
+            }, None
+        return {"ok": False, "error": f"unknown op {op!r}"}, None
 
     def _reply_one(self, req: _PendingRequest, top) -> dict:
         if not req.done.wait(timeout=self.serve.request_timeout_s):
@@ -590,11 +904,11 @@ class SageServer:
                 decision, workload_name=req.parsed.name
             )
         limit = self.serve.ranking_top if top is None else int(top)
-        wire = decision.to_wire(top=None if limit <= 0 else limit)
+        wire_decision = decision.to_wire(top=None if limit <= 0 else limit)
         with self._lock:
             self._served += 1
         _REQUESTS.inc(event="served")
-        return {"ok": True, "decision": wire}
+        return {"ok": True, "decision": wire_decision, "outcome": req.outcome}
 
     # ------------------------------------------------------------ data path
     def _cacheable(self, options: PredictOptions | None) -> bool:
@@ -650,8 +964,10 @@ class SageServer:
         with self._lock:
             self._served += len(decisions)
             self._latencies.append(elapsed)
+            self._latencies_by_outcome["bypassed"].append(elapsed)
         _REQUESTS.inc(len(decisions), event="served")
         _STAGE_SECONDS.observe(elapsed, stage="total")
+        _LATENCY.observe(elapsed, outcome="bypassed")
         return {
             "ok": True,
             "decisions": [
@@ -677,9 +993,10 @@ class SageServer:
             return req
         if not self._cacheable(options):
             # Restricted search (or an off-tier fidelity): compute on this
-            # handler thread, skipping cache, coalescing and shards.  The
-            # handler would block in _reply_one anyway, so this costs no
+            # worker thread, skipping cache, coalescing and shards.  The
+            # worker would block in _reply_one anyway, so this costs no
             # extra latency and keeps the cache tier-consistent.
+            req.outcome = "bypassed"
             with self._lock:
                 self._bypassed += 1
             _REQUESTS.inc(event="bypassed")
@@ -696,12 +1013,19 @@ class SageServer:
             self._record_latency(req)
             req.done.set()
             return req
-        cached = self._cache.get(fp)
+        cached, tier = self._cache.lookup(fp)
         if cached is not None:
+            req.outcome = tier
             req.decision = cached
+            if tier == "near_hit" and self._warmer is not None:
+                # Near traffic predicts adjacent-band traffic: speculate.
+                self._warmer.enqueue(fp)
             self._record_latency(req)
             req.done.set()
             return req
+        req.outcome = "miss"
+        if self._warmer is not None:
+            self._warmer.enqueue(fp)
         self._queue.put(req)
         if self._closed.is_set() and not req.done.is_set():
             # close() may have drained the queue between the check above
@@ -822,9 +1146,12 @@ class SageServer:
     def _record_latency(self, req: _PendingRequest) -> None:
         now = time.perf_counter()
         elapsed = now - req.t_submit
+        outcome = req.outcome
         with self._lock:
             self._latencies.append(elapsed)
+            self._latencies_by_outcome[outcome].append(elapsed)
         _STAGE_SECONDS.observe(elapsed, stage="total")
+        _LATENCY.observe(elapsed, outcome=outcome)
         if req.t_dispatch is not None:
             _STAGE_SECONDS.observe(req.t_dispatch - req.t_submit, stage="queue")
             _STAGE_SECONDS.observe(now - req.t_dispatch, stage="compute")
@@ -870,15 +1197,21 @@ class SageServer:
         }
 
     def stats(self) -> dict:
-        """The ``stats`` RPC payload: cache, batching, shard, latency,
-        and the merged metrics registry (``metrics`` section)."""
+        """The ``stats`` RPC payload: cache, batching, shard, latency
+        (overall and split by cache outcome), the speculative-warming
+        counters, and the merged metrics registry (``metrics`` section)."""
         with self._lock:
             latencies = sorted(self._latencies)
+            by_outcome = {
+                outcome: sorted(samples)
+                for outcome, samples in self._latencies_by_outcome.items()
+            }
             counters = {
                 "submitted": self._submitted,
                 "served": self._served,
                 "errors": self._errors,
                 "bypassed": self._bypassed,
+                "fast_path": self._fast_path,
             }
             batches = {
                 "count": self._batches,
@@ -892,6 +1225,14 @@ class SageServer:
             "degraded": self._degraded,
             "requests": counters,
             "cache": self._cache.stats().to_dict(),
+            "reply_cache": {
+                "currsize": len(self._reply_cache),
+                "maxsize": self._reply_cache.maxsize,
+                "hits": self._reply_cache.hits,
+            },
+            "warming": (
+                self._warmer.stats() if self._warmer is not None else None
+            ),
             "batches": batches,
             "shards": [
                 {
@@ -903,6 +1244,10 @@ class SageServer:
                 for index, shard in enumerate(self._shards)
             ],
             "latency_ms": _percentiles_ms(latencies),
+            "latency_by_outcome_ms": {
+                outcome: _percentiles_ms(samples)
+                for outcome, samples in by_outcome.items()
+            },
             "metrics": self.collect_metrics(),
         }
 

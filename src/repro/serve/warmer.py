@@ -1,0 +1,240 @@
+"""Speculative band warming: turn the *next* cold request into a hit.
+
+The serve tail is pure cold-miss: a workload whose density band has never
+been decided pays the full MCF/ACF search (hundreds of ms) while warm
+hits answer in microseconds.  Traffic is not adversarial, though — real
+callers sweep densities and scale problem sizes, so a miss in band *b*
+is a strong predictor of imminent traffic in bands *b ± 1* and at the
+next problem size.  :class:`BandWarmer` exploits that: every miss (and
+near-hit) enqueues the adjacent density bands and the predicted-next
+sizes of that fingerprint onto a bounded background queue; one low-
+priority thread computes them and publishes the decisions into the front
+:class:`~repro.serve.cache.DecisionCache`, so the next cold request in
+the band is answered from the near-hit tier instead of re-running the
+search.
+
+Design points:
+
+* **bounded + drop-new** — the queue never grows past ``maxsize``;
+  under overload, new speculation is dropped (counted) rather than
+  delaying foreground work or ballooning memory;
+* **deduplicated** — a band is enqueued at most once while pending, and
+  bands the cache already covers are skipped before costing a search;
+* **best-effort** — warm predictions that fail (a synthesized workload
+  the predictor rejects) are counted and dropped, never raised;
+* **single thread** — speculation shares the process with the serving
+  hot path, so at most one background search runs at a time.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable
+
+from repro.obs import get_logger, registry, span
+from repro.serve.cache import DecisionCache
+from repro.serve.fingerprint import WorkloadFingerprint, fingerprint_of
+from repro.workloads.spec import Kernel, MatrixWorkload, TensorWorkload
+
+__all__ = ["BandWarmer", "warm_candidates"]
+
+_LOG = get_logger("serve.warmer")
+
+_WARM_EVENTS = registry().counter(
+    "repro_serve_warm_events_total",
+    "Speculative warm-queue events (queued/warmed/dropped/skipped/failed)",
+)
+
+
+def _clamped(value: int, lo: int, hi: int) -> int:
+    return max(lo, min(hi, value))
+
+
+def warm_candidates(
+    fp: WorkloadFingerprint, bands: int = 1
+) -> list[MatrixWorkload | TensorWorkload]:
+    """Synthesize the speculative neighbours of one fingerprint.
+
+    Two families, mirroring how real traffic drifts:
+
+    * **adjacent density bands** — the sparse operand's nonzero count
+      scaled by ``2**±d`` for ``d in 1..bands`` (one power of two is
+      exactly one :func:`~repro.serve.fingerprint.density_band` step);
+    * **predicted-next sizes** — every extent doubled at constant
+      density (callers scale problems up far more often than down).
+
+    Fingerprints are lossless for this purpose: they carry every field
+    the cost model reads, so the synthesized workload's decision equals
+    the decision any real workload in that band would get.
+    """
+    kernel = Kernel(fp.kernel)
+    out: list[MatrixWorkload | TensorWorkload] = []
+    if fp.kind == "tensor":
+        x, y, z, rank = fp.dims
+        (nnz,) = fp.nnz
+        size = x * y * z
+        for d in range(1, bands + 1):
+            for factor in (2**d, 1 / 2**d):
+                scaled = _clamped(int(nnz * factor), 1, size)
+                out.append(TensorWorkload(
+                    name=f"warm:{fp.kernel}:nnz{scaled}",
+                    kernel=kernel, shape=(x, y, z), nnz=scaled, rank=rank,
+                    dtype_bits=fp.dtype_bits,
+                ))
+        if bands >= 1:
+            out.append(TensorWorkload(
+                name=f"warm:{fp.kernel}:next-size",
+                kernel=kernel, shape=(2 * x, 2 * y, 2 * z),
+                nnz=_clamped(nnz * 8, 1, 8 * size), rank=2 * rank,
+                dtype_bits=fp.dtype_bits,
+            ))
+        return out
+    m, k, n = fp.dims
+    nnz_a, nnz_b = fp.nnz
+    for d in range(1, bands + 1):
+        for factor in (2**d, 1 / 2**d):
+            scaled = _clamped(int(nnz_a * factor), 1, m * k)
+            out.append(MatrixWorkload(
+                name=f"warm:{fp.kernel}:nnz{scaled}",
+                kernel=kernel, m=m, k=k, n=n,
+                nnz_a=scaled, nnz_b=nnz_b, dtype_bits=fp.dtype_bits,
+            ))
+    if bands >= 1:
+        # Next problem size: extents doubled, density held, so the
+        # dense-B invariant (nnz_b == k*n) survives the scaling.
+        out.append(MatrixWorkload(
+            name=f"warm:{fp.kernel}:next-size",
+            kernel=kernel, m=2 * m, k=2 * k, n=2 * n,
+            nnz_a=_clamped(4 * nnz_a, 1, 4 * m * k),
+            nnz_b=_clamped(4 * nnz_b, 1, 4 * k * n),
+            dtype_bits=fp.dtype_bits,
+        ))
+    return out
+
+
+class BandWarmer:
+    """Background warm queue feeding a :class:`DecisionCache`."""
+
+    def __init__(
+        self,
+        predict: Callable[[MatrixWorkload | TensorWorkload], object],
+        cache: DecisionCache,
+        *,
+        config=None,
+        bands: int = 1,
+        maxsize: int = 256,
+    ) -> None:
+        self._predict = predict
+        self._cache = cache
+        self._config = config
+        self.bands = max(1, bands)
+        self.maxsize = max(1, maxsize)
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: deque = deque()
+        self._pending: set[tuple] = set()  # band keys queued or in flight
+        self._closed = False
+        self._idle = threading.Event()
+        self._idle.set()
+        # Monotonic counters (guarded by self._lock).
+        self._queued = 0
+        self._warmed = 0
+        self._dropped = 0
+        self._skipped = 0
+        self._failed = 0
+        self._thread = threading.Thread(
+            target=self._loop, name="serve-warmer", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------- intake
+    def enqueue(self, fp: WorkloadFingerprint) -> int:
+        """Queue the speculative neighbours of *fp*; returns how many."""
+        accepted = 0
+        for workload in warm_candidates(fp, self.bands):
+            target = fingerprint_of(workload, self._config)
+            band = target.band_key()
+            if band == fp.band_key() or self._cache.has_band(band):
+                with self._lock:
+                    self._skipped += 1
+                _WARM_EVENTS.inc(event="skipped")
+                continue
+            with self._lock:
+                if self._closed or band in self._pending:
+                    continue
+                if len(self._queue) >= self.maxsize:
+                    self._dropped += 1
+                    _WARM_EVENTS.inc(event="dropped")
+                    continue
+                self._pending.add(band)
+                self._queue.append((band, target, workload))
+                self._queued += 1
+                self._idle.clear()
+                accepted += 1
+                self._wakeup.notify()
+        if accepted:
+            _WARM_EVENTS.inc(accepted, event="queued")
+        return accepted
+
+    # -------------------------------------------------------------- worker
+    def _loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._idle.set()
+                    self._wakeup.wait()
+                if self._closed:
+                    self._idle.set()
+                    return
+                band, target, workload = self._queue.popleft()
+            try:
+                if not self._cache.has_band(band):  # raced a real request
+                    with span("serve.warm_predict", workload=workload.name):
+                        decision = self._predict(workload)
+                    self._cache.put(target, decision)
+                    with self._lock:
+                        self._warmed += 1
+                    _WARM_EVENTS.inc(event="warmed")
+                else:
+                    with self._lock:
+                        self._skipped += 1
+                    _WARM_EVENTS.inc(event="skipped")
+            except Exception:  # noqa: BLE001 - speculation must not raise
+                with self._lock:
+                    self._failed += 1
+                _WARM_EVENTS.inc(event="failed")
+                _LOG.warning(
+                    "speculative warm failed for %r", workload.name,
+                    exc_info=True,
+                )
+            finally:
+                with self._lock:
+                    self._pending.discard(band)
+
+    # ----------------------------------------------------------- lifecycle
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Block until the queue is empty and the worker idle (tests)."""
+        return self._idle.wait(timeout=timeout_s)
+
+    def close(self) -> None:
+        """Stop the worker; queued speculation is abandoned."""
+        with self._lock:
+            self._closed = True
+            self._queue.clear()
+            self._pending.clear()
+            self._wakeup.notify_all()
+        self._thread.join(timeout=5)
+
+    def stats(self) -> dict:
+        """JSON-safe counters for the server's ``stats`` RPC."""
+        with self._lock:
+            return {
+                "bands": self.bands,
+                "queued": self._queued,
+                "warmed": self._warmed,
+                "dropped": self._dropped,
+                "skipped": self._skipped,
+                "failed": self._failed,
+                "depth": len(self._queue),
+            }

@@ -1,0 +1,254 @@
+"""Consistent-hash ring unit tests plus end-to-end fleet tests."""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.api import Session
+from repro.serve import (
+    HashRing,
+    RouterConfig,
+    SageRouter,
+    SageServer,
+    ServeClient,
+    ServeConfig,
+    routing_key,
+)
+from repro.workloads.spec import Kernel, MatrixWorkload, TensorWorkload
+
+_SERVE = ServeConfig(port=0, shards=0, batch_window_ms=1.0)
+
+
+def _wl(i: int = 0) -> MatrixWorkload:
+    return MatrixWorkload(
+        f"fleet-{i}", Kernel.SPMM, m=128 + 16 * i, k=96, n=64,
+        nnz_a=900 + 37 * i, nnz_b=96 * 64,
+    )
+
+
+# ---------------------------------------------------------------- hash ring
+class TestHashRing:
+    def test_empty_ring_has_no_owner(self):
+        assert HashRing().node_for(123) is None
+        assert HashRing().nodes_for(123, 2) == []
+
+    @staticmethod
+    def _keys(count: int) -> list[int]:
+        # Fibonacci-hash the index so keys cover the full 64-bit space
+        # the way real (BLAKE2-digest) routing keys do.
+        return [k * 11400714819323198485 % 2**64 for k in range(1, count + 1)]
+
+    def test_every_node_owns_keys(self):
+        ring = HashRing([f"n{i}" for i in range(4)])
+        owners = {ring.node_for(key) for key in self._keys(2000)}
+        assert owners == {"n0", "n1", "n2", "n3"}
+
+    def test_distribution_is_roughly_balanced(self):
+        ring = HashRing([f"n{i}" for i in range(4)], vnodes=128)
+        counts: dict[str, int] = {}
+        for key in self._keys(4000):
+            node = ring.node_for(key)
+            counts[node] = counts.get(node, 0) + 1
+        share = 4000 / 4
+        for node, count in counts.items():
+            # Virtual nodes bound the imbalance; 2x of fair share is a
+            # loose bar a broken ring (e.g. one vnode) blows through.
+            assert count > share / 2, (node, counts)
+            assert count < share * 2, (node, counts)
+
+    def test_removal_moves_only_the_lost_nodes_keys(self):
+        ring = HashRing(["a", "b", "c"], vnodes=64)
+        keys = TestHashRing._keys(1500)
+        before = {k: ring.node_for(k) for k in keys}
+        ring.remove("b")
+        after = {k: ring.node_for(k) for k in keys}
+        for k in keys:
+            if before[k] != "b":
+                # Consistency: survivors keep every key they owned.
+                assert after[k] == before[k]
+            else:
+                assert after[k] in ("a", "c")
+
+    def test_add_back_restores_ownership(self):
+        ring = HashRing(["a", "b", "c"], vnodes=64)
+        keys = TestHashRing._keys(800)
+        before = {k: ring.node_for(k) for k in keys}
+        ring.remove("b")
+        ring.add("b")
+        assert {k: ring.node_for(k) for k in keys} == before
+
+    def test_nodes_for_yields_distinct_failover_order(self):
+        ring = HashRing(["a", "b", "c"], vnodes=64)
+        order = ring.nodes_for(42, 3)
+        assert len(order) == 3
+        assert sorted(order) == ["a", "b", "c"]
+        assert order[0] == ring.node_for(42)
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(["a"], vnodes=8)
+        ring.add("a")
+        assert len(ring._points) == 8
+
+
+# -------------------------------------------------------------- routing key
+class TestRoutingKey:
+    def test_stable_and_config_free(self):
+        assert routing_key(_wl()) == routing_key(_wl())
+        assert routing_key(_wl()) == routing_key(_wl().to_dict())
+
+    def test_same_band_same_key(self):
+        a = _wl()
+        b = MatrixWorkload("renamed", a.kernel, m=a.m, k=a.k, n=a.n,
+                           nnz_a=a.nnz_a + 1, nnz_b=a.nnz_b)
+        assert routing_key(a) == routing_key(b)  # same density band
+
+    def test_different_kernel_different_key(self):
+        a = _wl()
+        b = MatrixWorkload(a.name, Kernel.SPGEMM, m=a.m, k=a.k, n=a.n,
+                           nnz_a=a.nnz_a, nnz_b=a.nnz_b)
+        assert routing_key(a) != routing_key(b)
+
+    def test_tensor_workloads_route(self):
+        wl = TensorWorkload("t", Kernel.SPTTM, (32, 32, 32), 500, rank=8)
+        assert routing_key(wl) == routing_key(wl.to_dict())
+
+
+# ------------------------------------------------------------------- fleet
+@pytest.fixture(scope="module")
+def fleet():
+    with SageRouter(
+        router=RouterConfig(replicas=2, serve=_SERVE)
+    ) as router:
+        yield router
+
+
+class TestFleetEndToEnd:
+    def test_binary_and_legacy_clients_agree_with_local_session(self, fleet):
+        wl = _wl(1)
+        with Session() as session:
+            local = session.predict(wl).to_wire()
+        # top=0 requests the full ranking, matching the local wire form.
+        with ServeClient(*fleet.address) as binary:
+            served_binary = binary.predict(wl, top=0).to_wire()
+        with ServeClient(*fleet.address, wire_mode="json") as legacy:
+            served_legacy = legacy.predict(wl, top=0).to_wire()
+        assert served_binary == local
+        assert served_legacy == local
+
+    def test_repeat_rides_the_edge_cache(self, fleet):
+        # A band of its own (SpGEMM, far-off sizes): the first answer is
+        # an exact miss — final, so the router may memoize it.  (A
+        # near-hit reply would deliberately NOT be edge-cached.)
+        wl = MatrixWorkload("edge", Kernel.SPGEMM, m=512, k=512, n=256,
+                            nnz_a=30_000, nnz_b=20_000)
+        with ServeClient(*fleet.address) as client:
+            first = client.predict(wl)
+            before = fleet._reply_cache.hits
+            again = client.predict(wl)
+        assert first.to_wire() == again.to_wire()
+        assert fleet._reply_cache.hits > before
+
+    def test_same_workload_routes_to_one_replica(self, fleet):
+        # Ten sends of one workload must not fan out across replicas.
+        wl = _wl(3)
+        with ServeClient(*fleet.address) as client:
+            for _ in range(3):
+                client.predict(wl)
+        key = routing_key(wl)
+        assert len(fleet._ring.nodes_for(key, 1)) == 1
+
+    def test_ping_answers_at_the_router(self, fleet):
+        with ServeClient(*fleet.address) as client:
+            assert client.ping()
+
+    def test_stats_aggregates_the_fleet(self, fleet):
+        with ServeClient(*fleet.address) as client:
+            client.predict(_wl(4))
+            stats = client.stats()
+        ring = stats["fleet"]["ring"]
+        assert sorted(ring["nodes"]) == ["replica-0", "replica-1"]
+        assert len(stats["fleet"]["replicas"]) == 2
+        assert stats["requests"]["submitted"] >= 1
+        relay = stats["fleet"]["relay"]
+        assert relay["frames"] + relay["edge_hits"] >= 1
+
+    def test_legacy_line_reply_is_bit_identical_to_single_server(self):
+        # The fleet compatibility pin: a legacy JSON-lines client must be
+        # answered byte-for-byte as a single-process server answers it.
+        wl = _wl(5)
+        request = (
+            json.dumps({"op": "predict", "workload": wl.to_dict(),
+                        "top": 2}) + "\n"
+        ).encode()
+
+        def raw_reply(address) -> bytes:
+            with socket.create_connection(address, timeout=30) as sock:
+                f = sock.makefile("rwb")
+                f.write(request)
+                f.flush()
+                return f.readline()
+
+        with SageServer(serve=_SERVE) as single:
+            single_reply = raw_reply(single.address)
+        with SageRouter(
+            router=RouterConfig(replicas=2, serve=_SERVE)
+        ) as router:
+            fleet_reply = raw_reply(router.address)
+        assert json.loads(single_reply).get("ok") is True
+        assert fleet_reply == single_reply
+
+    def test_predict_many_round_trips(self, fleet):
+        suite = [_wl(i) for i in range(6, 9)]
+        with ServeClient(*fleet.address) as client:
+            decisions = client.predict_many(suite)
+        assert [d.workload_name for d in decisions] == [
+            wl.name for wl in suite
+        ]
+
+
+class TestReplicaLoss:
+    def test_requests_survive_a_dead_replica(self):
+        config = RouterConfig(
+            replicas=2, serve=_SERVE,
+            health_interval_s=0.2, health_timeout_s=0.3,
+        )
+        with SageRouter(router=config) as fleet:
+            suite = [_wl(i) for i in range(4)]
+            with ServeClient(*fleet.address) as client:
+                for wl in suite:
+                    client.predict(wl)
+                # Kill one replica out from under the router.
+                fleet._servers[0].close()
+                # Fresh workloads (no edge-cache cover) must still be
+                # answered: either relayed straight to the survivor or
+                # miss-forwarded after the dead node fails.
+                for i in range(10, 16):
+                    assert client.predict(_wl(i)).best is not None
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if "replica-0" in fleet._down:
+                    break
+                time.sleep(0.1)
+            assert "replica-0" in fleet._down
+            assert fleet._ring.nodes == {"replica-1"}
+
+    def test_shutdown_rpc_stops_the_whole_fleet(self):
+        fleet = SageRouter(
+            router=RouterConfig(replicas=2, serve=_SERVE)
+        )
+        fleet.start()
+        with ServeClient(*fleet.address, retries=0) as client:
+            client.shutdown_server()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if fleet._closed.is_set() and all(
+                srv._closed.is_set() for srv in fleet._servers
+            ):
+                break
+            time.sleep(0.1)
+        assert fleet._closed.is_set()
+        assert all(srv._closed.is_set() for srv in fleet._servers)

@@ -173,7 +173,10 @@ class TestOptionsOverTheWire:
                 stats = client.stats()
         assert first.fidelity == again.fidelity == "cycle"
         assert stats["requests"]["bypassed"] == 0
-        assert stats["cache"]["hits"] >= 1
+        # The repeat is served from cache — either the decision cache or
+        # the encoded-reply fast path (byte-identical framed repeats skip
+        # the decision cache entirely); both are tier-consistent.
+        assert stats["cache"]["hits"] + stats["requests"]["fast_path"] >= 1
 
     def test_top_k_honored_on_cacheable_path(self, server):
         # top_k must bound the shipped ranking whether or not the request

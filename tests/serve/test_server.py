@@ -260,16 +260,31 @@ class TestModes:
         import socket as socket_mod
 
         with SageServer(serve=ServeConfig(port=0, shards=0)) as srv:
-            c = ServeClient(*srv.address)
+            # retries=0 opts out of the default transparent retry, which
+            # restores the PR-2-era poison-on-first-failure contract.
+            c = ServeClient(*srv.address, retries=0)
             assert c.ping()
             # Simulate a dropped transport mid-session.
             c._sock.shutdown(socket_mod.SHUT_RDWR)
-            with pytest.raises(
-                ServeError, match="transport failed|closed the connection"
-            ):
+            with pytest.raises(ServeError, match="transport failed"):
                 c.ping()
             with pytest.raises(ServeError, match="poisoned"):
                 c.ping()
+
+    def test_client_retries_transparently_after_transport_failure(self):
+        import socket as socket_mod
+
+        with SageServer(serve=ServeConfig(port=0, shards=0)) as srv:
+            c = ServeClient(*srv.address)  # default: retries=1
+            assert c.ping()
+            # Kill the transport under the client; the next idempotent op
+            # must reconnect-and-resend instead of surfacing the failure.
+            c._sock.shutdown(socket_mod.SHUT_RDWR)
+            assert c.ping()
+            assert not c.broken
+            decision = c.predict(_wl())
+            assert decision.best is not None
+            c.close()
 
     def test_timeout_unwedges_inflight_fingerprint(self):
         # A result that never arrives (e.g. a killed shard) must not leave
@@ -295,3 +310,63 @@ class TestModes:
         req = srv._submit(_wl().to_dict())
         assert req.done.is_set()
         assert req.error == "server shutting down"
+
+
+class TestClientPool:
+    def test_pool_serves_concurrent_threads(self, server):
+        from repro.serve import ServeClientPool
+
+        with ServeClientPool(*server.address, size=3) as pool:
+            results: list = []
+            errors: list = []
+
+            def worker(i: int) -> None:
+                try:
+                    results.append(pool.predict(_wl(m=256 + 16 * i)))
+                except Exception as exc:  # pragma: no cover - fail loud
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len(results) == 8
+            assert all(d.best is not None for d in results)
+            # Lazy creation never exceeds the configured bound.
+            assert pool._created <= 3
+
+    def test_pool_replaces_broken_connections(self, server):
+        import socket as socket_mod
+
+        from repro.serve import ServeClientPool
+
+        with ServeClientPool(*server.address, size=1, retries=0) as pool:
+            assert pool.ping()
+            client = pool._checkout()
+            client._sock.shutdown(socket_mod.SHUT_RDWR)
+            with pytest.raises(ServeError):
+                client.ping()  # retries=0: the transport failure poisons it
+            assert client.broken
+            pool._checkin(client)
+            # The poisoned connection is discarded; the next call gets a
+            # fresh socket.
+            assert pool.ping()
+
+    def test_pool_close_refuses_checkout(self, server):
+        from repro.serve import ServeClientPool
+
+        pool = ServeClientPool(*server.address, size=2)
+        assert pool.ping()
+        pool.close()
+        with pytest.raises(ServeError, match="pool is closed"):
+            pool.predict(_wl())
+
+    def test_pool_size_must_be_positive(self, server):
+        from repro.serve import ServeClientPool
+
+        with pytest.raises(ValueError):
+            ServeClientPool(*server.address, size=0)
