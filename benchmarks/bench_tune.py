@@ -1,0 +1,91 @@
+"""Tune-sweep resume: cold grid sweep vs artifact-cache resume.
+
+A ``repro tune`` sweep keys every (point, suite, fidelity) evaluation
+into the xp artifact store, so a resumed sweep — same space, same suite
+— answers every cell from content-hashed cache and re-executes nothing.
+This bench times the CI smoke sweep cold against a scratch store, then
+resumed, and records the speedup plus the front shape in
+``benchmarks/out/tune.json`` for ``check_floors.py``.
+
+The acceptance bar: resume re-executes **zero** cells and lands well
+above the conservative 3x floor (measured ~40-100x: a resume pays JSON
+loads where the cold pass pays whole SAGE sweeps per point).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:  # standalone runs without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.tune import TuneConfig, run_tune, space
+
+OUT_DIR = Path(__file__).parent / "out"
+OUT_PATH = OUT_DIR / "tune.json"
+
+
+def measure() -> dict:
+    with tempfile.TemporaryDirectory() as scratch:
+        base = dict(
+            suite="smoke",
+            store_root=f"{scratch}/store",
+            out_dir=scratch,
+            report=False,
+        )
+        t0 = time.perf_counter()
+        cold = run_tune(space("smoke"), TuneConfig(**base))
+        cold_s = time.perf_counter() - t0
+        assert cold.ok and cold.cached == 0, cold.record()
+
+        t0 = time.perf_counter()
+        resumed = run_tune(space("smoke"), TuneConfig(resume=True, **base))
+        resume_s = time.perf_counter() - t0
+        assert resumed.ok, resumed.record()
+
+    result = {
+        "space": "smoke",
+        "suite": "smoke",
+        "points": len(cold.entries),
+        "cold_s": cold_s,
+        "resume_s": resume_s,
+        "speedup_resume_vs_cold": cold_s / resume_s,
+        "resume_executed": resumed.executed,
+        "resume_cached": resumed.cached,
+        "front_size": len(cold.front),
+        "hypervolume": round(cold.hypervolume, 4),
+        "anchor_on_front": any(e.is_anchor for e in cold.front_entries()),
+    }
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def bench_tune(once, benchmark):
+    out = once(measure)
+    print()
+    print(f"{'pass':>14} | {'total':>9}")
+    print(f"{'cold sweep':>14} | {out['cold_s']:>8.2f}s")
+    print(f"{'resume':>14} | {out['resume_s']:>8.2f}s")
+    print(
+        f"resume vs cold: {out['speedup_resume_vs_cold']:.1f}x over "
+        f"{out['points']} points; resume re-executed "
+        f"{out['resume_executed']} cells; front {out['front_size']} "
+        f"(hypervolume {out['hypervolume']:g})"
+    )
+    print(f"wrote {OUT_PATH}")
+    # The regression gate is check_floors.py's conservative 3.0 floor on
+    # the recorded JSON; the structural invariants are asserted here.
+    assert out["resume_executed"] == 0
+    assert out["resume_cached"] == out["points"]
+    assert out["front_size"] >= 2
+    benchmark.extra_info["speedup_resume_vs_cold"] = round(
+        out["speedup_resume_vs_cold"], 2
+    )
+    benchmark.extra_info["points"] = out["points"]

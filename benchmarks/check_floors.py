@@ -68,17 +68,59 @@ FLOORS: dict[str, dict[str, float]] = {
     "xp_runner.json": {
         "comparison.speedup_vs_serial_scripts": 1.5,
     },
+    # Tune sweeps resume from the artifact store: a cached re-run must be
+    # far faster than the cold sweep (measured ~40x on a single core) and
+    # the smoke space must keep a non-trivial front.
+    "tune.json": {
+        "speedup_resume_vs_cold": 3.0,
+        "front_size": 2,
+    },
+}
+
+#: file -> the bench script that produces it, named in failure messages
+#: so a missing artifact points straight at the command to re-run.
+BENCH_SOURCES: dict[str, str] = {
+    "path_planning.json": "bench_path_planning.py",
+    "serve.json": "bench_serve.py",
+    "serve_fleet.json": "bench_serve_fleet.py",
+    "simulate_many.json": "bench_simulate_many.py",
+    "obs_overhead.json": "bench_obs_overhead.py",
+    "xp_runner.json": "bench_xp_runner.py",
+    "tune.json": "bench_tune.py",
 }
 
 
+def _source_hint(filename: str) -> str:
+    bench = BENCH_SOURCES.get(filename)
+    if bench is None:
+        return f"re-run the bench that writes {filename}"
+    return (
+        f"run: PYTHONPATH=src python -m pytest benchmarks/{bench} "
+        f"-o python_files='bench_*.py' -o python_functions='bench_*' -q -s"
+    )
+
+
 def _lookup(data: dict, key: str):
-    """Resolve a dotted key path into nested JSON objects."""
+    """Resolve a dotted key path; returns (value, error-or-None).
+
+    A miss names the exact segment that was absent and where, so a floor
+    on ``comparison.speedup`` failing because ``comparison`` never made
+    it into the JSON reads as that — not as a bare KeyError or an
+    indistinguishable "absent or non-numeric".
+    """
     value = data
-    for part in key.split("."):
+    parts = key.split(".")
+    for depth, part in enumerate(parts):
+        where = "top level" if depth == 0 else f"under {'.'.join(parts[:depth])!r}"
         if not isinstance(value, dict):
-            return None
-        value = value.get(part)
-    return value
+            return None, (
+                f"cannot descend into {part!r}: {where} is "
+                f"{type(value).__name__}, not an object"
+            )
+        if part not in value:
+            return None, f"key {part!r} absent at {where}"
+        value = value[part]
+    return value, None
 
 
 def check(out_dir: Path = OUT_DIR) -> list[str]:
@@ -87,11 +129,13 @@ def check(out_dir: Path = OUT_DIR) -> list[str]:
     for filename, floors in sorted(FLOORS.items()):
         path = out_dir / filename
         if not path.is_file():
-            failures.append(f"{filename}: missing (did its bench run?)")
+            failures.append(
+                f"{filename}: missing from {out_dir} — {_source_hint(filename)}"
+            )
             continue
         data = json.loads(path.read_text())
         for key, bound in sorted(floors.items()):
-            value = _lookup(data, key)
+            value, miss = _lookup(data, key)
             if isinstance(bound, dict):
                 ceiling, kind, ok = bound["max"], "ceiling", (
                     isinstance(value, (int, float)) and value <= bound["max"]
@@ -102,8 +146,16 @@ def check(out_dir: Path = OUT_DIR) -> list[str]:
                     isinstance(value, (int, float)) and value >= bound
                 )
                 limit = bound
-            if not isinstance(value, (int, float)):
-                failures.append(f"{filename}: {key} absent or non-numeric")
+            if miss is not None:
+                failures.append(
+                    f"{filename}: {key} — {miss} "
+                    f"(stale or truncated artifact? {_source_hint(filename)})"
+                )
+            elif not isinstance(value, (int, float)) or isinstance(value, bool):
+                failures.append(
+                    f"{filename}: {key} is {type(value).__name__} "
+                    f"({value!r}), expected a number"
+                )
             elif not ok:
                 failures.append(
                     f"{filename}: {key} = {value:.2f} "

@@ -8,7 +8,9 @@ bus per cycle, and 32-bit datatype."  With the paper's 8-wide vector PEs
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.errors import ConfigError
 
@@ -69,6 +71,38 @@ class AcceleratorConfig:
     def total_macs(self) -> int:
         """Total MAC lanes across the array."""
         return self.num_pes * self.vector_lanes
+
+    # ---------------------------------------------------------------- wire --
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe field dict (inverse of :meth:`from_dict`).
+
+        Used to persist tuned configs in the artifact store and to ship
+        hardware overrides over the serve wire schema; the round-trip is
+        digest-stable (``config_digest(from_dict(to_dict(c))) ==
+        config_digest(c)``) because integer fields stay integers.
+        """
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AcceleratorConfig":
+        """Rebuild a config from its :meth:`to_dict` form.
+
+        Unknown keys are rejected so schema typos fail loudly, and numeric
+        types are normalized (counts to ``int``, clock to ``float``) so a
+        JSON round-trip cannot perturb the config digest.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown AcceleratorConfig field(s) {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        kwargs: dict[str, Any] = {}
+        for name in known & set(data):
+            value = data[name]
+            kwargs[name] = float(value) if name == "clock_hz" else int(value)
+        return cls(**kwargs)
 
     # ------------------------------------------------------------- presets --
     @classmethod

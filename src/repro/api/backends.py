@@ -100,10 +100,12 @@ class LocalBackend:
     def predict_one(
         self, workload: Workload, options: PredictOptions
     ) -> SageDecision:
-        if options.restricts_search:
+        if options.restricts_search or options.overrides_hardware:
             # Restricted searches are workload-specific beyond what the
-            # fingerprint captures: compute, never cache (mirrors the
-            # server's bypass path so local and remote stay wire-identical).
+            # fingerprint captures, and hardware overrides answer for a
+            # different accelerator than the fingerprint names: compute,
+            # never cache (mirrors the server's bypass path so local and
+            # remote stay wire-identical).
             return self.sage.predict(workload, options=options)
         cache = self._caches[options.local_fidelity]
         fp = fingerprint_of(workload, self.sage.config)
@@ -119,7 +121,7 @@ class LocalBackend:
     def predict_batch(
         self, workloads: Sequence[Workload], options: PredictOptions
     ) -> list[SageDecision]:
-        if options.restricts_search:
+        if options.restricts_search or options.overrides_hardware:
             return self.sage.predict_many(list(workloads), options=options)
         cache = self._caches[options.local_fidelity]
         decisions: list[SageDecision | None] = []

@@ -25,6 +25,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.accelerator.config import AcceleratorConfig
 from repro.errors import PredictionError
 from repro.formats.registry import Format
 
@@ -104,6 +105,16 @@ class PredictOptions:
     processes:
         Local batch fan-out width for one-call-many-workloads predictions
         (ignored by remote backends: the server owns its own pool).
+    config:
+        Evaluate against this :class:`~repro.accelerator.config.\
+AcceleratorConfig` instead of the backend's resident one (accepts the
+        ``to_dict`` form too).  The ``repro.tune`` autotuner rides this to
+        make every (workload, hardware) pair a servable query; like the
+        search restrictions it bypasses decision caches, whose fingerprints
+        assume the resident config.
+    dram_gbps:
+        Override the DRAM channel bandwidth (GB/s) alongside ``config``;
+        ``None`` keeps the backend's channel.
 
     Example
     -------
@@ -123,6 +134,8 @@ class PredictOptions:
     mcf_b_space: tuple[Format, ...] | None = None
     top_k: int | None = None
     processes: int | None = None
+    config: AcceleratorConfig | None = None
+    dram_gbps: float | None = None
 
     def __post_init__(self) -> None:
         if self.fidelity is not None and self.fidelity not in FIDELITIES:
@@ -142,6 +155,14 @@ class PredictOptions:
             raise PredictionError("top_k must be a positive ranking length")
         if self.processes is not None and self.processes < 1:
             raise PredictionError("processes must be positive")
+        if self.config is not None and not isinstance(self.config, AcceleratorConfig):
+            object.__setattr__(
+                self, "config", AcceleratorConfig.from_dict(self.config)
+            )
+        if self.dram_gbps is not None:
+            object.__setattr__(self, "dram_gbps", float(self.dram_gbps))
+            if self.dram_gbps <= 0:
+                raise PredictionError("dram_gbps must be positive")
 
     @property
     def restricts_search(self) -> bool:
@@ -158,6 +179,17 @@ class PredictOptions:
             or self.mcf_b_space is not None
         )
 
+    @property
+    def overrides_hardware(self) -> bool:
+        """True when the request names its own accelerator/DRAM config.
+
+        Decision caches fingerprint against the backend's resident config,
+        so hardware-override traffic must bypass them exactly like
+        restricted searches do; the predictor answers it on a derived
+        :class:`~repro.sage.predictor.Sage` instead.
+        """
+        return self.config is not None or self.dram_gbps is not None
+
     def search_kwargs(self) -> dict[str, Any]:
         """The restriction kwargs in ``matrix_combos`` vocabulary."""
         kwargs: dict[str, Any] = {"fixed_mcf": self.fixed_mcf}
@@ -173,8 +205,12 @@ class PredictOptions:
         return self.fidelity or "analytical"
 
     def to_wire(self) -> dict:
-        """JSON-safe wire form (inverse of :meth:`from_wire`)."""
-        return {
+        """JSON-safe wire form (inverse of :meth:`from_wire`).
+
+        The hardware-override keys are omitted when unset so requests
+        without them keep the exact PR-7 wire shape.
+        """
+        wire: dict[str, Any] = {
             "fidelity": self.fidelity,
             "fixed_mcf": (
                 None
@@ -194,6 +230,11 @@ class PredictOptions:
             "top_k": self.top_k,
             "processes": self.processes,
         }
+        if self.config is not None:
+            wire["config"] = self.config.to_dict()
+        if self.dram_gbps is not None:
+            wire["dram_gbps"] = self.dram_gbps
+        return wire
 
     @classmethod
     def from_wire(cls, data: Mapping[str, Any]) -> "PredictOptions":
@@ -219,6 +260,10 @@ class PredictOptions:
             top_k=(None if data.get("top_k") is None else int(data["top_k"])),
             processes=(
                 None if data.get("processes") is None else int(data["processes"])
+            ),
+            config=data.get("config"),
+            dram_gbps=(
+                None if data.get("dram_gbps") is None else float(data["dram_gbps"])
             ),
         )
 

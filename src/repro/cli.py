@@ -425,6 +425,74 @@ def _cmd_xp(args: argparse.Namespace) -> int:
     return 0 if summary.ok else 1
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.tune import TuneConfig, TunePoint, run_tune, space
+    from repro.xp import default_out_dir
+
+    space_name = args.space or "smoke"
+    suite = args.suite or "smoke"
+    if args.smoke:
+        # The CI entry point: pin the CI-sized space and suite.
+        space_name, suite = "smoke", "smoke"
+    config = TuneConfig(
+        suite=suite,
+        strategy=args.strategy,
+        budget=args.budget,
+        seed=args.seed,
+        backend=args.backend,
+        processes=1 if args.serial else args.processes,
+        transport=args.transport,
+        resume=args.resume,
+        force=args.force,
+        include_seeds=not args.no_seeds,
+        store_root=args.store,
+        out_dir=args.out or default_out_dir(),
+        report=not args.no_report,
+    )
+    result = run_tune(space(space_name), config)
+    if args.json:
+        _emit_json(result.record())
+        return 0 if result.ok else 1
+    print(
+        f"swept {len(result.entries)} configs "
+        f"({result.executed} executed, {result.cached} from cache, "
+        f"{result.pruned} pruned, {result.failed} failed) "
+        f"in {result.wall_s:.2f}s — front {len(result.front)}, "
+        f"hypervolume {result.hypervolume:.3f}"
+    )
+    anchor = result.anchor
+    if anchor is not None and anchor.ok:
+        marker = (
+            "on the front"
+            if any(result.entries[i].is_anchor for i in result.front)
+            else "dominated"
+        )
+        print(
+            f"anchor paper_default: cycles {anchor.result['cycles']} "
+            f"energy {anchor.result['energy_j']:.4g} J "
+            f"area {anchor.result['area_mm2']:.4g} mm2 ({marker})"
+        )
+    shown = result.front_entries()[: args.top]
+    for entry in shown:
+        extra = " (paper_default)" if entry.is_anchor else ""
+        print(
+            f"  * {entry.point.label()}{extra}: "
+            f"cycles {entry.result['cycles']} "
+            f"energy {entry.result['energy_j']:.4g} J "
+            f"area {entry.result['area_mm2']:.4g} mm2 "
+            f"edp {entry.result['edp']:.3e}"
+        )
+    if len(result.front) > len(shown):
+        print(f"  ... and {len(result.front) - len(shown)} more front points")
+    for entry in result.entries:
+        if entry.error is not None:
+            print(f"  ! {entry.point.label()}: {entry.error}", file=sys.stderr)
+    if not args.no_report:
+        out = args.out or default_out_dir()
+        print(f"report: {out}/xp/tune_pareto.md")
+    return 0 if result.ok else 1
+
+
 def _render_fleet_stats(stats: dict) -> str:
     """Human form of a router's aggregated ``stats`` payload."""
     ring = stats.get("fleet", {}).get("ring", {})
@@ -836,6 +904,55 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--out", default=None)
     add_backend(q)  # grids measured against a server key on its spec
     q.set_defaults(fn=_cmd_xp)
+
+    p = sub.add_parser(
+        "tune",
+        help="invert SAGE: sweep accelerator configs to a Pareto front "
+        "over cycles/energy/area",
+    )
+    p.add_argument("--space", choices=["paper_default", "smoke", "full"],
+                   default=None,
+                   help="named ParamSpace preset (default: smoke)")
+    p.add_argument("--suite", choices=["tiny", "smoke", "tableiii"],
+                   default=None,
+                   help="workload suite the objective prices "
+                   "(default: smoke)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI-sized sweep: smoke space + smoke suite")
+    p.add_argument("--strategy", choices=["grid", "random", "halving"],
+                   default="grid",
+                   help="grid: every valid point; random: seeded sample; "
+                   "halving: analytical screen, cycle-confirm survivors")
+    p.add_argument("--budget", type=int, default=None,
+                   help="max points swept (anchor always kept)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sampling seed for --strategy random")
+    p.add_argument("--resume", action="store_true",
+                   help="answer cells already in the artifact store")
+    p.add_argument("--force", action="store_true",
+                   help="invalidate cached tune cells first")
+    p.add_argument("--no-seeds", action="store_true",
+                   help="skip the ablation-experiment seed points")
+    p.add_argument("--serial", action="store_true",
+                   help="single-process execution (no fork pool)")
+    p.add_argument("--processes", type=int, default=None,
+                   help="fork-pool width (default: one per CPU)")
+    p.add_argument("--transport", default="auto",
+                   choices=("auto", "shm", "pickle"),
+                   help="worker wire format (see 'repro xp run')")
+    p.add_argument("--store", default=None,
+                   help="artifact store root "
+                   "(default: benchmarks/out/xp/store)")
+    p.add_argument("--out", default=None,
+                   help="report directory (default: benchmarks/out)")
+    p.add_argument("--top", type=int, default=10,
+                   help="front rows printed (full table in the report)")
+    p.add_argument("--no-report", action="store_true",
+                   help="skip the Pareto markdown page")
+    p.add_argument("--json", action="store_true",
+                   help="emit the tune record as JSON")
+    add_backend(p)
+    p.set_defaults(fn=_cmd_tune)
 
     p = sub.add_parser(
         "stats",

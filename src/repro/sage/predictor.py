@@ -208,6 +208,39 @@ class Sage:
         self.dram = dram or DramChannel(clock_hz=self.config.clock_hz)
         self.provider = provider
 
+    def for_options(self, options: PredictOptions) -> "Sage":
+        """The predictor matching *options*' hardware overrides.
+
+        Requests that carry ``options.config`` / ``options.dram_gbps``
+        (the ``repro.tune`` evaluation path) are answered by a derived
+        ``Sage`` bound to that hardware; everything else — search spaces,
+        the conversion provider, proxy caches (process-global) — is
+        shared.  Requests without overrides get ``self`` back, so the
+        resident predictor's identity (and anything keyed on it) is
+        untouched on the normal path.
+        """
+        if not options.overrides_hardware:
+            return self
+        config = options.config or self.config
+        if options.dram_gbps is not None:
+            dram = DramChannel(
+                bandwidth_bytes_per_s=options.dram_gbps * 1e9,
+                clock_hz=config.clock_hz,
+                energy=self.dram.energy,
+            )
+        else:
+            dram = DramChannel(
+                bandwidth_bytes_per_s=self.dram.bandwidth_bytes_per_s,
+                clock_hz=config.clock_hz,
+                energy=self.dram.energy,
+            )
+        return Sage(config=config, dram=dram, provider=self.provider)
+
+    @staticmethod
+    def _strip_hardware(options: PredictOptions) -> PredictOptions:
+        """Drop the override fields once a derived predictor owns them."""
+        return dataclasses.replace(options, config=None, dram_gbps=None)
+
     def predict_matrix(
         self,
         workload: MatrixWorkload,
@@ -236,6 +269,10 @@ class Sage:
             mcf_b_space=mcf_b_space,
             fidelity=fidelity,
         )
+        if opts.overrides_hardware:
+            return self.for_options(opts).predict_matrix(
+                workload, options=self._strip_hardware(opts)
+            )
         candidates: list[CostBreakdown] = []
         enumerated = 0
         with span("sage.enumerate", workload=workload.name):
@@ -279,6 +316,10 @@ class Sage:
         fidelity needs the matrix simulator.
         """
         opts = resolve_options(options, fixed_mcf=fixed_mcf, fidelity=fidelity)
+        if opts.overrides_hardware:
+            return self.for_options(opts).predict_tensor(
+                workload, options=self._strip_hardware(opts)
+            )
         unsupported = [
             name
             for name in ("mcf_a_space", "mcf_b_space")

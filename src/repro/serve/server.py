@@ -918,9 +918,15 @@ class SageServer:
         tier-consistent at the server's configured fidelity — so only
         unrestricted requests at that fidelity (or with no tier named,
         which defers to the server's) may ride the cache/batcher.
+        Hardware-override requests (``options.config`` / ``dram_gbps``,
+        the tuner's fleet-evaluation path) answer for a different
+        accelerator than the resident fingerprints name, so they bypass
+        too — ``Sage.for_options`` derives the right predictor at the
+        bypass sites.
         """
         return options is None or (
             not options.restricts_search
+            and not options.overrides_hardware
             and options.fidelity in (None, self.serve.fidelity)
         )
 

@@ -1,0 +1,96 @@
+"""Non-dominated front extraction and hypervolume-style summaries.
+
+All objectives are minimized.  Rows are plain mappings holding the
+:data:`~repro.tune.objective.OBJECTIVES` keys; the functions here are
+pure so they are trivially testable and reusable by reports.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.tune.objective import OBJECTIVES
+
+__all__ = [
+    "dominates",
+    "dominated_counts",
+    "hypervolume_fraction",
+    "pareto_front",
+]
+
+
+def _vector(row: Mapping, objectives: Sequence[str]) -> tuple[float, ...]:
+    return tuple(float(row[k]) for k in objectives)
+
+
+def dominates(a: Mapping, b: Mapping, objectives: Sequence[str] = OBJECTIVES) -> bool:
+    """True when *a* is no worse than *b* everywhere and better somewhere."""
+    va, vb = _vector(a, objectives), _vector(b, objectives)
+    return all(x <= y for x, y in zip(va, vb)) and any(
+        x < y for x, y in zip(va, vb)
+    )
+
+
+def pareto_front(
+    rows: Sequence[Mapping], objectives: Sequence[str] = OBJECTIVES
+) -> list[int]:
+    """Indices of the non-dominated rows, in input order.
+
+    Duplicate objective vectors are all kept (they dominate nothing and
+    nothing strictly dominates them), so equally-priced configs stay
+    visible in the front table.
+    """
+    front: list[int] = []
+    for i, row in enumerate(rows):
+        if not any(
+            dominates(other, row, objectives)
+            for j, other in enumerate(rows)
+            if j != i
+        ):
+            front.append(i)
+    return front
+
+
+def dominated_counts(
+    rows: Sequence[Mapping], objectives: Sequence[str] = OBJECTIVES
+) -> list[int]:
+    """Per-row count of other rows it dominates (the front's 'strength')."""
+    return [
+        sum(
+            1
+            for j, other in enumerate(rows)
+            if j != i and dominates(row, other, objectives)
+        )
+        for i, row in enumerate(rows)
+    ]
+
+
+def hypervolume_fraction(
+    rows: Sequence[Mapping],
+    objectives: Sequence[str] = OBJECTIVES,
+    *,
+    samples: int = 4096,
+    seed: int = 0,
+) -> float:
+    """Fraction of the normalized objective box dominated by the front.
+
+    Objectives are min-max normalized over *rows* (a constant dimension
+    contributes nothing), the reference point is the normalized
+    worst-corner ``(1, …, 1)``, and the volume is estimated by a seeded
+    Monte-Carlo sweep — deterministic for a given *rows*/*seed*, which is
+    all a regression summary needs.  Returns 0.0 for an empty input.
+    """
+    if not rows:
+        return 0.0
+    pts = np.asarray([_vector(r, objectives) for r in rows], dtype=float)
+    lo, hi = pts.min(axis=0), pts.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    normed = (pts - lo) / span
+    front = normed[pareto_front(rows, objectives)]
+    rng = np.random.default_rng(seed)
+    cloud = rng.random((samples, len(objectives)))
+    # A sample is dominated when some front point is <= it coordinatewise.
+    covered = (front[None, :, :] <= cloud[:, None, :]).all(axis=2).any(axis=1)
+    return float(covered.mean())

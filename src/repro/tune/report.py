@@ -1,0 +1,109 @@
+"""Markdown rendering of a tune run: the Pareto page.
+
+Written to ``<out>/xp/tune_pareto.md`` next to the xp experiment pages,
+so a paper-suite report directory carries the tuner's front alongside
+the ablations that seeded it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.tune.objective import OBJECTIVES
+from repro.tune.pareto import dominated_counts
+from repro.tune.search import TuneResult
+
+__all__ = ["render_tune_md", "write_tune_report"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def render_tune_md(result: TuneResult) -> str:
+    """The Pareto page: front table, anchor row, dominated-count stats."""
+    record = result.record()
+    front_indices = set(result.front)
+    evaluated = [e for e in result.entries if e.ok]
+    counts = dominated_counts([e.result for e in evaluated])
+    dominated = {id(e): c for e, c in zip(evaluated, counts)}
+
+    lines = ["# repro.tune — Pareto front", ""]
+    lines.append(
+        f"Space `{record['space']}` · suite `{record['suite']}` · "
+        f"strategy `{record['strategy']}` · backend `{record['backend']}`"
+    )
+    lines.append("")
+    lines.append(
+        f"{record['points']} points: {record['executed']} executed, "
+        f"{record['cached']} cache hits, {record['pruned']} pruned, "
+        f"{record['failed']} failed · front {record['front_size']} · "
+        f"hypervolume {record['hypervolume']:g} · "
+        f"wall {record['wall_s']:g}s"
+    )
+    lines.append("")
+
+    headers = ["front", "config", "fidelity", *OBJECTIVES, "edp", "dominates", "cached"]
+    rows = []
+    order = sorted(
+        range(len(result.entries)),
+        key=lambda i: (
+            result.entries[i].result["edp"]
+            if result.entries[i].ok
+            else float("inf")
+        ),
+    )
+    for i in order:
+        entry = result.entries[i]
+        if not entry.ok:
+            continue
+        marker = "★" if i in front_indices else ("pruned" if entry.pruned else "")
+        label = entry.point.label()
+        if entry.is_anchor:
+            label += " (paper_default)"
+        rows.append(
+            [
+                marker,
+                label,
+                entry.fidelity,
+                *(entry.result[k] for k in OBJECTIVES),
+                entry.result["edp"],
+                dominated.get(id(entry), 0),
+                entry.cached,
+            ]
+        )
+    lines.append(_md_table(headers, rows))
+
+    failures = [e for e in result.entries if e.error is not None]
+    if failures:
+        lines.append("")
+        lines.append("## Failures")
+        lines.append("")
+        for entry in failures:
+            lines.append(f"- `{entry.point.label()}` — {entry.error}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_tune_report(result: TuneResult, out_dir: Path | str) -> Path:
+    """Write the Pareto page; returns its path."""
+    out = Path(out_dir) / "xp"
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / "tune_pareto.md"
+    path.write_text(render_tune_md(result))
+    return path

@@ -1,0 +1,264 @@
+"""Declarative accelerator-config search spaces for the tuner.
+
+A :class:`TunePoint` is one candidate hardware design: the five
+:class:`~repro.accelerator.config.AcceleratorConfig` knobs, the DRAM
+channel bandwidth (:mod:`repro.hardware.dram`), and a technology-node
+scale knob in the CACTI-sweep idiom — cost models are calibrated at
+28 nm, and a point at ``tech_node_nm`` scales area quadratically and
+on-chip energy linearly with the node ratio.
+
+A :class:`ParamSpace` is the cross-product of per-knob value lists,
+filtered for validity through ``AcceleratorConfig.__post_init__`` (a
+point whose bus cannot carry one element, say, is silently excluded
+rather than crashing the sweep).  Named presets (:func:`space`) anchor
+every sweep at the paper's Sec. VII-A system: ``paper_default`` is both
+a preset of its own and a grid point of the larger presets.
+
+The four hardware-ablation experiments in :mod:`repro.xp.paper`
+register their grids here as **seed points**
+(:func:`register_seed_points`), so a tuner run shares artifact-cache
+cells with the ablation suite instead of recomputing them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.errors import ConfigError
+from repro.hardware.dram import DramChannel
+
+__all__ = [
+    "ParamSpace",
+    "TunePoint",
+    "ablation_seed_points",
+    "register_seed_points",
+    "seed_points",
+    "space",
+    "space_names",
+]
+
+#: Calibration node of the area/energy models (the MINT synthesis target).
+BASE_TECH_NM = 28.0
+
+#: TunePoint fields that are integer accelerator knobs (the rest are floats).
+_INT_KNOBS = ("num_pes", "vector_lanes", "pe_buffer_bytes", "bus_bits", "dtype_bits")
+
+
+@dataclass(frozen=True)
+class TunePoint:
+    """One candidate hardware design; defaults are the paper anchor."""
+
+    num_pes: int = 2048
+    vector_lanes: int = 8
+    pe_buffer_bytes: int = 512
+    bus_bits: int = 512
+    dtype_bits: int = 32
+    dram_gbps: float = 64.0
+    tech_node_nm: float = BASE_TECH_NM
+
+    def __post_init__(self) -> None:
+        # Normalize numeric types so params() is canonical-JSON-stable:
+        # json.dumps(64) != json.dumps(64.0), and artifact keys hash the
+        # canonical JSON — a float that snuck into an int knob would fork
+        # the cache cell.
+        for name in _INT_KNOBS:
+            object.__setattr__(self, name, int(getattr(self, name)))
+        object.__setattr__(self, "dram_gbps", float(self.dram_gbps))
+        object.__setattr__(self, "tech_node_nm", float(self.tech_node_nm))
+        if self.dram_gbps <= 0:
+            raise ConfigError("dram_gbps must be positive")
+        if self.tech_node_nm <= 0:
+            raise ConfigError("tech_node_nm must be positive")
+        self.accelerator_config()  # validity-filter through __post_init__
+
+    # ------------------------------------------------------------ realized --
+    def accelerator_config(self) -> AcceleratorConfig:
+        """The realized :class:`AcceleratorConfig` (raises ``ConfigError``)."""
+        return AcceleratorConfig(
+            num_pes=self.num_pes,
+            vector_lanes=self.vector_lanes,
+            pe_buffer_bytes=self.pe_buffer_bytes,
+            bus_bits=self.bus_bits,
+            dtype_bits=self.dtype_bits,
+        )
+
+    def dram_channel(self) -> DramChannel:
+        """The realized DRAM channel at this point's bandwidth."""
+        return DramChannel(bandwidth_bytes_per_s=self.dram_gbps * 1e9)
+
+    @property
+    def area_scale(self) -> float:
+        """Area multiplier vs the 28 nm calibration (quadratic in node)."""
+        return (self.tech_node_nm / BASE_TECH_NM) ** 2
+
+    @property
+    def energy_scale(self) -> float:
+        """On-chip energy multiplier vs 28 nm (linear in node)."""
+        return self.tech_node_nm / BASE_TECH_NM
+
+    # ----------------------------------------------------------------- wire --
+    def params(self) -> dict:
+        """Canonical JSON-safe param dict — the artifact-cache identity.
+
+        Both the tuner and the ``tune_grid`` xp experiment build their
+        cell params through this method, so a seed point evaluated by
+        either side lands in the same cache cell.
+        """
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_params(cls, params: Mapping) -> "TunePoint":
+        """Inverse of :meth:`params` (unknown keys rejected)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown TunePoint field(s) {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return cls(**dict(params))
+
+    def label(self) -> str:
+        """Compact human-readable identity for tables and logs."""
+        parts = [
+            f"pes={self.num_pes}",
+            f"lanes={self.vector_lanes}",
+            f"buf={self.pe_buffer_bytes}B",
+            f"bus={self.bus_bits}b",
+            f"dtype={self.dtype_bits}b",
+            f"dram={self.dram_gbps:g}GB/s",
+        ]
+        if self.tech_node_nm != BASE_TECH_NM:
+            parts.append(f"node={self.tech_node_nm:g}nm")
+        return " ".join(parts)
+
+
+class ParamSpace:
+    """A cross-product of per-knob value lists, validity-filtered.
+
+    ``axes`` maps :class:`TunePoint` field names to candidate values;
+    unnamed knobs stay at the anchor default.  Invalid combinations
+    (rejected by ``AcceleratorConfig.__post_init__`` or the DRAM/node
+    checks) are excluded from :meth:`points` rather than raised, so a
+    space can be declared loosely and still sweep cleanly.
+    """
+
+    def __init__(self, axes: Mapping[str, Sequence] | None = None, *, name: str = "custom") -> None:
+        axes = dict(axes or {})
+        known = {f.name for f in dataclasses.fields(TunePoint)}
+        unknown = sorted(set(axes) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown ParamSpace axis/axes {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        for axis, values in axes.items():
+            if not values:
+                raise ConfigError(f"axis {axis!r} must not be empty")
+        self.name = name
+        self.axes = {axis: tuple(values) for axis, values in axes.items()}
+
+    def __iter__(self) -> Iterator[TunePoint]:
+        return iter(self.points())
+
+    def __len__(self) -> int:
+        return len(self.points())
+
+    def size(self) -> int:
+        """Cross-product cardinality *before* validity filtering."""
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def points(self) -> list[TunePoint]:
+        """All valid points, in deterministic axis-declaration order."""
+        names = list(self.axes)
+        valid: list[TunePoint] = []
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            try:
+                valid.append(TunePoint(**dict(zip(names, combo))))
+            except ConfigError:
+                continue
+        return valid
+
+
+# ------------------------------------------------------------- presets ----
+
+def _preset_axes(name: str) -> dict:
+    if name == "paper_default":
+        # The anchor alone: Sec. VII-A's fixed system as a 1-point space.
+        return {}
+    if name == "smoke":
+        # 32 valid points (2*2*2*2*2), anchor included as a grid point;
+        # small enough for CI, rich enough for a non-trivial front.
+        return {
+            "num_pes": (1024, 2048),
+            "pe_buffer_bytes": (256, 512),
+            "bus_bits": (256, 512),
+            "dtype_bits": (16, 32),
+            "dram_gbps": (32.0, 64.0),
+        }
+    if name == "full":
+        # The paper's ablation ranges crossed with the tech-node sweep.
+        return {
+            "num_pes": (256, 1024, 2048, 4096, 8192),
+            "pe_buffer_bytes": (128, 256, 512, 1024),
+            "bus_bits": (16, 128, 256, 512, 1024, 2048),
+            "dtype_bits": (8, 16, 32),
+            "dram_gbps": (16.0, 64.0, 256.0, 1024.0),
+            "tech_node_nm": (28.0, 16.0, 7.0),
+        }
+    raise ConfigError(
+        f"unknown tune space {name!r} (choose from {', '.join(space_names())})"
+    )
+
+
+def space_names() -> tuple[str, ...]:
+    """Names :func:`space` accepts."""
+    return ("paper_default", "smoke", "full")
+
+
+def space(name: str = "smoke") -> ParamSpace:
+    """A named preset space, anchored at ``paper_default``."""
+    return ParamSpace(_preset_axes(name), name=name)
+
+
+# ---------------------------------------------------------- seed points ----
+
+#: Seed points registered by source (the xp ablation experiments).
+_SEED_POINTS: dict[str, tuple[TunePoint, ...]] = {}
+
+
+def register_seed_points(source: str, points: Iterable[TunePoint]) -> None:
+    """Register *points* (e.g. an ablation grid) as tuner seeds.
+
+    Registration is idempotent per *source*; the xp paper suite calls
+    this at import so its ablation grids and the tuner share artifact
+    cells.
+    """
+    _SEED_POINTS[source] = tuple(points)
+
+
+def seed_points() -> list[TunePoint]:
+    """All registered seed points, deduplicated, in registration order."""
+    seen: set[TunePoint] = set()
+    ordered: list[TunePoint] = []
+    for group in _SEED_POINTS.values():
+        for point in group:
+            if point not in seen:
+                seen.add(point)
+                ordered.append(point)
+    return ordered
+
+
+def ablation_seed_points() -> list[TunePoint]:
+    """Seed points from the paper's hardware ablations (loads the suite)."""
+    from repro.xp.registry import load_paper_suite
+
+    load_paper_suite()
+    return seed_points()

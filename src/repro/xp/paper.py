@@ -958,3 +958,97 @@ def check_ablation_scaling(cells, *, smoke):
     }
     assert rounds[256] > rounds[2048]
     assert rounds[4096] == rounds[8192] == 1
+
+
+# ============================================== Ablation grids as seeds ====
+def _register_tune_seeds() -> None:
+    """Register the four hardware-ablation grids as tuner seed points.
+
+    Each grid's swept knob becomes a one-knob-off-anchor
+    :class:`~repro.tune.space.TunePoint`, so the ``tune_grid`` experiment
+    below (and any `repro tune` run with seeds enabled) prices the same
+    designs the ablations study — through shared artifact cells, never
+    recomputed on either side.
+    """
+    import dataclasses
+
+    from repro.tune.space import TunePoint, register_seed_points
+
+    anchor = TunePoint()
+    register_seed_points(
+        "ablation_buffer",
+        [anchor, dataclasses.replace(
+            anchor, pe_buffer_bytes=anchor.pe_buffer_bytes // 2
+        )],
+    )
+    register_seed_points(
+        "ablation_dram",
+        [
+            dataclasses.replace(anchor, dram_gbps=float(gbps))
+            for gbps in measure_ablation_dram.experiment.matrix[
+                "bandwidth_gbps"
+            ]
+        ],
+    )
+    register_seed_points(
+        "ablation_dtype",
+        [
+            dataclasses.replace(anchor, dtype_bits=int(bits))
+            for bits in measure_ablation_dtype.experiment.matrix["dtype_bits"]
+        ],
+    )
+    scaling_points = []
+    for sweep in measure_ablation_scaling.experiment.matrix["sweep"]:
+        knob, _, raw = sweep.partition(":")
+        field = "bus_bits" if knob == "bus" else "num_pes"
+        scaling_points.append(dataclasses.replace(anchor, **{field: int(raw)}))
+    register_seed_points("ablation_scaling", scaling_points)
+
+
+_register_tune_seeds()
+
+
+def _tune_seed_param_axis() -> tuple:
+    from repro.tune.space import seed_points
+
+    return tuple(point.params() for point in seed_points())
+
+
+# =================================================== Tune: seed grid =======
+@experiment(
+    name="tune_grid",
+    kind="ablation",
+    anchor="Sec. VII-A",
+    title="Hardware-ablation grids priced as repro.tune evaluations",
+    matrix={
+        "point": _tune_seed_param_axis(),
+        "suite": ("smoke",),
+        "fidelity": ("analytical",),
+    },
+    schema=("cycles", "energy_j", "area_mm2", "edp"),
+    headline=("cycles", "area_mm2", "edp"),
+    version=1,
+)
+def measure_tune_grid(session, params):
+    # The tuner's own objective, byte-for-byte: both sides build params
+    # through TunePoint.params() and share artifact cells (same name,
+    # version and canonical param JSON), so an xp run pre-seeds a tune
+    # sweep and vice versa.
+    from repro.tune.objective import evaluate_with_session
+
+    return evaluate_with_session(session, params)
+
+
+@measure_tune_grid.check
+def check_tune_grid(cells, *, smoke):
+    from repro.tune.space import TunePoint
+
+    rows = {TunePoint.from_params(p["point"]): r for p, r in cells}
+    anchor = rows[TunePoint()]
+    assert all(r["cycles"] > 0 and r["area_mm2"] > 0 for r in rows.values())
+    # Halving the anchor's PE buffer must shrink the die and never
+    # accelerate it (the Sec. IV flexible-buffer ablation, relived as a
+    # tune objective).
+    halved = rows[TunePoint(pe_buffer_bytes=256)]
+    assert halved["area_mm2"] < anchor["area_mm2"]
+    assert halved["cycles"] >= anchor["cycles"]

@@ -1,0 +1,93 @@
+"""AcceleratorConfig dict/wire round trips and digest stability.
+
+Tune points ship accelerator configs over the serve wire, and artifact
+cache keys embed ``config_digest``.  Both break silently if dict
+round-trips drift — e.g. JSON turning ``2048`` into ``2048.0`` — so the
+identities are pinned here.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.errors import ConfigError
+from repro.serve import config_digest
+
+# Pinned digest of the paper's Table II configuration.  If this moves,
+# every cached serve response and xp artifact cell is invalidated — bump
+# deliberately, never accidentally.
+PAPER_DEFAULT_DIGEST = "78227a47a7a42972"
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self):
+        cfg = AcceleratorConfig.paper_default()
+        assert AcceleratorConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_to_dict_covers_every_field(self):
+        import dataclasses
+
+        cfg = AcceleratorConfig.paper_default()
+        assert set(cfg.to_dict()) == {
+            f.name for f in dataclasses.fields(cfg)
+        }
+
+    def test_json_round_trip(self):
+        cfg = AcceleratorConfig.paper_default()
+        rebuilt = AcceleratorConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+        assert rebuilt == cfg
+
+    def test_modified_config_round_trips(self):
+        cfg = AcceleratorConfig.paper_default()
+        data = cfg.to_dict()
+        data["num_pes"] = 1024
+        data["pe_buffer_bytes"] = 256
+        rebuilt = AcceleratorConfig.from_dict(data)
+        assert rebuilt.num_pes == 1024
+        assert rebuilt.pe_buffer_bytes == 256
+
+    def test_unknown_key_rejected(self):
+        data = AcceleratorConfig.paper_default().to_dict()
+        data["warp_size"] = 32
+        with pytest.raises(ConfigError, match="warp_size"):
+            AcceleratorConfig.from_dict(data)
+
+    def test_invalid_values_still_validated(self):
+        data = AcceleratorConfig.paper_default().to_dict()
+        data["num_pes"] = 0
+        with pytest.raises(ConfigError):
+            AcceleratorConfig.from_dict(data)
+
+
+class TestDigestStability:
+    def test_paper_default_digest_is_pinned(self):
+        assert config_digest(AcceleratorConfig.paper_default()) == (
+            PAPER_DEFAULT_DIGEST
+        )
+
+    def test_dict_round_trip_preserves_digest(self):
+        cfg = AcceleratorConfig.paper_default()
+        rebuilt = AcceleratorConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+        assert config_digest(rebuilt) == config_digest(cfg)
+
+    def test_float_coercion_preserves_digest(self):
+        # A JSON encoder on the far side of the wire may widen ints to
+        # floats; from_dict must normalize so the digest cannot fork.
+        cfg = AcceleratorConfig.paper_default()
+        data = {
+            key: float(value) for key, value in cfg.to_dict().items()
+        }
+        rebuilt = AcceleratorConfig.from_dict(data)
+        assert rebuilt == cfg
+        assert config_digest(rebuilt) == config_digest(cfg)
+
+    def test_distinct_configs_distinct_digests(self):
+        cfg = AcceleratorConfig.paper_default()
+        data = cfg.to_dict()
+        data["num_pes"] = 1024
+        assert config_digest(AcceleratorConfig.from_dict(data)) != (
+            config_digest(cfg)
+        )

@@ -62,6 +62,57 @@ class TestPredictOptionsValidation:
         assert not PredictOptions(top_k=3, processes=2).restricts_search
 
 
+class TestHardwareOverrides:
+    def test_defaults_do_not_override(self):
+        opts = PredictOptions()
+        assert opts.config is None and opts.dram_gbps is None
+        assert not opts.overrides_hardware
+
+    def test_config_marks_override(self):
+        from repro.accelerator.config import AcceleratorConfig
+
+        opts = PredictOptions(config=AcceleratorConfig.paper_default())
+        assert opts.overrides_hardware
+        assert not opts.restricts_search  # orthogonal to search narrowing
+
+    def test_dram_marks_override(self):
+        assert PredictOptions(dram_gbps=32.0).overrides_hardware
+
+    def test_config_dict_coerced(self):
+        from repro.accelerator.config import AcceleratorConfig
+
+        data = AcceleratorConfig.paper_default().to_dict()
+        opts = PredictOptions(config=data)
+        assert opts.config == AcceleratorConfig.paper_default()
+
+    def test_nonpositive_dram_rejected(self):
+        with pytest.raises(PredictionError, match="dram_gbps"):
+            PredictOptions(dram_gbps=0.0)
+
+    def test_wire_omits_unset_override_keys(self):
+        # Wire shape must stay identical for non-tuning clients so that
+        # old servers keep accepting new clients (and vice versa).
+        wire = PredictOptions(fidelity="cycle").to_wire()
+        assert "config" not in wire and "dram_gbps" not in wire
+
+    def test_wire_round_trip_with_overrides(self):
+        from repro.accelerator.config import AcceleratorConfig
+
+        opts = PredictOptions(
+            config=AcceleratorConfig.paper_default(), dram_gbps=256.0
+        )
+        rebuilt = PredictOptions.from_wire(json.loads(json.dumps(opts.to_wire())))
+        assert rebuilt == opts
+        assert rebuilt.overrides_hardware
+
+    def test_legacy_wire_still_parses(self):
+        # Payloads emitted before the override fields existed carry
+        # neither key; they must decode to non-overriding options.
+        legacy = {"fidelity": "analytical", "top_k": 1}
+        opts = PredictOptions.from_wire(legacy)
+        assert not opts.overrides_hardware
+
+
 class TestResolveOptions:
     def test_none_yields_defaults(self):
         assert resolve_options() == PredictOptions()

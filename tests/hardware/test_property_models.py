@@ -1,0 +1,147 @@
+"""Hypothesis monotonicity properties of the hardware cost models.
+
+The tuner's Pareto front is only meaningful if the cost models are
+ordered sanely in the swept knobs: more buffer must never cost *less*
+area, more bits must never cost less DRAM energy or fewer transfer
+cycles, a larger tech node must never shrink the die.  These are
+properties of the model surfaces, not single calibration points, so
+they are checked over drawn knob ranges rather than fixtures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.area import DEFAULT_AREA
+from repro.hardware.dram import DramChannel
+from repro.hardware.energy import DEFAULT_ENERGY
+from repro.tune.objective import point_area_mm2
+from repro.tune.space import TunePoint
+
+# Knob ranges mirror the tuner's "full" preset, widened a little.
+buffers = st.integers(min_value=1, max_value=8192)
+lanes = st.integers(min_value=1, max_value=64)
+bits = st.integers(min_value=0, max_value=1 << 32)
+counts = st.integers(min_value=0, max_value=1 << 24)
+pes = st.integers(min_value=1, max_value=16384)
+nodes = st.floats(min_value=3.0, max_value=65.0, allow_nan=False)
+bandwidths = st.floats(min_value=1.0, max_value=4096.0, allow_nan=False)
+
+
+# ------------------------------------------------------------------- area --
+@settings(max_examples=60)
+@given(b1=buffers, b2=buffers, lanes=lanes)
+def test_pe_base_area_monotone_in_buffer(b1, b2, lanes):
+    lo, hi = sorted((b1, b2))
+    assert DEFAULT_AREA.pe_base_area(lo, lanes) <= DEFAULT_AREA.pe_base_area(
+        hi, lanes
+    )
+
+
+@settings(max_examples=60)
+@given(buffer_bytes=buffers, l1=lanes, l2=lanes)
+def test_pe_base_area_monotone_in_lanes(buffer_bytes, l1, l2):
+    lo, hi = sorted((l1, l2))
+    assert DEFAULT_AREA.pe_base_area(
+        buffer_bytes, lo
+    ) <= DEFAULT_AREA.pe_base_area(buffer_bytes, hi)
+
+
+@settings(max_examples=60)
+@given(buffer_bytes=buffers, lanes=lanes)
+def test_extension_is_pure_overhead(buffer_bytes, lanes):
+    base = DEFAULT_AREA.pe_base_area(buffer_bytes, lanes)
+    extended = DEFAULT_AREA.pe_extended_area(buffer_bytes, lanes)
+    assert extended > base
+    assert math.isclose(
+        extended - base, DEFAULT_AREA.pe_extension_area(lanes), rel_tol=1e-9
+    )
+
+
+@settings(max_examples=60)
+@given(b1=buffers, b2=buffers, lanes=lanes)
+def test_overhead_fraction_shrinks_with_buffer(b1, b2, lanes):
+    # The Sec. IV extension is fixed-size logic: amortized over a bigger
+    # buffer, its relative cost can only fall.
+    lo, hi = sorted((b1, b2))
+    assert DEFAULT_AREA.pe_overhead_fraction(
+        hi, lanes
+    ) <= DEFAULT_AREA.pe_overhead_fraction(lo, lanes)
+
+
+# ----------------------------------------------------------------- energy --
+@settings(max_examples=60)
+@given(x1=bits, x2=bits)
+def test_dram_energy_monotone_in_bits(x1, x2):
+    lo, hi = sorted((x1, x2))
+    assert DEFAULT_ENERGY.dram_bits(lo) <= DEFAULT_ENERGY.dram_bits(hi)
+    assert DEFAULT_ENERGY.noc_bits(lo) <= DEFAULT_ENERGY.noc_bits(hi)
+    assert DEFAULT_ENERGY.sram_pe_bits(lo) <= DEFAULT_ENERGY.sram_pe_bits(hi)
+
+
+@settings(max_examples=60)
+@given(c1=counts, c2=counts)
+def test_mac_energy_monotone_in_count(c1, c2):
+    lo, hi = sorted((c1, c2))
+    assert DEFAULT_ENERGY.macs(lo) <= DEFAULT_ENERGY.macs(hi)
+
+
+@settings(max_examples=30)
+@given(x=st.integers(min_value=1, max_value=1 << 32))
+def test_dram_dominates_onchip_per_bit(x):
+    # The paper's premise: a DRAM bit is the expensive event.  If a model
+    # edit ever inverts this, compression stops paying and every SAGE
+    # decision downstream is garbage — fail loudly here.
+    assert DEFAULT_ENERGY.dram_bits(x) > DEFAULT_ENERGY.sram_global_bits(x)
+    assert DEFAULT_ENERGY.dram_bits(x) > DEFAULT_ENERGY.noc_bits(x)
+
+
+# ------------------------------------------------------------------- dram --
+@settings(max_examples=60)
+@given(x1=bits, x2=bits, gbps=bandwidths)
+def test_transfer_cycles_monotone_in_bits(x1, x2, gbps):
+    lo, hi = sorted((x1, x2))
+    channel = DramChannel(bandwidth_bytes_per_s=gbps * 1e9)
+    assert channel.transfer_cycles(lo) <= channel.transfer_cycles(hi)
+    assert channel.transfer_energy(lo) <= channel.transfer_energy(hi)
+
+
+@settings(max_examples=60)
+@given(x=bits, g1=bandwidths, g2=bandwidths)
+def test_transfer_cycles_antitone_in_bandwidth(x, g1, g2):
+    lo, hi = sorted((g1, g2))
+    slow = DramChannel(bandwidth_bytes_per_s=lo * 1e9)
+    fast = DramChannel(bandwidth_bytes_per_s=hi * 1e9)
+    assert fast.transfer_cycles(x) <= slow.transfer_cycles(x)
+
+
+# ------------------------------------------------------- tune area surface --
+@settings(max_examples=60)
+@given(p1=pes, p2=pes, buffer_bytes=st.sampled_from([128, 256, 512, 1024]))
+def test_point_area_monotone_in_pes(p1, p2, buffer_bytes):
+    lo, hi = sorted((p1, p2))
+    small = TunePoint(num_pes=lo, pe_buffer_bytes=buffer_bytes)
+    big = TunePoint(num_pes=hi, pe_buffer_bytes=buffer_bytes)
+    assert point_area_mm2(small) <= point_area_mm2(big)
+
+
+@settings(max_examples=60)
+@given(b1=st.sampled_from([64, 128, 256, 512, 1024, 4096]),
+       b2=st.sampled_from([64, 128, 256, 512, 1024, 4096]))
+def test_point_area_monotone_in_buffer(b1, b2):
+    lo, hi = sorted((b1, b2))
+    assert point_area_mm2(TunePoint(pe_buffer_bytes=lo)) <= point_area_mm2(
+        TunePoint(pe_buffer_bytes=hi)
+    )
+
+
+@settings(max_examples=60)
+@given(n1=nodes, n2=nodes)
+def test_point_area_monotone_in_tech_node(n1, n2):
+    lo, hi = sorted((n1, n2))
+    assert point_area_mm2(TunePoint(tech_node_nm=lo)) <= point_area_mm2(
+        TunePoint(tech_node_nm=hi)
+    )

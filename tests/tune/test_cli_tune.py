@@ -1,0 +1,72 @@
+"""The ``repro tune`` command-line surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["tune", "--smoke"],
+            ["tune", "--space", "full", "--suite", "tableiii"],
+            ["tune", "--strategy", "halving", "--budget", "16", "--seed", "3"],
+            ["tune", "--resume", "--force", "--no-seeds", "--serial"],
+            ["tune", "--backend", "tcp://127.0.0.1:7342", "--json"],
+            ["tune", "--store", "s", "--out", "o", "--top", "5",
+             "--no-report"],
+        ],
+    )
+    def test_argv_parses(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.fn)
+
+    def test_rejects_unknown_space_and_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--space", "galactic"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--strategy", "bayesian"])
+
+
+class TestExecution:
+    def test_anchor_only_sweep(self, tmp_path, capsys):
+        rc = main([
+            "tune", "--space", "paper_default", "--suite", "tiny",
+            "--no-seeds", "--serial", "--store", str(tmp_path / "store"),
+            "--out", str(tmp_path / "out"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "swept 1 configs" in out
+        assert "anchor paper_default" in out
+        assert "on the front" in out  # a lone anchor is trivially the front
+        assert "report:" in out
+        assert (tmp_path / "out" / "xp" / "tune_pareto.md").is_file()
+
+    def test_json_record_and_resume(self, tmp_path, capsys):
+        argv = [
+            "tune", "--space", "paper_default", "--suite", "tiny",
+            "--no-seeds", "--serial", "--store", str(tmp_path),
+            "--no-report", "--json",
+        ]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["ok"] and cold["points"] == 1
+        assert cold["executed"] == 1 and cold["cached"] == 0
+        assert cold["anchor"] is not None
+        assert cold["front_size"] >= 1
+
+        assert main(argv + ["--resume"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["executed"] == 0
+        assert warm["cached"] == warm["points"] == 1
+        # Same numbers from cache; only provenance ("cached") differs.
+        strip = lambda rows: [
+            {k: v for k, v in r.items() if k != "cached"} for r in rows
+        ]
+        assert strip(warm["front"]) == strip(cold["front"])

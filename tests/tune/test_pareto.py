@@ -1,0 +1,106 @@
+"""Pareto-front extraction and the hypervolume summary."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tune.pareto import (
+    dominated_counts,
+    dominates,
+    hypervolume_fraction,
+    pareto_front,
+)
+
+OBJS = ("cycles", "energy_j", "area_mm2")
+
+
+def row(c, e, a):
+    return {"cycles": c, "energy_j": e, "area_mm2": a}
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates(row(1, 1, 1), row(2, 2, 2))
+        assert dominates(row(1, 1, 1), row(1, 1, 2))
+
+    def test_equal_rows_do_not_dominate(self):
+        assert not dominates(row(1, 1, 1), row(1, 1, 1))
+
+    def test_trade_off_is_incomparable(self):
+        assert not dominates(row(1, 2, 1), row(2, 1, 1))
+        assert not dominates(row(2, 1, 1), row(1, 2, 1))
+
+
+class TestFront:
+    def test_single_row_is_the_front(self):
+        assert pareto_front([row(1, 1, 1)]) == [0]
+
+    def test_dominated_rows_excluded(self):
+        rows = [row(1, 1, 1), row(2, 2, 2), row(1, 2, 0.5)]
+        assert pareto_front(rows) == [0, 2]
+
+    def test_duplicates_all_kept(self):
+        rows = [row(1, 1, 1), row(1, 1, 1), row(3, 3, 3)]
+        assert pareto_front(rows) == [0, 1]
+
+    def test_dominated_counts(self):
+        rows = [row(1, 1, 1), row(2, 2, 2), row(3, 3, 3)]
+        assert dominated_counts(rows) == [2, 1, 0]
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(1, 1000),
+        st.floats(1e-6, 1.0, allow_nan=False),
+        st.floats(0.1, 100.0, allow_nan=False),
+    ).map(lambda t: row(*t)),
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestFrontProperties:
+    @settings(max_examples=50)
+    @given(rows=rows_strategy)
+    def test_front_is_never_empty(self, rows):
+        front = pareto_front(rows)
+        assert front
+        # Front members never dominate each other.
+        members = [rows[i] for i in front]
+        for i, a in enumerate(members):
+            for j, b in enumerate(members):
+                if i != j:
+                    assert not dominates(a, b)
+
+    @settings(max_examples=50)
+    @given(rows=rows_strategy)
+    def test_non_front_rows_are_dominated(self, rows):
+        front = set(pareto_front(rows))
+        for i, r in enumerate(rows):
+            if i not in front:
+                assert any(dominates(rows[j], r) for j in front)
+
+
+class TestHypervolume:
+    def test_empty_is_zero(self):
+        assert hypervolume_fraction([]) == 0.0
+
+    def test_single_point_covers_everything(self):
+        # One row min-max normalizes to the origin, dominating the box.
+        assert hypervolume_fraction([row(1, 1, 1)]) == 1.0
+
+    def test_deterministic(self):
+        rows = [row(1, 2, 3), row(3, 2, 1), row(2, 2, 2)]
+        assert hypervolume_fraction(rows) == hypervolume_fraction(rows)
+
+    def test_better_front_more_volume(self):
+        # A front that reaches the normalized corner covers more than a
+        # single mid-box compromise.
+        weak = [row(1, 10.0, 10.0), row(10, 1.0, 1.0)]
+        strong = weak + [row(1, 1.0, 1.0)]
+        assert hypervolume_fraction(strong) > hypervolume_fraction(weak)
+
+    def test_bounded(self):
+        rows = [row(1, 2, 3), row(3, 1, 2), row(2, 3, 1)]
+        assert 0.0 <= hypervolume_fraction(rows) <= 1.0

@@ -1,0 +1,117 @@
+"""TunePoint / ParamSpace: normalization, validity filtering, presets."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.errors import ConfigError
+from repro.tune.space import (
+    ParamSpace,
+    TunePoint,
+    ablation_seed_points,
+    register_seed_points,
+    seed_points,
+    space,
+    space_names,
+)
+
+
+class TestTunePoint:
+    def test_anchor_is_paper_default(self):
+        assert TunePoint().accelerator_config() == AcceleratorConfig.paper_default()
+
+    def test_params_round_trip(self):
+        point = TunePoint(num_pes=1024, dtype_bits=16, dram_gbps=32,
+                          tech_node_nm=7)
+        assert TunePoint.from_params(point.params()) == point
+
+    def test_params_survive_json(self):
+        point = TunePoint(dram_gbps=256)
+        rebuilt = TunePoint.from_params(json.loads(json.dumps(point.params())))
+        assert rebuilt == point
+        # The canonical JSON identity must be byte-stable, or cache keys fork.
+        assert json.dumps(rebuilt.params(), sort_keys=True) == json.dumps(
+            point.params(), sort_keys=True
+        )
+
+    def test_numeric_normalization(self):
+        # Floats in int knobs (a JSON hazard) are coerced, not propagated.
+        point = TunePoint(num_pes=1024.0, dram_gbps=64)
+        assert isinstance(point.num_pes, int)
+        assert isinstance(point.dram_gbps, float)
+        assert point == TunePoint(num_pes=1024, dram_gbps=64.0)
+
+    def test_invalid_points_raise(self):
+        with pytest.raises(ConfigError):
+            TunePoint(bus_bits=8, dtype_bits=32)  # bus < one element
+        with pytest.raises(ConfigError):
+            TunePoint(dram_gbps=0)
+        with pytest.raises(ConfigError):
+            TunePoint(tech_node_nm=-1)
+        with pytest.raises(ConfigError):
+            TunePoint.from_params({"num_pes": 64, "warp_size": 32})
+
+    def test_scales(self):
+        assert TunePoint().area_scale == 1.0
+        assert TunePoint(tech_node_nm=14).area_scale == pytest.approx(0.25)
+        assert TunePoint(tech_node_nm=14).energy_scale == pytest.approx(0.5)
+
+    def test_label_mentions_swept_knobs(self):
+        label = TunePoint(tech_node_nm=7).label()
+        assert "node=7nm" in label
+        assert "node=" not in TunePoint().label()
+
+
+class TestParamSpace:
+    def test_filters_invalid_combinations(self):
+        sp = ParamSpace({"bus_bits": (16, 512), "dtype_bits": (32,)})
+        assert sp.size() == 2  # raw cross product
+        points = sp.points()
+        assert len(points) == 1  # 16-bit bus can't carry a 32-bit element
+        assert points[0].bus_bits == 512
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            ParamSpace({"warp_size": (32,)})
+        with pytest.raises(ConfigError):
+            ParamSpace({"num_pes": ()})
+
+    def test_presets(self):
+        assert set(space_names()) == {"paper_default", "smoke", "full"}
+        anchor_only = space("paper_default").points()
+        assert anchor_only == [TunePoint()]
+        smoke = space("smoke").points()
+        assert len(smoke) >= 24
+        assert TunePoint() in smoke  # the anchor is a grid point
+        with pytest.raises(ConfigError):
+            space("imaginary")
+
+    def test_full_space_is_filtered_superset(self):
+        sp = space("full")
+        points = sp.points()
+        assert len(points) < sp.size()  # some combos are invalid
+        assert len(points) > 100
+
+
+class TestSeedRegistry:
+    def test_registration_is_idempotent_and_deduplicated(self):
+        register_seed_points("test_source", [TunePoint(), TunePoint()])
+        try:
+            assert seed_points().count(TunePoint()) == 1
+            register_seed_points("test_source", [TunePoint()])
+            assert seed_points().count(TunePoint()) == 1
+        finally:
+            register_seed_points("test_source", [])
+
+    def test_ablation_seeds_cover_the_four_experiments(self):
+        points = ablation_seed_points()
+        assert TunePoint() in points  # the anchor itself
+        assert TunePoint(pe_buffer_bytes=256) in points  # ablation_buffer
+        assert TunePoint(dram_gbps=1024.0) in points  # ablation_dram
+        assert TunePoint(dtype_bits=8) in points  # ablation_dtype
+        assert TunePoint(bus_bits=128) in points  # ablation_scaling
+        assert TunePoint(num_pes=8192) in points
+        assert len(points) == len(set(points))  # deduplicated
