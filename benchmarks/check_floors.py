@@ -75,6 +75,16 @@ FLOORS: dict[str, dict[str, float]] = {
         "speedup_resume_vs_cold": 3.0,
         "front_size": 2,
     },
+    # Calibrated fidelity (bench_calibrated.py): the tier must keep its
+    # two-sided promise on the smoke suite — analytical-speed answers
+    # (measured ~1.15x analytical p50, ceiling 2x) at near-cycle ranking
+    # quality (measured 0.95 top-1 agreement with the cycle tier against
+    # ~0.5 uncalibrated; floor 0.9).
+    "calibrated.json": {
+        "top1_agreement": 0.9,
+        "latency_ratio_calibrated_vs_analytical": {"max": 2.0},
+        "speedup_calibrated_vs_cycle": 2.0,
+    },
 }
 
 #: file -> the bench script that produces it, named in failure messages
@@ -87,6 +97,7 @@ BENCH_SOURCES: dict[str, str] = {
     "obs_overhead.json": "bench_obs_overhead.py",
     "xp_runner.json": "bench_xp_runner.py",
     "tune.json": "bench_tune.py",
+    "calibrated.json": "bench_calibrated.py",
 }
 
 

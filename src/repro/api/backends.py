@@ -24,7 +24,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Protocol, Sequence, runtime_checkable
 
-from repro.api.options import PredictOptions
+from repro.api.options import FIDELITIES, PredictOptions
 from repro.mint.cost import shared_planner
 from repro.sage.predictor import Sage, SageDecision, truncate_ranking
 from repro.serve.cache import DecisionCache
@@ -91,9 +91,12 @@ class LocalBackend:
         self.sage = sage or Sage()
         if planner_snapshot is not None:
             shared_planner().seed_snapshot(planner_snapshot)
+        # One cache per registered tier: a calibrated decision must never
+        # alias (nor be served from) an analytical entry for the same
+        # workload fingerprint.
         self._caches = {
             fidelity: DecisionCache(cache_size, near_hit=near_hit)
-            for fidelity in ("analytical", "cycle")
+            for fidelity in FIDELITIES
         }
 
     # ------------------------------------------------------------- Backend

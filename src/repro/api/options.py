@@ -31,6 +31,7 @@ from repro.formats.registry import Format
 
 __all__ = [
     "FIDELITIES",
+    "ensure_fidelity",
     "PredictOptions",
     "RunOptions",
     "SUPPORTED_WIRE_SCHEMAS",
@@ -38,8 +39,28 @@ __all__ = [
     "resolve_options",
 ]
 
-#: Recognized prediction fidelity tiers (see ``repro.sage.predictor``).
-FIDELITIES = ("analytical", "cycle")
+#: Recognized prediction fidelity tiers (see ``repro.sage.predictor``):
+#: the full ladder is analytical (closed-form search), calibrated
+#: (analytical candidates corrected by measured per-cell factors, see
+#: ``repro.sage.calibrate``), and cycle (simulator re-ranking).
+FIDELITIES = ("analytical", "calibrated", "cycle")
+
+
+def ensure_fidelity(fidelity: str | None) -> str | None:
+    """Validate a fidelity string against the registered tiers.
+
+    Every entry point that accepts a fidelity funnels through this (the
+    ``PredictOptions`` constructor and :func:`resolve_options`), so an
+    unknown tier fails at option-resolution time with an error naming
+    the ladder — never deep inside the predictor or, worse, silently
+    answered at the wrong tier.
+    """
+    if fidelity is not None and fidelity not in FIDELITIES:
+        raise PredictionError(
+            f"unknown fidelity {fidelity!r} (registered tiers: "
+            f"{', '.join(FIDELITIES)})"
+        )
+    return fidelity
 
 #: The wire schema this build writes.  Version 1 is the PR-2 legacy shape
 #: (a bare workload dict, no ``schema_version`` / ``options`` keys).
@@ -86,12 +107,15 @@ class PredictOptions:
     Attributes
     ----------
     fidelity:
-        ``"analytical"`` (closed-form search), ``"cycle"`` (analytical
-        top-k re-ranked on the cycle-level simulator), or ``None`` — the
-        backend's default tier: analytical in-process, the server's
-        configured ``ServeConfig.fidelity`` remotely.  Naming a tier
-        explicitly against a server running a different one bypasses the
-        server's (tier-consistent) decision cache.
+        ``"analytical"`` (closed-form search), ``"calibrated"`` (the
+        analytical candidates corrected by measured per-(kernel, ACF,
+        density-band) factors — analytical latency, near-cycle ranking;
+        needs a table built by ``repro calibrate``), ``"cycle"``
+        (analytical top-k re-ranked on the cycle-level simulator), or
+        ``None`` — the backend's default tier: analytical in-process,
+        the server's configured ``ServeConfig.fidelity`` remotely.
+        Naming a tier explicitly against a server running a different
+        one bypasses the server's (tier-consistent) decision cache.
     fixed_mcf:
         Restrict the search to ACFs: the programmer has already committed
         both storage formats (Sec. VI's predetermined-MCF scenario).
@@ -138,11 +162,7 @@ AcceleratorConfig` instead of the backend's resident one (accepts the
     dram_gbps: float | None = None
 
     def __post_init__(self) -> None:
-        if self.fidelity is not None and self.fidelity not in FIDELITIES:
-            raise PredictionError(
-                f"unknown fidelity {self.fidelity!r} (choose from "
-                f"{', '.join(FIDELITIES)})"
-            )
+        ensure_fidelity(self.fidelity)
         if self.fixed_mcf is not None:
             object.__setattr__(
                 self, "fixed_mcf", _format_pair(self.fixed_mcf, name="fixed_mcf")
@@ -277,6 +297,11 @@ def resolve_options(
     legacy keyword style (``fidelity="cycle"``, ``fixed_mcf=...``) and the
     new typed style compose instead of conflicting.
     """
+    if "fidelity" in overrides:
+        # Fail here, at resolution time, naming the registered tiers —
+        # not deep inside the predictor (dataclasses.replace would also
+        # catch it via __post_init__, but only when updates are non-None).
+        ensure_fidelity(overrides["fidelity"])
     base = options if options is not None else PredictOptions()
     updates = {k: v for k, v in overrides.items() if v is not None}
     return dataclasses.replace(base, **updates) if updates else base

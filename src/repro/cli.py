@@ -25,6 +25,11 @@ Commands
     selection (or ``--all``) across the fork pool with artifact-store
     caching (``--resume`` / ``--force`` / ``--smoke``), ``xp report``
     re-renders the markdown reports from the store.
+``calibrate``
+    Build (or ``--inspect``) the calibrated-fidelity factor table: the
+    SAGE analytical cost model regressed against the cycle simulator
+    over a named training grid (``--suite tiny|smoke|full``), persisted
+    in the artifact store keyed on the accelerator-config digest.
 ``stats``
     Pretty-print a running server's ``stats`` RPC — request/cache/batch
     counters, latency percentiles, and the merged metrics registry
@@ -87,10 +92,10 @@ def _cmd_sage(args: argparse.Namespace) -> int:
     from repro.workloads.spec import Kernel, MatrixWorkload, TensorWorkload
 
     if args.tensor:
-        if args.fidelity == "cycle":
+        if args.fidelity != "analytical":
             raise SystemExit(
-                "--fidelity cycle needs a matrix workload (the cycle "
-                "simulator does not stream 3-D tensors)"
+                f"--fidelity {args.fidelity} needs a matrix workload "
+                "(3-D tensor kernels are analytical-only)"
             )
         name = args.kernel or "spttm"
         if name == "spttm":
@@ -493,6 +498,52 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.accelerator.config import AcceleratorConfig
+    from repro.sage.calibrate import GRIDS, build_table, load_table
+    from repro.xp.artifacts import ArtifactStore
+
+    store = ArtifactStore(args.store) if args.store else ArtifactStore()
+    config = AcceleratorConfig.paper_default()
+    if args.inspect:
+        table = load_table(store, config)
+        if table is None:
+            print(
+                "no (non-stale) calibration table for this accelerator "
+                "config — build one with 'repro calibrate'",
+                file=sys.stderr,
+            )
+            return 1
+        if args.json:
+            _emit_json(table.to_dict())
+        else:
+            print(table.summary())
+        return 0
+    suite = "smoke" if args.smoke else (args.suite or "smoke")
+    build = build_table(
+        GRIDS[suite],
+        store=store,
+        config=config,
+        resume=args.resume,
+        force=args.force,
+    )
+    if args.json:
+        _emit_json(build.record())
+        return 0
+    print(
+        f"calibrated {build.workloads} workloads on grid {build.grid!r} "
+        f"({build.executed} executed, {build.cached} from cache) "
+        f"in {build.wall_s:.2f}s -> {len(build.table.cells)} cells"
+    )
+    print(f"table: {build.table_path}")
+    worst = max(
+        (stats.p95_rel_err for stats in build.table.cells.values()),
+        default=0.0,
+    )
+    print(f"worst per-cell p95 relative error: {worst:.4f}")
+    return 0
+
+
 def _render_fleet_stats(stats: dict) -> str:
     """Human form of a router's aggregated ``stats`` payload."""
     ring = stats.get("fleet", {}).get("ring", {})
@@ -762,9 +813,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--j", type=int, default=256, help="2nd tensor extent")
     p.add_argument("--rank", type=int, default=0,
                    help="factor rank (default: i // 2, Sec. VII-A)")
-    p.add_argument("--fidelity", choices=["analytical", "cycle"],
+    p.add_argument("--fidelity",
+                   choices=["analytical", "calibrated", "cycle"],
                    default="analytical",
-                   help="cycle: re-rank the analytical top-k on the "
+                   help="calibrated: correct the analytical candidates "
+                   "with a measured factor table (see 'repro calibrate'); "
+                   "cycle: re-rank the analytical top-k on the "
                    "cycle-level simulator (matrix workloads)")
     p.add_argument("--json", action="store_true",
                    help="emit the decision as JSON (to_wire form)")
@@ -783,7 +837,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", choices=["spmm", "spgemm"], default=None)
     p.add_argument("--top", type=int, default=5,
                    help="ranking prefix in --json output")
-    p.add_argument("--fidelity", choices=["analytical", "cycle"],
+    p.add_argument("--fidelity",
+                   choices=["analytical", "calibrated", "cycle"],
                    default="analytical")
     p.add_argument("--seed", type=int, default=0,
                    help="operand materialization seed")
@@ -811,9 +866,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable density-band near-hit cache answers")
     p.add_argument("--top", type=int, default=8,
                    help="ranking prefix shipped per decision")
-    p.add_argument("--fidelity", choices=["analytical", "cycle"],
+    p.add_argument("--fidelity",
+                   choices=["analytical", "calibrated", "cycle"],
                    default="analytical",
-                   help="prediction tier the server answers with")
+                   help="prediction tier the server answers with "
+                   "(calibrated needs a built table, see 'repro calibrate')")
     p.add_argument("--replicas", type=int, default=1,
                    help="server replicas; >1 boots a consistent-hash "
                    "router fleet behind the bind address")
@@ -953,6 +1010,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the tune record as JSON")
     add_backend(p)
     p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="build/inspect the calibrated-fidelity factor table "
+        "(analytical cost model regressed against the cycle simulator)",
+    )
+    p.add_argument("--suite", choices=["tiny", "smoke", "full"],
+                   default=None,
+                   help="named training grid (default: smoke)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI entry point: pin the smoke grid")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse grid cells already in the artifact store "
+                   "instead of re-simulating")
+    p.add_argument("--force", action="store_true",
+                   help="invalidate stored grid cells and re-measure")
+    p.add_argument("--inspect", action="store_true",
+                   help="print the stored table for this config "
+                   "(no build)")
+    p.add_argument("--store", default=None,
+                   help="artifact store root (default: the shared store)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the build record (or table) as JSON")
+    p.set_defaults(fn=_cmd_calibrate)
 
     p = sub.add_parser(
         "stats",

@@ -5,8 +5,22 @@ MINT's conversion costs, SAGE enumerates MCF/ACF combinations, prices each
 with a cost model (DRAM traffic + conversion) plus the performance model
 (compute cycles on the WS accelerator), and returns the combination with
 the lowest energy-delay product.
+
+Three fidelity tiers answer that search: ``analytical`` (the closed-form
+models), ``calibrated`` (analytical candidates corrected by a measured
+factor table — :mod:`repro.sage.calibrate`), and ``cycle`` (top-k
+re-ranked on the cycle-level simulator).
 """
 
+from repro.sage.calibrate import (
+    CalibrationGrid,
+    CalibrationTable,
+    CellStats,
+    ErrorBound,
+    GRIDS,
+    build_table,
+    load_table,
+)
 from repro.sage.cost_model import CostBreakdown, evaluate_matrix_combo, evaluate_tensor_combo
 from repro.sage.pipeline import PipelinePlan, PipelineStage, plan_chain
 from repro.sage.predictor import Sage, SageDecision
@@ -22,9 +36,16 @@ from repro.sage.spaces import (
 )
 
 __all__ = [
+    "CalibrationGrid",
+    "CalibrationTable",
+    "CellStats",
     "CostBreakdown",
+    "ErrorBound",
+    "GRIDS",
     "Sage",
     "SageDecision",
+    "build_table",
+    "load_table",
     "PipelinePlan",
     "PipelineStage",
     "plan_chain",

@@ -6,10 +6,20 @@ datatype, density region, MINT format conversion cost, and accelerator
 hardware parameters.  The outputs are the ideal MCF and ACF combinations."
 (Sec. VI)
 
-Two **fidelity tiers** are exposed through ``fidelity=``:
+Three **fidelity tiers** are exposed through ``fidelity=``:
 
 * ``"analytical"`` (default) — the paper's closed-form cost model over the
   full MCF/ACF cross-product; fast enough for exhaustive search.
+* ``"calibrated"`` — the analytical candidates, compute stage corrected by
+  measured per-(kernel, ACF, density-band) factors from a
+  :class:`~repro.sage.calibrate.CalibrationTable` (built once against the
+  cycle simulator with ``repro calibrate``).  No simulation at decision
+  time: analytical latency, near-cycle ranking, and the winning cell's
+  residual bounds attached as :attr:`SageDecision.error_bound`.  Costs are
+  at full workload scale (``sim_scale`` stays 1.0).  Registry-only
+  streamed ACFs (e.g. ELL) join via their trained factors over the
+  :data:`~repro.sage.calibrate.ANALYTICAL_BASE_ACF` closed-form base, so
+  the candidate set matches the cycle tier's.
 * ``"cycle"`` — the analytical top-k is validated (or re-ranked) by the
   cycle-level simulator (Sec. IV's operational ground truth): concrete
   operands with the workload's exact statistics are materialized, encoded
@@ -35,16 +45,23 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.perf_model import analytical_gemm_stats
 from repro.accelerator.protocols import streamable_formats
 from repro.accelerator.simulator import WeightStationarySimulator
 from repro.api.options import FIDELITIES, PredictOptions, resolve_options
-from repro.errors import ConversionError, PredictionError
+from repro.errors import ConversionError, PredictionError, SimulationError
 from repro.formats.csc import CscMatrix
 from repro.formats.dense import DenseMatrix
 from repro.formats.registry import Format, matrix_class
 from repro.hardware.dram import DramChannel
 from repro.mint.cost import shared_planner
 from repro.obs import registry, span
+from repro.sage.calibrate import (
+    CalibrationTable,
+    ErrorBound,
+    analytical_base_acf,
+    load_default_table,
+)
 from repro.sage.cost_model import (
     ConversionProvider,
     CostBreakdown,
@@ -116,6 +133,11 @@ class SageDecision:
     #: stood in, so absolute cycles/energy/EDP are at proxy scale (the
     #: ranking is still comparable — every candidate shares the scale).
     sim_scale: float = 1.0
+    #: Calibrated tier only: the winning candidate's residual bounds
+    #: (p50/p95 relative error vs the cycle simulator on the training
+    #: cell that corrected it).  ``None`` on other tiers, or when the
+    #: winner's (kernel, ACF, band) was never trained.
+    error_bound: ErrorBound | None = None
 
     @property
     def mcf(self) -> tuple[Format, Format]:
@@ -135,13 +157,18 @@ class SageDecision:
         the full ranking, making the round trip lossless.
         """
         ranking = self.ranking if top is None else self.ranking[:top]
-        return {
+        wire = {
             "workload_name": self.workload_name,
             "fidelity": self.fidelity,
             "sim_scale": self.sim_scale,
             "best": self.best.to_wire(),
             "ranking": [cand.to_wire() for cand in ranking],
         }
+        if self.error_bound is not None:
+            # Omitted when unset so analytical/cycle decisions keep the
+            # exact pre-calibration wire shape (schema stays version 2).
+            wire["error_bound"] = self.error_bound.to_wire()
+        return wire
 
     @classmethod
     def from_wire(cls, data: dict) -> "SageDecision":
@@ -154,6 +181,11 @@ class SageDecision:
             ),
             fidelity=str(data.get("fidelity", "analytical")),
             sim_scale=float(data.get("sim_scale", 1.0)),
+            error_bound=(
+                None
+                if data.get("error_bound") is None
+                else ErrorBound.from_wire(data["error_bound"])
+            ),
         )
 
     def summary(self, top: int = 5) -> str:
@@ -162,6 +194,12 @@ class SageDecision:
             tier = ""
         elif self.sim_scale < 1.0:
             tier = f" [{self.fidelity}, proxy at {self.sim_scale:.1e}x volume]"
+        elif self.error_bound is not None:
+            tier = (
+                f" [{self.fidelity}, rel err p50 "
+                f"{self.error_bound.p50_rel:.1%} / p95 "
+                f"{self.error_bound.p95_rel:.1%}]"
+            )
         else:
             tier = f" [{self.fidelity}]"
         lines = [f"SAGE decision for {self.workload_name}{tier}:"]
@@ -203,10 +241,35 @@ class Sage:
         config: AcceleratorConfig | None = None,
         dram: DramChannel | None = None,
         provider: ConversionProvider | None = mint_provider,
+        calibration: CalibrationTable | None = None,
     ) -> None:
         self.config = config or AcceleratorConfig.paper_default()
         self.dram = dram or DramChannel(clock_hz=self.config.clock_hz)
         self.provider = provider
+        #: Calibrated-tier correction table.  ``None`` defers to the
+        #: default artifact store on first calibrated prediction (see
+        #: :meth:`ensure_calibration`); pass one explicitly for scratch
+        #: stores or embedded servers.  Plain attribute, so it pickles
+        #: into serve shards / predict_many workers with the predictor.
+        self.calibration = calibration
+
+    def ensure_calibration(self) -> CalibrationTable:
+        """The calibration table for this config, loading it if needed.
+
+        Raises a :class:`~repro.errors.PredictionError` naming the
+        rebuild command when no (non-stale) table exists — the calibrated
+        tier never silently answers with uncorrected numbers.
+        """
+        if self.calibration is None:
+            table = load_default_table(self.config)
+            if table is None:
+                raise PredictionError(
+                    "no calibration table for this accelerator config "
+                    "(stale or never built) — build one with "
+                    "'repro calibrate', or pass Sage(calibration=...)"
+                )
+            self.calibration = table
+        return self.calibration
 
     def for_options(self, options: PredictOptions) -> "Sage":
         """The predictor matching *options*' hardware overrides.
@@ -297,6 +360,16 @@ class Sage:
         if opts.fidelity == "cycle":
             with span("sage.rerank", workload=workload.name):
                 decision = self._cycle_rerank(workload, decision)
+        elif opts.fidelity == "calibrated":
+            with span("sage.calibrate", workload=workload.name):
+                decision = self._calibrated_rerank(workload, decision)
+        elif opts.fidelity not in (None, "analytical"):
+            # A tier registered in FIDELITIES but not dispatched above
+            # must fail loudly, not silently answer analytically.
+            raise PredictionError(
+                f"fidelity {opts.fidelity!r} is registered but not "
+                f"implemented by this predictor"
+            )
         _PREDICTIONS.inc(fidelity=decision.fidelity)
         return truncate_ranking(decision, opts.top_k)
 
@@ -331,10 +404,11 @@ class Sage:
                 f"workloads (per-operand MCF spaces are a matrix-search "
                 f"restriction; use fixed_mcf to pin both tensor operands)"
             )
-        if opts.fidelity == "cycle":
+        if opts.fidelity in ("cycle", "calibrated"):
             raise PredictionError(
-                "cycle fidelity requires the matrix simulator; 3-D tensor "
-                "kernels are analytical-only (matricized streaming specs)"
+                f"{opts.fidelity} fidelity requires the matrix simulator; "
+                f"3-D tensor kernels are analytical-only (matricized "
+                f"streaming specs)"
             )
         candidates: list[CostBreakdown] = []
         enumerated = 0
@@ -492,6 +566,96 @@ class Sage:
                 (sim_wl.m * sim_wl.k * sim_wl.n)
                 / (workload.m * workload.k * workload.n)
             ),
+        )
+
+    # -------------------------------------------------- calibrated fidelity --
+    def _calibrated_rerank(
+        self,
+        workload: MatrixWorkload,
+        analytical: SageDecision,
+        *,
+        top: int = CYCLE_TOP_K,
+    ) -> SageDecision:
+        """Re-rank the cycle tier's candidate menu through the calibration
+        table.
+
+        The menu mirrors :meth:`_cycle_rerank` exactly — the analytical
+        top-``top`` plus registry-only streamed ACFs paired with the
+        winner's stationary side — so the tier approximates what the
+        simulator *would* rank, at dict-lookup cost.  Each candidate's
+        compute stage is rescaled by its (kernel, ACF, density-band)
+        correction factor; untrained analytical pairs keep their
+        uncalibrated numbers (factor 1), while registry extras only join
+        when a factor was actually trained (the table never guesses a
+        format it has no closed-form model for).  All costs stay at full
+        workload scale.
+        """
+        table = self.ensure_calibration()
+        density = workload.density_a
+        # (corrected breakdown, producing cell-or-None), same menu as cycle.
+        corrected = []
+        seen_combo: set[tuple[tuple[Format, Format], tuple[Format, Format]]]
+        seen_combo = set()
+        for cand in analytical.ranking[:top]:
+            if (cand.mcf, cand.acf) in seen_combo:
+                continue
+            seen_combo.add((cand.mcf, cand.acf))
+            corrected.append(table.apply(cand, workload.kernel, density))
+        best = analytical.best
+        seen_acf = {cand.acf for cand in analytical.ranking[:top]}
+        for fmt in streamable_formats():
+            if fmt in MATRIX_ACF_STREAMED:
+                continue  # already searched analytically
+            acf = (fmt, best.acf[1])
+            if acf in seen_acf:
+                continue
+            cell = table.lookup(workload.kernel, acf, density)
+            if cell is None:
+                continue  # never trained: stay out rather than guess
+            try:
+                io = price_matrix_io(
+                    workload, best.mcf, acf,
+                    config=self.config, dram=self.dram,
+                    provider=self.provider,
+                )
+            except ConversionError:
+                continue  # no MINT route to this ACF from this MCF
+            if io is None:
+                continue
+            try:
+                run = analytical_gemm_stats(
+                    workload.m, workload.k, workload.n,
+                    workload.nnz_a, workload.nnz_b,
+                    analytical_base_acf(fmt), acf[1], self.config,
+                )
+            except SimulationError:  # pragma: no cover - base is modelled
+                continue
+            base_cost = io.complete(
+                run.cycles.total_cycles, run.energy.total_j
+            )
+            corrected.append(
+                (
+                    dataclasses.replace(
+                        base_cost,
+                        compute_cycles=cell.corrected_cycles(
+                            base_cost.compute_cycles
+                        ),
+                        compute_energy_j=cell.corrected_energy(
+                            base_cost.compute_energy_j
+                        ),
+                    ),
+                    cell,
+                )
+            )
+        ranked = sorted(corrected, key=lambda pair: pair[0].edp)
+        winner_cell = ranked[0][1]
+        return SageDecision(
+            workload_name=workload.name,
+            best=ranked[0][0],
+            ranking=tuple(cost for cost, _cell in ranked),
+            fidelity="calibrated",
+            sim_scale=1.0,
+            error_bound=None if winner_cell is None else winner_cell.bound,
         )
 
     @staticmethod

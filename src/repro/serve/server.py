@@ -155,9 +155,13 @@ class ServeConfig:
         asks otherwise (``top <= 0`` requests the full ranking).
     fidelity:
         Prediction tier every miss is computed at: ``"analytical"``
-        (closed-form search, the default) or ``"cycle"`` (the analytical
-        top-k re-ranked on the cycle-level simulator).  Fidelity is a
-        server-level property so the decision cache stays tier-consistent.
+        (closed-form search, the default), ``"calibrated"`` (analytical
+        candidates corrected by a measured per-(kernel, ACF, density-band)
+        factor table — analytical latency, near-cycle ranking; the table
+        must already be built for this config, see ``repro calibrate``),
+        or ``"cycle"`` (the analytical top-k re-ranked on the cycle-level
+        simulator).  Fidelity is a server-level property so the decision
+        cache stays tier-consistent.
     latency_window:
         Number of most-recent request latencies kept for percentiles
         (overall and per cache outcome).
@@ -540,6 +544,11 @@ class SageServer:
                 f"(choose from {', '.join(FIDELITIES)})"
             )
         self._sage = sage or Sage()
+        if self.serve.fidelity == "calibrated":
+            # Fail fast at construction (not per-request inside a shard)
+            # when no table exists for this config; loading here also
+            # means forked shards inherit the parsed table for free.
+            self._sage.ensure_calibration()
         self._cache = DecisionCache(
             self.serve.cache_size, near_hit=self.serve.near_hit, scope="front"
         )

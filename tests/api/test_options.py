@@ -127,6 +127,15 @@ class TestResolveOptions:
         base = PredictOptions(fixed_mcf=(Format.CSR, Format.DENSE))
         assert resolve_options(base, fixed_mcf=None) == base
 
+    def test_unknown_fidelity_override_rejected_naming_tiers(self):
+        # Caught at resolution time, naming the registered tiers — not
+        # deep inside the predictor after the search already ran.
+        with pytest.raises(PredictionError, match="registered tiers"):
+            resolve_options(PredictOptions(), fidelity="oracular")
+
+    def test_calibrated_is_a_registered_tier(self):
+        assert resolve_options(fidelity="calibrated").fidelity == "calibrated"
+
 
 class TestPredictOptionsWire:
     @pytest.mark.parametrize(
@@ -155,7 +164,7 @@ class TestPredictOptionsWire:
 
     def test_schema_constants_consistent(self):
         assert WIRE_SCHEMA_VERSION in SUPPORTED_WIRE_SCHEMAS
-        assert set(FIDELITIES) == {"analytical", "cycle"}
+        assert set(FIDELITIES) == {"analytical", "calibrated", "cycle"}
 
 
 class TestRunOptions:

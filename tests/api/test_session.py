@@ -240,3 +240,56 @@ class TestLocalRemoteParity:
             result = remote.run(wl)
             assert result.decision.to_wire() == Session().predict(wl).to_wire()
             assert result.verified is True
+
+
+class TestCalibratedParity:
+    """Calibrated decisions: wire-identical across backends, cache-key split."""
+
+    @pytest.fixture(scope="class")
+    def table(self, tmp_path_factory):
+        from repro.sage.calibrate import GRIDS, build_table
+        from repro.xp.artifacts import ArtifactStore
+
+        store = ArtifactStore(tmp_path_factory.mktemp("parity-calibration"))
+        return build_table(GRIDS["tiny"], store=store).table
+
+    @pytest.fixture(scope="class")
+    def server(self, table):
+        from repro.serve import SageServer, ServeConfig
+
+        with SageServer(
+            sage=Sage(calibration=table),
+            serve=ServeConfig(
+                port=0, shards=1, batch_window_ms=1.0, near_hit=False
+            ),
+        ) as srv:
+            yield srv
+
+    def test_wire_identical_across_backends(self, server, table):
+        host, port = server.address
+        wl = _wl("parity-cal", m=224, nnz_a=2_000)
+        opts = PredictOptions(fidelity="calibrated")
+        local = Session(LocalBackend(Sage(calibration=table)))
+        with Session(f"tcp://{host}:{port}") as remote:
+            lw = local.predict(wl, opts).to_wire()
+            rw = remote.predict(wl, opts).to_wire()
+        assert lw == rw
+        assert lw["fidelity"] == "calibrated"
+        assert "error_bound" in lw
+
+    def test_never_served_from_analytical_cache(self, table):
+        # Regression guard on the cache-key split: an analytical entry
+        # for the same fingerprint must not answer a calibrated request.
+        backend = LocalBackend(Sage(calibration=table))
+        wl = _wl("parity-cal-cache", m=232, nnz_a=2_100)
+        ana = backend.predict_one(wl, PredictOptions(fidelity="analytical"))
+        cal = backend.predict_one(wl, PredictOptions(fidelity="calibrated"))
+        assert ana.fidelity == "analytical" and cal.fidelity == "calibrated"
+        assert cal != ana
+        stats = backend.cache_stats()
+        assert set(stats) == {"analytical", "calibrated", "cycle"}
+        assert stats["calibrated"]["misses"] == 1
+        # Repeats come from the calibrated cache, not a recompute.
+        again = backend.predict_one(wl, PredictOptions(fidelity="calibrated"))
+        assert again == cal
+        assert backend.cache_stats()["calibrated"]["hits"] == 1

@@ -6,7 +6,7 @@ import threading
 
 import pytest
 
-from repro.errors import ServeError
+from repro.errors import PredictionError, ServeError
 from repro.sage import Sage
 from repro.serve import SageServer, ServeClient, ServeConfig
 from repro.workloads.spec import Kernel, MatrixWorkload, TensorWorkload
@@ -228,6 +228,35 @@ class TestModes:
             name.startswith(prefix) for name in shm.active_operand_segments()
         )
         assert predictor._PROXY_OPERAND_CACHE is None
+
+    def test_calibrated_fidelity_server(self, tmp_path):
+        # A calibrated-tier server answers corrected decisions from its
+        # preloaded factor table (shards inherit it across the fork).
+        from repro.sage.calibrate import GRIDS, build_table
+        from repro.xp.artifacts import ArtifactStore
+
+        table = build_table(
+            GRIDS["tiny"], store=ArtifactStore(tmp_path)
+        ).table
+        config = ServeConfig(port=0, shards=1, fidelity="calibrated")
+        wl = MatrixWorkload("calib", Kernel.SPMM, m=96, k=96, n=64,
+                            nnz_a=900, nnz_b=96 * 64)
+        with SageServer(sage=Sage(calibration=table), serve=config) as srv:
+            with ServeClient(*srv.address) as c:
+                decision = c.predict(wl)
+                assert decision.fidelity == "calibrated"
+                assert c.stats()["fidelity"] == "calibrated"
+
+    def test_calibrated_server_without_table_fails_fast(self, monkeypatch):
+        # No table for this config: construction must raise, not every
+        # later request.
+        monkeypatch.setattr(
+            "repro.sage.predictor.load_default_table", lambda config: None
+        )
+        with pytest.raises(PredictionError, match="repro calibrate"):
+            SageServer(
+                serve=ServeConfig(port=0, shards=0, fidelity="calibrated")
+            )
 
     def test_unknown_fidelity_rejected_at_construction(self):
         with pytest.raises(ValueError, match="unknown serve fidelity"):
